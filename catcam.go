@@ -1,0 +1,87 @@
+// Package catcam is a functional simulation of CATCAM — the
+// Constant-time Alteration Ternary CAM of Chen et al. (MICRO 2020) — a
+// TCAM replacement for packet classification whose rule updates, like
+// its lookups, complete in O(1) time.
+//
+// A conventional TCAM encodes rule priority in physical address order,
+// so inserting one rule can shift O(n) entries. CATCAM decouples
+// priority from placement: an n×n boolean priority matrix records which
+// rule beats which, a per-column NOR performed in-memory reduces the
+// match vector to a one-hot report vector, and new rules drop into any
+// free slot with one row plus one column write (three cycles). A global
+// priority matrix applies the same idea across subtables, so the device
+// scales to hundreds of thousands of rules while reallocating at most
+// one rule per insertion.
+//
+// Quick start:
+//
+//	dev := catcam.New(catcam.Prototype())
+//	dev.InsertRule(catcam.Rule{
+//		ID: 1, Priority: 10, Action: 42,
+//		SrcIP:   catcam.Prefix{Addr: 0x0A000000, Len: 8},
+//		SrcPort: catcam.FullPortRange(), DstPort: catcam.FullPortRange(),
+//		ProtoWildcard: true,
+//	})
+//	action, ok := dev.Lookup(catcam.Header{SrcIP: 0x0A010203})
+//
+// The internal packages implement every substrate the paper's
+// evaluation depends on — 8T-SRAM PIM arrays, a conventional TCAM with
+// the published update algorithms (FastRule, RuleTris, POT, TreeCAM),
+// software classifiers (tuple space search, flow caches), a
+// ClassBench-style workload generator and the full benchmark harness —
+// see DESIGN.md for the system inventory.
+package catcam
+
+import (
+	"catcam/internal/core"
+	"catcam/internal/rules"
+)
+
+// Core types re-exported from the implementation packages. Rule and
+// Header follow the 5-tuple model of ClassBench/OpenFlow tables; Device
+// is a complete CATCAM instance.
+type (
+	// Rule is a packet-classification rule: 5-tuple fields plus a
+	// priority (larger wins) and an opaque action.
+	Rule = rules.Rule
+	// Header is a concrete packet 5-tuple under classification.
+	Header = rules.Header
+	// Prefix is an IPv4 prefix field.
+	Prefix = rules.Prefix
+	// PortRange is an inclusive 16-bit port range field.
+	PortRange = rules.PortRange
+	// Ruleset is a rule collection with reference (linear) semantics.
+	Ruleset = rules.Ruleset
+	// Config sizes a CATCAM device.
+	Config = core.Config
+	// Device is a CATCAM instance: subtables of match + priority
+	// matrices, a global priority matrix and the interval scheduler.
+	Device = core.Device
+	// Stats aggregates device activity counters.
+	Stats = core.Stats
+	// UpdateResult reports the cycle class of one update.
+	UpdateResult = core.UpdateResult
+)
+
+// Errors returned by Device updates.
+var (
+	// ErrFull is returned when no subtable can accommodate an insert.
+	ErrFull = core.ErrFull
+	// ErrNotFound is returned when deleting an unknown rule.
+	ErrNotFound = core.ErrNotFound
+)
+
+// New builds a CATCAM device with the given configuration.
+func New(cfg Config) *Device { return core.NewDevice(cfg) }
+
+// Prototype returns the paper's system configuration (Table II):
+// 256 subtables × 256 entries × 640-bit keys at 500 MHz — 64K rules.
+func Prototype() Config { return core.Prototype() }
+
+// Compact returns the same entry capacity with 160-bit keys (one match
+// subarray per subtable) — lighter to simulate, identical update
+// behaviour.
+func Compact() Config { return core.Compact() }
+
+// FullPortRange returns the match-all port range.
+func FullPortRange() PortRange { return rules.FullPortRange() }

@@ -1,0 +1,59 @@
+package catcam_test
+
+import (
+	"errors"
+	"testing"
+
+	"catcam"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	dev := catcam.New(catcam.Config{Subtables: 4, SubtableCapacity: 8, KeyWidth: 160})
+	r := catcam.Rule{
+		ID: 1, Priority: 10, Action: 42,
+		SrcIP:   catcam.Prefix{Addr: 0x0A000000, Len: 8},
+		SrcPort: catcam.FullPortRange(), DstPort: catcam.FullPortRange(),
+		ProtoWildcard: true,
+	}
+	if _, err := dev.InsertRule(r); err != nil {
+		t.Fatal(err)
+	}
+	if action, ok := dev.Lookup(catcam.Header{SrcIP: 0x0A010203}); !ok || action != 42 {
+		t.Fatalf("lookup = %d,%v", action, ok)
+	}
+	if _, err := dev.DeleteRule(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.DeleteRule(1); !errors.Is(err, catcam.ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestFacadeConfigs(t *testing.T) {
+	p := catcam.Prototype()
+	if p.Subtables != 256 || p.SubtableCapacity != 256 || p.KeyWidth != 640 {
+		t.Fatalf("prototype = %+v", p)
+	}
+	c := catcam.Compact()
+	if c.KeyWidth != 160 || c.Subtables != p.Subtables {
+		t.Fatalf("compact = %+v", c)
+	}
+	if !catcam.FullPortRange().IsFull() {
+		t.Fatal("FullPortRange not full")
+	}
+}
+
+func TestFacadeErrFull(t *testing.T) {
+	dev := catcam.New(catcam.Config{Subtables: 1, SubtableCapacity: 1, KeyWidth: 160})
+	mk := func(id, prio int) catcam.Rule {
+		return catcam.Rule{ID: id, Priority: prio,
+			SrcPort: catcam.FullPortRange(), DstPort: catcam.FullPortRange(),
+			ProtoWildcard: true}
+	}
+	if _, err := dev.InsertRule(mk(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.InsertRule(mk(2, 2)); !errors.Is(err, catcam.ErrFull) {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+}

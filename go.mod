@@ -1,0 +1,3 @@
+module catcam
+
+go 1.22

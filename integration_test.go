@@ -1,0 +1,141 @@
+package catcam_test
+
+import (
+	"testing"
+
+	"catcam"
+	"catcam/internal/classbench"
+	"catcam/internal/rules"
+	"catcam/internal/swclass"
+	"catcam/internal/update"
+)
+
+// engineUnderTest adapts every classification engine in the repository
+// to one interface so a single differential stream cross-checks them
+// all: CATCAM, the five TCAM updaters, and the three software
+// classifiers, against the linear-scan ground truth.
+type engineUnderTest struct {
+	name   string
+	insert func(rules.Rule) error
+	remove func(int) error
+	lookup func(rules.Header) (int, bool)
+}
+
+func allEngines(t *testing.T) []engineUnderTest {
+	t.Helper()
+	var engines []engineUnderTest
+
+	dev := catcam.New(catcam.Config{Subtables: 64, SubtableCapacity: 64, KeyWidth: 160})
+	engines = append(engines, engineUnderTest{
+		name: "CATCAM",
+		insert: func(r rules.Rule) error {
+			_, err := dev.InsertRule(r)
+			return err
+		},
+		remove: func(id int) error {
+			_, err := dev.DeleteRule(id)
+			return err
+		},
+		lookup: dev.Lookup,
+	})
+
+	for _, alg := range []update.Algorithm{
+		update.NewNaive(8192, rules.TupleBits),
+		update.NewFastRule(8192, rules.TupleBits),
+		update.NewRuleTris(8192, rules.TupleBits),
+		update.NewPOT(8192, rules.TupleBits),
+		update.NewTreeCAM(16384, rules.TupleBits),
+	} {
+		alg := alg
+		engines = append(engines, engineUnderTest{
+			name: alg.Name(),
+			insert: func(r rules.Rule) error {
+				_, err := alg.Insert(r)
+				return err
+			},
+			remove: func(id int) error {
+				_, err := alg.Delete(id)
+				return err
+			},
+			lookup: alg.Lookup,
+		})
+	}
+
+	for _, c := range []swclass.Classifier{
+		swclass.NewTSS(),
+		swclass.NewCached(swclass.NewTSS(), 256),
+		swclass.NewDTree(8),
+	} {
+		c := c
+		engines = append(engines, engineUnderTest{
+			name:   c.Name(),
+			insert: c.Insert,
+			remove: c.Delete,
+			lookup: func(h rules.Header) (int, bool) {
+				act, ok, _ := c.Lookup(h)
+				return act, ok
+			},
+		})
+	}
+	return engines
+}
+
+// TestAllEnginesAgree is the repository-wide differential test: one
+// ClassBench workload with churn, every engine, every lookup checked
+// against the linear reference.
+func TestAllEnginesAgree(t *testing.T) {
+	rs := classbench.Generate(classbench.Config{Family: classbench.IPC, Size: 150, Seed: 777})
+	trace := classbench.UpdateTrace(rs, 200, 778)
+	headers := classbench.PacketTrace(rs, 200, 0.8, 779)
+
+	engines := allEngines(t)
+	ref := &rules.Ruleset{}
+
+	apply := func(op classbench.Update) {
+		if op.Op == classbench.OpInsert {
+			ref.Rules = append(ref.Rules, op.Rule)
+			for _, e := range engines {
+				if err := e.insert(op.Rule); err != nil {
+					t.Fatalf("%s insert rule %d: %v", e.name, op.Rule.ID, err)
+				}
+			}
+		} else {
+			for i, r := range ref.Rules {
+				if r.ID == op.Rule.ID {
+					ref.Rules = append(ref.Rules[:i], ref.Rules[i+1:]...)
+					break
+				}
+			}
+			for _, e := range engines {
+				if err := e.remove(op.Rule.ID); err != nil {
+					t.Fatalf("%s delete rule %d: %v", e.name, op.Rule.ID, err)
+				}
+			}
+		}
+	}
+
+	check := func(stage string) {
+		for _, h := range headers {
+			want, wantOK := ref.Best(h)
+			for _, e := range engines {
+				got, ok := e.lookup(h)
+				if ok != wantOK || (ok && got != want.Action) {
+					t.Fatalf("%s@%s: header %+v got (%d,%v), reference (%d,%v)",
+						e.name, stage, h, got, ok, want.Action, wantOK)
+				}
+			}
+		}
+	}
+
+	for _, r := range rs.Rules {
+		apply(classbench.Update{Op: classbench.OpInsert, Rule: r})
+	}
+	check("loaded")
+	for i, u := range trace {
+		apply(u)
+		if i == len(trace)/2 {
+			check("mid-churn")
+		}
+	}
+	check("after churn")
+}

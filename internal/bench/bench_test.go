@@ -1,0 +1,301 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"catcam/internal/classbench"
+	"catcam/internal/core"
+	"catcam/internal/metrics"
+)
+
+func smallWorkload(f classbench.Family, size int) *Workload {
+	return NewWorkload(f, size, WorkloadOptions{Updates: 100, Headers: 100, FlatPorts: true})
+}
+
+func TestWorkloadDeterministicAndLabeled(t *testing.T) {
+	a := smallWorkload(classbench.ACL, 200)
+	b := smallWorkload(classbench.ACL, 200)
+	if len(a.Ruleset.Rules) != 200 || a.Ruleset.Rules[5] != b.Ruleset.Rules[5] {
+		t.Fatal("workload not deterministic")
+	}
+	if a.Label() != "ACL 200" {
+		t.Fatalf("label = %q", a.Label())
+	}
+	if smallWorkload(classbench.FW, 1000).Label() != "FW 1K" {
+		t.Fatal("K label wrong")
+	}
+	if a.Entries() != 200 {
+		t.Fatalf("flat-port entries = %d, want 200", a.Entries())
+	}
+}
+
+func TestRunUpdateCostAllAlgorithms(t *testing.T) {
+	w := smallWorkload(classbench.ACL, 300)
+	for _, name := range AlgorithmNames() {
+		row, err := RunUpdateCost(w, name, 100)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if row.Updates != 100 || row.Failed > 0 {
+			t.Fatalf("%s: row %+v", name, row)
+		}
+		if row.AvgFirmwareNs < 0 || row.MaxMoves < 0 {
+			t.Fatalf("%s: negative metrics", name)
+		}
+	}
+	if _, err := RunUpdateCost(w, "NoSuch", 10); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRunCATCAMUpdateCost(t *testing.T) {
+	w := smallWorkload(classbench.IPC, 300)
+	row, cpr, err := RunCATCAMUpdateCost(w, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Algorithm != "CATCAM" || row.MaxMoves > 1 {
+		t.Fatalf("row: %+v", row)
+	}
+	if cpr.DirectFraction+cpr.ReallocFraction < 0.99 {
+		t.Fatalf("fractions don't sum: %+v", cpr)
+	}
+	if cpr.InsertCPR < 3 || cpr.InsertCPR > 5 {
+		t.Fatalf("insert CPR = %v", cpr.InsertCPR)
+	}
+	// CATCAM updates are nanoseconds.
+	if row.AvgFirmwareNs > 100 {
+		t.Fatalf("CATCAM avg update = %v ns", row.AvgFirmwareNs)
+	}
+}
+
+// The headline claim at small scale: CATCAM's firmware time is orders
+// of magnitude below every baseline's.
+func TestSpeedupShape(t *testing.T) {
+	w := smallWorkload(classbench.ACL, 500)
+	catcam, _, err := RunCATCAMUpdateCost(w, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range AlgorithmNames() {
+		if name == "TreeCAM" {
+			// Not in the paper's Table IV; its firmware time is not a
+			// published comparison point.
+			continue
+		}
+		row, err := RunUpdateCost(w, name, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.AvgFirmwareNs < 100*catcam.AvgFirmwareNs {
+			t.Errorf("%s avg %.1f ns is not ≫ CATCAM %.1f ns",
+				name, row.AvgFirmwareNs, catcam.AvgFirmwareNs)
+		}
+	}
+}
+
+func TestRunUpdateMatrixSmall(t *testing.T) {
+	cfg := MatrixConfig{
+		Families:        []classbench.Family{classbench.ACL},
+		Sizes:           []int{200},
+		Updates:         60,
+		RuleTrisUpdates: 30,
+		Parallelism:     4,
+		Options:         WorkloadOptions{FlatPorts: true, Headers: 50},
+	}
+	rows, cprs, err := RunUpdateMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 5 baselines + CATCAM
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if len(cprs) != 1 {
+		t.Fatalf("cprs = %d", len(cprs))
+	}
+	tbl3 := FormatTableIII(rows)
+	tbl4 := FormatTableIV(rows)
+	for _, name := range append(AlgorithmNames(), "CATCAM") {
+		if !strings.Contains(tbl3, name) {
+			t.Fatalf("%s missing from Table III:\n%s", name, tbl3)
+		}
+		if name == "TreeCAM" {
+			if strings.Contains(tbl4, name) {
+				t.Fatal("TreeCAM should be omitted from Table IV (as in the paper)")
+			}
+			continue
+		}
+		if !strings.Contains(tbl4, name) {
+			t.Fatalf("%s missing from Table IV:\n%s", name, tbl4)
+		}
+	}
+	if !strings.Contains(FormatCPR(cprs), "ACL") {
+		t.Fatal("CPR format missing workload")
+	}
+}
+
+func TestFig1aShapes(t *testing.T) {
+	r := Fig1a()
+	naivePeak := 0.0
+	for _, s := range r.Naive {
+		if s.DivergenceMs > naivePeak {
+			naivePeak = s.DivergenceMs
+		}
+	}
+	if naivePeak < 50 {
+		t.Fatalf("naive divergence peak %.1f ms, want Fig 1(a) scale (hundreds)", naivePeak)
+	}
+	for _, s := range r.CATCAM {
+		if s.DivergenceMs > 0.001 {
+			t.Fatalf("CATCAM switch diverged %.4f ms", s.DivergenceMs)
+		}
+	}
+	out := FormatFig1a(r)
+	if !strings.Contains(out, "naive") || !strings.Contains(out, "CATCAM") {
+		t.Fatal("format missing series")
+	}
+}
+
+func TestFig1bLinearGrowth(t *testing.T) {
+	pts := Fig1b(10)
+	if len(pts) < 9 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Worst-case insert time grows with table occupancy.
+	if pts[len(pts)-1].WorstMs <= pts[0].WorstMs {
+		t.Fatalf("worst not growing: first %.2f last %.2f", pts[0].WorstMs, pts[len(pts)-1].WorstMs)
+	}
+	// The paper's scale: >100 ms worst near 1000 rules.
+	if pts[len(pts)-1].WorstMs < 50 {
+		t.Fatalf("final worst %.2f ms below Fig 1(b) scale", pts[len(pts)-1].WorstMs)
+	}
+	if !strings.Contains(FormatFig1b(pts), "aggregate") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	w := NewWorkload(classbench.ACL, 1000, WorkloadOptions{Updates: 10, Headers: 300, FlatPorts: true})
+	rows, err := Fig15(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Fig15Row{}
+	for _, r := range rows {
+		byName[r.Engine] = r
+	}
+	catcam, tcam := byName["CATCAM"], byName["TCAM"]
+	tss, cached := byName["TSS"], byName["TSS+cache"]
+	if catcam.MOPS < tcam.MOPS {
+		t.Fatalf("CATCAM (%.0f) below TCAM (%.0f)", catcam.MOPS, tcam.MOPS)
+	}
+	if catcam.MOPS < 5*tss.MOPS {
+		t.Fatalf("CATCAM (%.0f) not ≫ TSS (%.1f)", catcam.MOPS, tss.MOPS)
+	}
+	if cached.MOPS <= tss.MOPS {
+		t.Fatalf("cache (%.1f) not above TSS (%.1f)", cached.MOPS, tss.MOPS)
+	}
+	if byName["Linear"].MOPS >= tss.MOPS {
+		t.Fatalf("linear (%.2f) not below TSS (%.1f)", byName["Linear"].MOPS, tss.MOPS)
+	}
+	if !strings.Contains(FormatFig15(rows), "CATCAM") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestOccupancyShape(t *testing.T) {
+	o := Occupancy(7)
+	if o.Occupancy < 0.5 || o.Occupancy >= 1 {
+		t.Fatalf("occupancy = %.2f, want the paper's (0.5,1) band", o.Occupancy)
+	}
+	if o.DirectFraction <= 0 || o.DirectFraction >= 1 {
+		t.Fatalf("direct fraction = %.2f", o.DirectFraction)
+	}
+	if o.AvgUpdateNs < 6 || o.AvgUpdateNs > 10 {
+		t.Fatalf("avg update = %.2f ns, want ~9 ns", o.AvgUpdateNs)
+	}
+	if !strings.Contains(FormatOccupancy(o), "occupancy") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	col := ColumnWriteAblation(core.Prototype())
+	if col.PaperV != 3 || col.AltV != 257 {
+		t.Fatalf("column ablation: %+v", col)
+	}
+	glob := GlobalArbitrationAblation(256, 8)
+	if glob.AltV <= glob.PaperV {
+		t.Fatalf("global ablation not favourable: %+v", glob)
+	}
+	if !strings.Contains(FormatAblation([]AblationRow{col, glob}), "dual-voltage") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	if !strings.Contains(FormatTableI(metrics.TableI()), "match-matrix") {
+		t.Fatal("Table I format broken")
+	}
+	if !strings.Contains(FormatTableII(metrics.ComputeSystem(core.Prototype(), 4.4)), "MOPS") {
+		t.Fatal("Table II format broken")
+	}
+	if !strings.Contains(FormatTableV(metrics.TableV()), "Jeloka") {
+		t.Fatal("Table V format broken")
+	}
+	fig16 := FormatFig16(
+		metrics.MatchEnergyCurve(640, []int{1, 128, 256}),
+		metrics.PriorityEnergyCurve([]int{1, 128, 256}))
+	if !strings.Contains(fig16, "per-bit") {
+		t.Fatal("Fig 16 format broken")
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[float64]string{
+		5:     "5.0 ns",
+		3500:  "3.5 us",
+		2.5e6: "2.5 ms",
+		7.2e9: "7.20 s",
+	}
+	for ns, want := range cases {
+		if got := FormatDuration(ns); got != want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", ns, got, want)
+		}
+	}
+}
+
+func TestSchedulingAblation(t *testing.T) {
+	row := SchedulingAblation(5)
+	if row.PaperV > 1 {
+		t.Fatalf("paper design worst reallocations = %.0f, O(1) broken", row.PaperV)
+	}
+	if row.AltV <= row.PaperV {
+		t.Fatalf("chained reallocation (%.0f) not worse than paper design (%.0f)",
+			row.AltV, row.PaperV)
+	}
+}
+
+func TestMeasuredEnergy(t *testing.T) {
+	w := NewWorkload(classbench.ACL, 500, WorkloadOptions{Updates: 10, Headers: 200, FlatPorts: true})
+	rep, err := MeasuredEnergy(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Lookups != 200 {
+		t.Fatalf("lookups = %d", rep.Lookups)
+	}
+	if rep.MatchEnergyPJ <= 0 || rep.PerLookupPJ <= 0 {
+		t.Fatalf("no energy measured: %+v", rep)
+	}
+	// The paper's §VIII-C claim: priority matrices contribute a small
+	// share of lookup energy (at most two active per query vs hundreds
+	// of match matrices searched).
+	if rep.PriorityShare > 0.2 {
+		t.Fatalf("priority share = %.1f%%, should be small", rep.PriorityShare*100)
+	}
+	if !strings.Contains(FormatEnergyReport(w.Label(), rep), "per lookup") {
+		t.Fatal("format broken")
+	}
+}

@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"catcam/internal/metrics"
+	"catcam/internal/netsim"
+	"catcam/internal/sram"
+)
+
+// FormatDuration renders nanoseconds with the paper's units (ns/us/ms/s).
+func FormatDuration(ns float64) string {
+	switch {
+	case ns < 1e3:
+		return fmt.Sprintf("%.1f ns", ns)
+	case ns < 1e6:
+		return fmt.Sprintf("%.1f us", ns/1e3)
+	case ns < 1e9:
+		return fmt.Sprintf("%.1f ms", ns/1e6)
+	default:
+		return fmt.Sprintf("%.2f s", ns/1e9)
+	}
+}
+
+// FormatTableIII renders the update-cost comparison (moves per update).
+func FormatTableIII(rows []UpdateCostRow) string {
+	return formatUpdateMatrix(rows, "TABLE III: UPDATE COST (entry moves per update, avg / max)",
+		func(r UpdateCostRow) string {
+			return fmt.Sprintf("%.2f/%d", r.AvgMoves, r.MaxMoves)
+		})
+}
+
+// FormatTableIV renders the firmware-time comparison. TreeCAM is
+// omitted, as in the paper's Table IV (its firmware time was not
+// published; only its movement counts appear in Table III).
+func FormatTableIV(rows []UpdateCostRow) string {
+	filtered := make([]UpdateCostRow, 0, len(rows))
+	for _, r := range rows {
+		if r.Algorithm == "TreeCAM" {
+			continue
+		}
+		filtered = append(filtered, r)
+	}
+	return formatUpdateMatrix(filtered, "TABLE IV: FIRMWARE TIME (avg per update)",
+		func(r UpdateCostRow) string {
+			return FormatDuration(r.AvgFirmwareNs)
+		})
+}
+
+func formatUpdateMatrix(rows []UpdateCostRow, title string, cell func(UpdateCostRow) string) string {
+	byKey := map[string]UpdateCostRow{}
+	famSizes := map[string]map[int]bool{}
+	var algos []string
+	seenAlgo := map[string]bool{}
+	for _, r := range rows {
+		byKey[r.Family+"/"+fmt.Sprint(r.Size)+"/"+r.Algorithm] = r
+		if famSizes[r.Family] == nil {
+			famSizes[r.Family] = map[int]bool{}
+		}
+		famSizes[r.Family][r.Size] = true
+		if !seenAlgo[r.Algorithm] {
+			seenAlgo[r.Algorithm] = true
+			algos = append(algos, r.Algorithm)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-6s %-6s", title, "Set", "Size")
+	for _, a := range algos {
+		fmt.Fprintf(&b, " %14s", a)
+	}
+	b.WriteByte('\n')
+	var fams []string
+	for f := range famSizes {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	for _, f := range fams {
+		var sizes []int
+		for s := range famSizes[f] {
+			sizes = append(sizes, s)
+		}
+		sort.Ints(sizes)
+		for _, s := range sizes {
+			fmt.Fprintf(&b, "%-6s %-6s", f, sizeLabel(s))
+			for _, a := range algos {
+				r, ok := byKey[f+"/"+fmt.Sprint(s)+"/"+a]
+				if !ok {
+					fmt.Fprintf(&b, " %14s", "-")
+					continue
+				}
+				fmt.Fprintf(&b, " %14s", cell(r))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func sizeLabel(s int) string {
+	if s >= 1000 && s%1000 == 0 {
+		return fmt.Sprintf("%dK", s/1000)
+	}
+	return fmt.Sprint(s)
+}
+
+// FormatTableI renders the memory parameters.
+func FormatTableI(rows []sram.Params) string {
+	var b strings.Builder
+	b.WriteString("TABLE I: MEMORY PARAMETERS\n")
+	for _, p := range rows {
+		fmt.Fprintf(&b, "%-16s %4dx%-4d compute %.0f ps  access %.0f ps  %.2f fJ/bit  incr %.1f fJ  rd %.1f pJ  wr %.1f pJ  %.3f mm2\n",
+			p.Name, p.Rows, p.Cols, p.ComputeDelayPs, p.AccessDelayPs,
+			p.EnergyPerBitFJ, p.IncrementalFJ, p.ReadEnergyPJ, p.WriteEnergyPJ, p.AreaMM2)
+	}
+	return b.String()
+}
+
+// FormatTableII renders the system metrics.
+func FormatTableII(m metrics.SystemMetrics) string {
+	powOv, areaOv := m.PriorityOverhead()
+	var b strings.Builder
+	b.WriteString("TABLE II: CATCAM METRICS\n")
+	fmt.Fprintf(&b, "Frequency      %.0f MHz\n", m.FrequencyMHz)
+	fmt.Fprintf(&b, "Power          %.1f W (match %.1f, priority %.2f; overhead %.2f%%)\n",
+		m.PowerW, m.MatchPowerW, m.PriorityPowerW, powOv*100)
+	fmt.Fprintf(&b, "Area           %.1f mm2 (match %.1f, priority %.1f; overhead %.0f%%)\n",
+		m.AreaMM2, m.MatchAreaMM2, m.PriorityAreaMM2, areaOv*100)
+	fmt.Fprintf(&b, "Capacity       %.0f Mb\n", m.CapacityMbit)
+	fmt.Fprintf(&b, "Configuration  %s\n", m.Configuration)
+	fmt.Fprintf(&b, "Lookup Rate    %.0f MOPS\n", m.LookupRateMOPS)
+	fmt.Fprintf(&b, "Update Rate    %.0f MOPS\n", m.UpdateRateMOPS)
+	return b.String()
+}
+
+// FormatTableV renders the taped-out TCAM comparison.
+func FormatTableV(rows []metrics.TapedOutTCAM) string {
+	var b strings.Builder
+	b.WriteString("TABLE V: COMPARISON WITH EXISTING TCAM DESIGNS\n")
+	fmt.Fprintf(&b, "%-10s %6s %8s %12s %10s %14s %12s\n",
+		"Design", "Tech", "BitCell", "Area/cell", "Freq", "Energy/search", "Array")
+	for _, r := range rows {
+		area := "n.a."
+		if r.AreaPerCellUM2 > 0 {
+			area = fmt.Sprintf("%.3f um2", r.AreaPerCellUM2)
+		}
+		energy := "n.a."
+		if r.EnergyFJPerBit > 0 {
+			energy = fmt.Sprintf("%.2f fJ/bit", r.EnergyFJPerBit)
+		}
+		fmt.Fprintf(&b, "%-10s %4dnm %8s %12s %7.0fMHz %14s %12s\n",
+			r.Name, r.TechnologyNm, r.BitCell, area, r.FrequencyMHz, energy, r.ArraySize)
+	}
+	return b.String()
+}
+
+// FormatFig1a renders both divergence series.
+func FormatFig1a(r Fig1aResult) string {
+	return netsim.Format("FIG 1(a): CONTROL/DATA PLANE DIVERGENCE — naive TCAM switch", r.Naive) +
+		"\n" +
+		netsim.Format("FIG 1(a'): SAME BURST — CATCAM-backed switch", r.CATCAM)
+}
+
+// FormatFig1b renders the naive insertion-time curve.
+func FormatFig1b(points []Fig1bPoint) string {
+	var b strings.Builder
+	b.WriteString("FIG 1(b): RULE INSERTION TIME IN A NAIVE TCAM (1000 entries)\n")
+	fmt.Fprintf(&b, "%8s %16s %16s\n", "rules", "aggregate(ms)", "worst(ms)")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%8d %16.2f %16.2f\n", p.Rules, p.AggregateMs, p.WorstMs)
+	}
+	return b.String()
+}
+
+// FormatFig15 renders the lookup-throughput comparison.
+func FormatFig15(rows []Fig15Row) string {
+	var b strings.Builder
+	b.WriteString("FIG 15: LOOKUP PERFORMANCE\n")
+	fmt.Fprintf(&b, "%-12s %10s %12s %10s  %s\n", "Engine", "ops/lkup", "ns/lkup", "MOPS", "note")
+	for _, r := range rows {
+		ops := "-"
+		if r.AvgOps > 0 {
+			ops = fmt.Sprintf("%.1f", r.AvgOps)
+		}
+		fmt.Fprintf(&b, "%-12s %10s %12.1f %10.1f  %s\n", r.Engine, ops, r.AvgNs, r.MOPS, r.Note)
+	}
+	return b.String()
+}
+
+// FormatFig16 renders both energy curves.
+func FormatFig16(match, prio []metrics.EnergyPoint) string {
+	var b strings.Builder
+	b.WriteString("FIG 16: ENERGY vs VALID/MATCHED ENTRIES IN A SUBTABLE\n")
+	b.WriteString("match matrix (x = valid entries):\n")
+	fmt.Fprintf(&b, "%8s %12s %14s %12s\n", "entries", "total(pJ)", "per-rule(fJ)", "per-bit(fJ)")
+	for _, p := range match {
+		fmt.Fprintf(&b, "%8d %12.2f %14.1f %12.3f\n", p.Entries, p.TotalPJ, p.PerRuleFJ, p.PerBitFJ)
+	}
+	b.WriteString("priority matrix (x = matched entries):\n")
+	fmt.Fprintf(&b, "%8s %12s %14s %12s\n", "entries", "total(pJ)", "per-rule(fJ)", "per-bit(fJ)")
+	for _, p := range prio {
+		fmt.Fprintf(&b, "%8d %12.2f %14.1f %12.3f\n", p.Entries, p.TotalPJ, p.PerRuleFJ, p.PerBitFJ)
+	}
+	return b.String()
+}
+
+// FormatCPR renders the §VIII-A cycle breakdown per workload.
+func FormatCPR(cprs map[string]CPRStats) string {
+	var keys []string
+	for k := range cprs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("CPR BREAKDOWN (CATCAM, per workload)\n")
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s %12s\n",
+		"workload", "3-cycle%", "5-cycle%", "insertCPR", "CPR", "avg update")
+	for _, k := range keys {
+		c := cprs[k]
+		fmt.Fprintf(&b, "%-10s %9.1f%% %9.1f%% %10.2f %10.2f %12s\n",
+			k, c.DirectFraction*100, c.ReallocFraction*100, c.InsertCPR, c.OverallCPR,
+			FormatDuration(c.AvgUpdateNs))
+	}
+	return b.String()
+}
+
+// FormatOccupancy renders the fill-to-failure result.
+func FormatOccupancy(o OccupancyResult) string {
+	var b strings.Builder
+	b.WriteString("OCCUPANCY (fill to failure, range inflation excluded)\n")
+	fmt.Fprintf(&b, "capacity           %d entries\n", o.CapacityEntries)
+	fmt.Fprintf(&b, "rules accommodated %d\n", o.RulesInserted)
+	fmt.Fprintf(&b, "occupancy          %.1f%%\n", o.Occupancy*100)
+	fmt.Fprintf(&b, "inserts w/o realloc %.1f%%\n", o.DirectFraction*100)
+	fmt.Fprintf(&b, "avg update time    %s (CPR %.2f)\n", FormatDuration(o.AvgUpdateNs), o.InsertCPR)
+	fmt.Fprintf(&b, "active subtables   %d\n", o.ActiveSubtables)
+	return b.String()
+}
+
+// FormatEnergyReport renders a measured-energy summary.
+func FormatEnergyReport(label string, r EnergyReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "MEASURED ENERGY (%s, %d lookups)\n", label, r.Lookups)
+	fmt.Fprintf(&b, "match matrices      %12.1f pJ\n", r.MatchEnergyPJ)
+	fmt.Fprintf(&b, "priority matrices   %12.1f pJ (local) + %.1f pJ (global)\n",
+		r.PriorityEnergyPJ, r.GlobalEnergyPJ)
+	fmt.Fprintf(&b, "per lookup          %12.2f pJ\n", r.PerLookupPJ)
+	fmt.Fprintf(&b, "priority share      %11.1f%% of lookup energy (the paper: negligible)\n",
+		r.PriorityShare*100)
+	return b.String()
+}
+
+// FormatAblation renders design-choice ablations.
+func FormatAblation(rows []AblationRow) string {
+	var b strings.Builder
+	b.WriteString("ABLATIONS\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-36s %s: %.1f %s   vs   %s: %.1f %s  (%.0fx)\n",
+			r.Name, r.Paper, r.PaperV, r.Unit, r.Alt, r.AltV, r.Unit, r.AltV/r.PaperV)
+	}
+	return b.String()
+}

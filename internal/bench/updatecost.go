@@ -1,0 +1,301 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"catcam/internal/classbench"
+	"catcam/internal/core"
+	"catcam/internal/metrics"
+	"catcam/internal/rules"
+	"catcam/internal/update"
+)
+
+// UpdateCostRow is one cell of Table III + Table IV: the update cost
+// (entry movements / reallocations) and firmware time of one algorithm
+// on one workload.
+type UpdateCostRow struct {
+	Algorithm     string
+	Family        string
+	Size          int
+	Updates       int
+	AvgMoves      float64
+	MaxMoves      int
+	AvgFirmwareNs float64
+	MaxFirmwareNs float64
+	Failed        int // updates rejected (engine full)
+}
+
+// AlgorithmNames lists the baseline updaters in paper order; "CATCAM"
+// is run by RunCATCAMUpdateCost.
+func AlgorithmNames() []string {
+	return []string{"Naive", "FastRule", "RuleTris", "POT", "TreeCAM"}
+}
+
+func newAlgorithm(name string, capacity int) (update.Algorithm, error) {
+	switch name {
+	case "Naive":
+		return update.NewNaive(capacity, rules.TupleBits), nil
+	case "FastRule":
+		return update.NewFastRule(capacity, rules.TupleBits), nil
+	case "RuleTris":
+		return update.NewRuleTris(capacity, rules.TupleBits), nil
+	case "POT":
+		return update.NewPOT(capacity, rules.TupleBits), nil
+	case "TreeCAM":
+		// TreeCAM replicates rules across decision-tree leaves and
+		// provisions per-leaf slack, so it is sized with extra headroom
+		// (the original also trades space for bounded updates).
+		return update.NewTreeCAM(8*capacity, rules.TupleBits), nil
+	}
+	return nil, fmt.Errorf("bench: unknown algorithm %q", name)
+}
+
+// RunUpdateCost preloads the workload's ruleset into the named baseline
+// algorithm, replays (up to) maxUpdates of the trace and aggregates
+// per-update movement counts and firmware time (ops and moves priced by
+// the algorithm's metrics.FirmwareModel).
+func RunUpdateCost(w *Workload, name string, maxUpdates int) (UpdateCostRow, error) {
+	capacity := w.Entries() + w.Entries()/4 + 256
+	algo, err := newAlgorithm(name, capacity)
+	if err != nil {
+		return UpdateCostRow{}, err
+	}
+	if err := algo.(update.Preloader).Preload(w.Ruleset.Rules); err != nil {
+		return UpdateCostRow{}, fmt.Errorf("bench: preload %s on %s: %w", name, w.Label(), err)
+	}
+	model := metrics.FirmwareModels()[name]
+
+	trace := w.Trace
+	if maxUpdates > 0 && maxUpdates < len(trace) {
+		trace = trace[:maxUpdates]
+	}
+	row := UpdateCostRow{Algorithm: name, Family: w.Family.String(), Size: w.Size, Updates: len(trace)}
+	totalMoves, totalNs := 0, 0.0
+	for _, u := range trace {
+		var res update.Result
+		var err error
+		if u.Op == classbench.OpInsert {
+			res, err = algo.Insert(u.Rule)
+		} else {
+			res, err = algo.Delete(u.Rule.ID)
+		}
+		if err != nil {
+			row.Failed++
+			continue
+		}
+		ns := model.TimeNs(res.Ops, res.Moves)
+		totalMoves += res.Moves
+		totalNs += ns
+		if res.Moves > row.MaxMoves {
+			row.MaxMoves = res.Moves
+		}
+		if ns > row.MaxFirmwareNs {
+			row.MaxFirmwareNs = ns
+		}
+	}
+	applied := len(trace) - row.Failed
+	if applied > 0 {
+		row.AvgMoves = float64(totalMoves) / float64(applied)
+		row.AvgFirmwareNs = totalNs / float64(applied)
+	}
+	return row, nil
+}
+
+// CPRStats is the §VIII-A cycle breakdown for CATCAM.
+type CPRStats struct {
+	DirectFraction  float64 // 3-cycle inserts
+	ReallocFraction float64 // 5-cycle inserts
+	InsertCPR       float64 // cycles per insert request
+	OverallCPR      float64 // cycles per update request incl. deletes
+	AvgUpdateNs     float64
+}
+
+// RunCATCAMUpdateCost replays the workload on a CATCAM device. The
+// device uses the compact configuration (same 64K-entry geometry,
+// single match subarray) since update behaviour is key-width
+// independent. Moves are reallocations; firmware time is cycles at the
+// device clock — there is no firmware computation.
+func RunCATCAMUpdateCost(w *Workload, maxUpdates int) (UpdateCostRow, CPRStats, error) {
+	d := core.NewDevice(core.Compact())
+	// Provision the initial table image in ascending priority order:
+	// every rule extends the top interval, so subtables pack densely —
+	// the same sequential image a firmware bulk-install produces.
+	load := make([]rules.Rule, len(w.Ruleset.Rules))
+	copy(load, w.Ruleset.Rules)
+	sort.Slice(load, func(i, j int) bool { return load[i].Before(load[j]) })
+	for _, r := range load {
+		if _, err := d.InsertRule(r); err != nil {
+			return UpdateCostRow{}, CPRStats{}, fmt.Errorf("bench: CATCAM load %s: %w", w.Label(), err)
+		}
+	}
+	d.ResetStats()
+
+	trace := w.Trace
+	if maxUpdates > 0 && maxUpdates < len(trace) {
+		trace = trace[:maxUpdates]
+	}
+	row := UpdateCostRow{Algorithm: "CATCAM", Family: w.Family.String(), Size: w.Size, Updates: len(trace)}
+	totalMoves, totalNs := 0, 0.0
+	for _, u := range trace {
+		var res core.UpdateResult
+		var err error
+		if u.Op == classbench.OpInsert {
+			res, err = d.InsertRule(u.Rule)
+		} else {
+			res, err = d.DeleteRule(u.Rule.ID)
+		}
+		if err != nil {
+			row.Failed++
+			continue
+		}
+		ns := d.CyclesToNanos(res.Cycles)
+		totalMoves += res.Reallocated
+		totalNs += ns
+		if res.Reallocated > row.MaxMoves {
+			row.MaxMoves = res.Reallocated
+		}
+		if ns > row.MaxFirmwareNs {
+			row.MaxFirmwareNs = ns
+		}
+	}
+	applied := len(trace) - row.Failed
+	if applied > 0 {
+		row.AvgMoves = float64(totalMoves) / float64(applied)
+		row.AvgFirmwareNs = totalNs / float64(applied)
+	}
+
+	s := d.Stats()
+	var cpr CPRStats
+	if s.Inserts > 0 {
+		cpr.DirectFraction = float64(s.DirectInserts) / float64(s.Inserts)
+		cpr.ReallocFraction = float64(s.ReallocInserts) / float64(s.Inserts)
+		cpr.InsertCPR = float64(3*s.DirectInserts+5*s.ReallocInserts) / float64(s.Inserts)
+	}
+	if s.Inserts+s.Deletes > 0 {
+		cpr.OverallCPR = float64(s.UpdateCycles) / float64(s.Inserts+s.Deletes)
+	}
+	cpr.AvgUpdateNs = row.AvgFirmwareNs
+	return row, cpr, nil
+}
+
+// MatrixConfig scopes the Table III/IV sweep.
+type MatrixConfig struct {
+	Families []classbench.Family
+	Sizes    []int
+	Updates  int // per cell; expensive algorithms may be sampled down
+	// RuleTrisUpdates caps RuleTris' measured updates on large rulesets
+	// (its per-update firmware work is the quantity under test and it
+	// is orders of magnitude slower to execute; the average over a
+	// shorter trace is reported, like the paper's averages over 1K).
+	RuleTrisUpdates int
+	Parallelism     int
+	Options         WorkloadOptions
+}
+
+// DefaultMatrixConfig mirrors the paper: ACL/FW/IPC × 1K/10K/20K with
+// 1K updates.
+func DefaultMatrixConfig() MatrixConfig {
+	return MatrixConfig{
+		Families:        classbench.Families(),
+		Sizes:           []int{1000, 10000, 20000},
+		Updates:         1000,
+		RuleTrisUpdates: 200,
+		Parallelism:     runtime.NumCPU(),
+		// Flat ports keep entries 1:1 with rules across every engine
+		// (the paper excludes range-expansion inflation from its
+		// update-cost accounting); fresh priorities model policy churn
+		// rather than rule flap, so inserts land at arbitrary priority
+		// levels like the paper's update streams.
+		Options: WorkloadOptions{FlatPorts: true, FreshPriorities: true},
+	}
+}
+
+// RunUpdateMatrix executes every (algorithm × family × size) cell,
+// including CATCAM, in parallel. Rows come back grouped by family and
+// size in paper order; CPR stats are keyed by workload label.
+func RunUpdateMatrix(cfg MatrixConfig) ([]UpdateCostRow, map[string]CPRStats, error) {
+	type cell struct {
+		family classbench.Family
+		size   int
+		algo   string // "" means CATCAM
+	}
+	var cells []cell
+	for _, f := range cfg.Families {
+		for _, s := range cfg.Sizes {
+			for _, a := range AlgorithmNames() {
+				cells = append(cells, cell{f, s, a})
+			}
+			cells = append(cells, cell{f, s, ""})
+		}
+	}
+
+	// Workloads are shared across algorithms of one (family, size).
+	workloads := make(map[[2]int]*Workload)
+	var wlMu sync.Mutex
+	getWorkload := func(f classbench.Family, s int) *Workload {
+		wlMu.Lock()
+		defer wlMu.Unlock()
+		k := [2]int{int(f), s}
+		if w, ok := workloads[k]; ok {
+			return w
+		}
+		opts := cfg.Options
+		opts.Updates = cfg.Updates
+		w := NewWorkload(f, s, opts)
+		workloads[k] = w
+		return w
+	}
+
+	results := make([]UpdateCostRow, len(cells))
+	cprs := make(map[string]CPRStats)
+	var cprMu sync.Mutex
+	errs := make([]error, len(cells))
+
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = 1
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, c := range cells {
+		wg.Add(1)
+		go func(i int, c cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			w := getWorkload(c.family, c.size)
+			if c.algo == "" {
+				row, cpr, err := RunCATCAMUpdateCost(w, cfg.Updates)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				results[i] = row
+				cprMu.Lock()
+				cprs[w.Label()] = cpr
+				cprMu.Unlock()
+				return
+			}
+			limit := cfg.Updates
+			if c.algo == "RuleTris" && cfg.RuleTrisUpdates > 0 && c.size >= 10000 {
+				limit = cfg.RuleTrisUpdates
+			}
+			row, err := RunUpdateCost(w, c.algo, limit)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = row
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return results, cprs, nil
+}

@@ -1,0 +1,48 @@
+package bitvec
+
+import "testing"
+
+func benchVectors(n int) (*Vector, *Vector) {
+	a, b := New(n), New(n)
+	for i := 0; i < n; i += 3 {
+		a.Set(i)
+	}
+	for i := 0; i < n; i += 5 {
+		b.Set(i)
+	}
+	return a, b
+}
+
+func BenchmarkAndNot256(b *testing.B) {
+	x, y := benchVectors(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.AndNot(y)
+	}
+}
+
+func BenchmarkCount256(b *testing.B) {
+	x, _ := benchVectors(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Count()
+	}
+}
+
+func BenchmarkIsOneHot256(b *testing.B) {
+	x := FromIndices(256, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.IsOneHot()
+	}
+}
+
+func BenchmarkForEach256(b *testing.B) {
+	x, _ := benchVectors(256)
+	b.ReportAllocs()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		x.ForEach(func(j int) bool { sink += j; return true })
+	}
+	_ = sink
+}

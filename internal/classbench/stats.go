@@ -1,0 +1,129 @@
+package classbench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"catcam/internal/rules"
+)
+
+// Stats summarizes the structural properties of a ruleset that the
+// update-cost experiments are sensitive to — the knobs ClassBench's
+// seed files control in the original tool. Use it to sanity-check that
+// a generated family behaves like its namesake.
+type Stats struct {
+	Rules            int
+	Entries          int     // after range expansion
+	ExpansionFactor  float64 // Entries / Rules
+	SrcWildcardFrac  float64
+	DstWildcardFrac  float64
+	ProtoWildFrac    float64
+	ExactPortFrac    float64 // both ports exact or full
+	OverlapFraction  float64 // sampled pairwise overlap probability
+	MaxNestingDepth  int     // longest chain of strictly-nested source prefixes
+	PrefixLenBuckets map[int]int
+}
+
+// Analyze computes Stats. Pairwise overlap is sampled (all pairs up to
+// 500 rules, random pairs beyond) to stay O(n).
+func Analyze(rs *rules.Ruleset) Stats {
+	s := Stats{Rules: len(rs.Rules), PrefixLenBuckets: map[int]int{}}
+	if s.Rules == 0 {
+		return s
+	}
+	for _, r := range rs.Rules {
+		s.Entries += r.ExpansionCount()
+		if r.SrcIP.Len == 0 {
+			s.SrcWildcardFrac++
+		}
+		if r.DstIP.Len == 0 {
+			s.DstWildcardFrac++
+		}
+		if r.ProtoWildcard {
+			s.ProtoWildFrac++
+		}
+		if (r.SrcPort.Lo == r.SrcPort.Hi || r.SrcPort.IsFull()) &&
+			(r.DstPort.Lo == r.DstPort.Hi || r.DstPort.IsFull()) {
+			s.ExactPortFrac++
+		}
+		s.PrefixLenBuckets[r.SrcIP.Len]++
+	}
+	n := float64(s.Rules)
+	s.ExpansionFactor = float64(s.Entries) / n
+	s.SrcWildcardFrac /= n
+	s.DstWildcardFrac /= n
+	s.ProtoWildFrac /= n
+	s.ExactPortFrac /= n
+
+	// Overlap: exhaustive for small sets, strided sampling otherwise.
+	pairs, overlaps := 0, 0
+	stride := 1
+	if s.Rules > 500 {
+		stride = s.Rules / 500
+	}
+	for i := 0; i < s.Rules; i += stride {
+		for j := i + stride; j < s.Rules; j += stride {
+			pairs++
+			if rs.Rules[i].Overlaps(rs.Rules[j]) {
+				overlaps++
+			}
+		}
+	}
+	if pairs > 0 {
+		s.OverlapFraction = float64(overlaps) / float64(pairs)
+	}
+
+	s.MaxNestingDepth = maxNesting(rs)
+	return s
+}
+
+// maxNesting finds the longest chain of strictly-nested source prefixes
+// (the structure that creates deep dependency chains).
+func maxNesting(rs *rules.Ruleset) int {
+	prefixes := make([]rules.Prefix, 0, len(rs.Rules))
+	seen := map[rules.Prefix]bool{}
+	for _, r := range rs.Rules {
+		p := r.SrcIP.Canonical()
+		if !seen[p] {
+			seen[p] = true
+			prefixes = append(prefixes, p)
+		}
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Len < prefixes[j].Len })
+	depth := make([]int, len(prefixes))
+	best := 0
+	for i, p := range prefixes {
+		depth[i] = 1
+		for j := 0; j < i; j++ {
+			if prefixes[j].Len < p.Len && prefixes[j].Contains(p.Addr) && depth[j]+1 > depth[i] {
+				depth[i] = depth[j] + 1
+			}
+		}
+		if depth[i] > best {
+			best = depth[i]
+		}
+	}
+	return best
+}
+
+// String renders the stats as an aligned report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rules %d, entries %d (%.2fx expansion)\n", s.Rules, s.Entries, s.ExpansionFactor)
+	fmt.Fprintf(&b, "wildcards: src %.1f%%, dst %.1f%%, proto %.1f%%; simple ports %.1f%%\n",
+		s.SrcWildcardFrac*100, s.DstWildcardFrac*100, s.ProtoWildFrac*100, s.ExactPortFrac*100)
+	fmt.Fprintf(&b, "sampled pairwise overlap %.3f%%, max src-prefix nesting depth %d\n",
+		s.OverlapFraction*100, s.MaxNestingDepth)
+	var lens []int
+	for l := range s.PrefixLenBuckets {
+		lens = append(lens, l)
+	}
+	sort.Ints(lens)
+	b.WriteString("src prefix lengths:")
+	for _, l := range lens {
+		fmt.Fprintf(&b, " /%d:%d", l, s.PrefixLenBuckets[l])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,714 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"catcam/internal/bitvec"
+	"catcam/internal/rules"
+	"catcam/internal/sram"
+	"catcam/internal/ternary"
+)
+
+// ErrFull is returned when no subtable can accommodate an insertion.
+var ErrFull = errors.New("core: device full")
+
+// ErrNotFound is returned when a delete names an unknown rule.
+var ErrNotFound = errors.New("core: rule not present")
+
+// Config sizes a CATCAM device.
+type Config struct {
+	// Subtables is the number of subtables (256 in the prototype).
+	Subtables int
+	// SubtableCapacity is the entry count per subtable (256).
+	SubtableCapacity int
+	// KeyWidth is the search-key width in ternary bits; it must be a
+	// multiple of the match subarray width (160). The prototype uses
+	// 640 (four 160-bit subarrays searched in parallel).
+	KeyWidth int
+	// FrequencyMHz is the operating clock (500 in the prototype).
+	FrequencyMHz float64
+	// ChainedReallocation is an ablation switch (§IV-B scenario 3): when
+	// set, an eviction whose successor subtable is also full cascades
+	// into it — evicting *its* maximum onward — instead of assigning a
+	// fresh subtable. This reproduces the "reallocation chain" the
+	// paper's design explicitly breaks; update cost becomes O(k) in the
+	// subtable count. Off in the paper's design.
+	ChainedReallocation bool
+}
+
+// Prototype returns the paper's system configuration (§VII, Table II):
+// (160b × 4) × 256 × 256 at 500 MHz — 64K entries, 40 Mb.
+func Prototype() Config {
+	return Config{Subtables: 256, SubtableCapacity: 256, KeyWidth: 640, FrequencyMHz: 500}
+}
+
+// Compact returns a single-subarray configuration (160-bit keys) that
+// holds the same entry count but searches one subarray per subtable —
+// used by the update-cost experiments where key width is irrelevant.
+func Compact() Config {
+	return Config{Subtables: 256, SubtableCapacity: 256, KeyWidth: 160, FrequencyMHz: 500}
+}
+
+// UpdateClass distinguishes the paper's cycle classes (§VIII-A).
+type UpdateClass int
+
+// Update classes with their cycle costs.
+const (
+	// ClassInsertDirect: rule written into a free slot of its target
+	// subtable (or a freshly assigned one): 3 cycles.
+	ClassInsertDirect UpdateClass = iota
+	// ClassInsertRealloc: target full, one rule evicted and reinserted
+	// elsewhere: 5 cycles.
+	ClassInsertRealloc
+	// ClassDelete: entry invalidation: 1 cycle.
+	ClassDelete
+)
+
+// Cycles returns the cycle cost of the class.
+func (c UpdateClass) Cycles() uint64 {
+	switch c {
+	case ClassInsertDirect:
+		return 3
+	case ClassInsertRealloc:
+		return 5
+	case ClassDelete:
+		return 1
+	}
+	return 0
+}
+
+// Stats aggregates device activity.
+type Stats struct {
+	Lookups        uint64
+	Inserts        uint64
+	Deletes        uint64
+	Reallocations  uint64 // rules moved between subtables
+	DirectInserts  uint64 // 3-cycle inserts
+	ReallocInserts uint64 // 5-cycle inserts
+	UpdateCycles   uint64
+	LookupCycles   uint64 // pipelined: 1/lookup after 2-cycle fill
+	FreshSubtables uint64 // subtables assigned at runtime
+}
+
+// location records where an entry lives.
+type location struct {
+	st   int
+	slot int
+}
+
+// Device is a complete CATCAM instance.
+type Device struct {
+	cfg    Config
+	subs   []*Subtable
+	global *sram.Array
+
+	// meta is the metadata cache (§VI): per-subtable activity, maximum
+	// rank, and the rule locator.
+	active []bool
+	maxOf  []Rank
+	// order lists active subtable IDs sorted ascending by max rank —
+	// the interval sequence. The firmware-free scheduler walks it.
+	order []int
+	// freeSubs holds inactive subtable IDs available for assignment.
+	freeSubs []int
+	// locs maps an entry key (ruleID, seq) to its location.
+	locs map[entryKey]location
+	// seqCounter makes ranks unique across expansion entries.
+	seqCounter int
+
+	stats Stats
+}
+
+type entryKey struct {
+	ruleID int
+	seq    int
+}
+
+// NewDevice builds a CATCAM device from the configuration, using the
+// paper's Table I array parameters scaled to the configured geometry.
+func NewDevice(cfg Config) *Device {
+	if cfg.Subtables <= 0 || cfg.SubtableCapacity <= 0 {
+		panic(fmt.Sprintf("core: invalid config %+v", cfg))
+	}
+	if cfg.FrequencyMHz == 0 {
+		cfg.FrequencyMHz = 500
+	}
+	matchP := sram.MatchMatrixParams()
+	matchP.Rows = cfg.SubtableCapacity
+	if cfg.KeyWidth == 0 {
+		cfg.KeyWidth = matchP.Cols
+	}
+	if cfg.KeyWidth%matchP.Cols != 0 {
+		panic(fmt.Sprintf("core: key width %d not a multiple of subarray width %d",
+			cfg.KeyWidth, matchP.Cols))
+	}
+	prioP := sram.PriorityMatrixParams()
+	prioP.Rows, prioP.Cols = cfg.SubtableCapacity, cfg.SubtableCapacity
+
+	globalP := sram.PriorityMatrixParams()
+	globalP.Rows, globalP.Cols = cfg.Subtables, cfg.Subtables
+
+	d := &Device{
+		cfg:    cfg,
+		subs:   make([]*Subtable, cfg.Subtables),
+		global: sram.NewArray(globalP),
+		active: make([]bool, cfg.Subtables),
+		maxOf:  make([]Rank, cfg.Subtables),
+		locs:   make(map[entryKey]location),
+	}
+	for i := range d.subs {
+		d.subs[i] = NewSubtable(i, cfg.SubtableCapacity, cfg.KeyWidth, matchP, prioP)
+	}
+	for i := cfg.Subtables - 1; i >= 0; i-- {
+		d.freeSubs = append(d.freeSubs, i)
+	}
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ResetStats zeroes device statistics (array stats are separate; see
+// ArrayStats).
+func (d *Device) ResetStats() { d.stats = Stats{} }
+
+// Len returns the number of stored entries (post range expansion).
+func (d *Device) Len() int { return len(d.locs) }
+
+// CapacityEntries returns total entry slots.
+func (d *Device) CapacityEntries() int { return d.cfg.Subtables * d.cfg.SubtableCapacity }
+
+// ActiveSubtables returns the number of subtables in use.
+func (d *Device) ActiveSubtables() int { return len(d.order) }
+
+// CyclesToNanos converts cycles to nanoseconds at the configured clock.
+func (d *Device) CyclesToNanos(cycles uint64) float64 {
+	return float64(cycles) * 1e3 / d.cfg.FrequencyMHz
+}
+
+// padWord widens a ternary word to the device key width with trailing
+// wildcards.
+func (d *Device) padWord(w ternary.Word) ternary.Word {
+	if w.Width() == d.cfg.KeyWidth {
+		return w
+	}
+	if w.Width() > d.cfg.KeyWidth {
+		panic(fmt.Sprintf("core: word width %d exceeds key width %d", w.Width(), d.cfg.KeyWidth))
+	}
+	out := ternary.NewWord(d.cfg.KeyWidth)
+	out.Slot(0, w)
+	return out
+}
+
+// padKey widens a search key with trailing zeros.
+func (d *Device) padKey(k ternary.Key) ternary.Key {
+	if k.Width() == d.cfg.KeyWidth {
+		return k
+	}
+	if k.Width() > d.cfg.KeyWidth {
+		panic(fmt.Sprintf("core: key width %d exceeds device width %d", k.Width(), d.cfg.KeyWidth))
+	}
+	out := ternary.NewKey(d.cfg.KeyWidth)
+	out.SlotKey(0, k)
+	return out
+}
+
+// LookupKey performs one pipelined lookup (§VI): (1) the key is
+// broadcast to every active subtable's match matrix; (2) the global
+// match vector — one bit per subtable with any local match — traverses
+// the global priority matrix; (3) the chosen subtable's local priority
+// matrix reduces its match vector to the report vector. Amortized one
+// cycle per lookup at full pipeline.
+func (d *Device) LookupKey(k ternary.Key) (Entry, bool) {
+	k = d.padKey(k)
+	d.stats.Lookups++
+	d.stats.LookupCycles++
+
+	globalMatch := bitvec.New(d.cfg.Subtables)
+	locals := make(map[int]*bitvec.Vector, 4)
+	for _, id := range d.order {
+		mv := d.subs[id].Search(k)
+		if mv.Any() {
+			globalMatch.Set(id)
+			locals[id] = mv
+		}
+	}
+	if !globalMatch.Any() {
+		return Entry{}, false
+	}
+	report := d.global.ColumnNOR(globalMatch)
+	if !report.IsOneHot() {
+		panic(fmt.Sprintf("core: global report not one-hot: %s", report))
+	}
+	winner := report.First()
+	slot := d.subs[winner].Decide(locals[winner])
+	return d.subs[winner].ReadEntryMeta(slot), true
+}
+
+// Lookup classifies a packet header and returns the winning action.
+func (d *Device) Lookup(h rules.Header) (int, bool) {
+	e, ok := d.LookupKey(rules.EncodeHeader(h))
+	if !ok {
+		return 0, false
+	}
+	return e.Action, true
+}
+
+// UpdateResult describes the cost of one update request.
+type UpdateResult struct {
+	Class        UpdateClass
+	Cycles       uint64
+	Reallocated  int // entries moved between subtables (0 or 1 per entry)
+	FreshTables  int // subtables assigned during this update
+	StoreCompare uint64
+}
+
+// InsertRule inserts all range-expansion entries of r. On failure the
+// already-inserted entries of this rule are rolled back and ErrFull is
+// returned.
+func (d *Device) InsertRule(r rules.Rule) (UpdateResult, error) {
+	var total UpdateResult
+	words := r.Encode()
+	inserted := make([]entryKey, 0, len(words))
+	for _, w := range words {
+		seq := d.seqCounter
+		d.seqCounter++
+		e := Entry{Word: d.padWord(w), Rank: Rank{Priority: r.Priority, RuleID: r.ID, Seq: seq}, Action: r.Action}
+		res, err := d.insertEntry(e)
+		if err != nil {
+			for _, k := range inserted {
+				d.deleteEntry(k)
+			}
+			return total, err
+		}
+		inserted = append(inserted, entryKey{r.ID, seq})
+		total.Cycles += res.Cycles
+		total.Reallocated += res.Reallocated
+		total.FreshTables += res.FreshTables
+		total.Class = res.Class // class of the last entry; callers use Cycles
+	}
+	return total, nil
+}
+
+// InsertWord inserts one pre-encoded ternary entry — the path a
+// programmable-pipeline front end (e.g. a dRMT key extractor, see
+// internal/phv) uses when rules are authored as field specs rather than
+// 5-tuples. The word is padded to the device key width; ruleID is the
+// handle for DeleteRule.
+func (d *Device) InsertWord(w ternary.Word, priority, ruleID, action int) (UpdateResult, error) {
+	seq := d.seqCounter
+	d.seqCounter++
+	e := Entry{Word: d.padWord(w), Rank: Rank{Priority: priority, RuleID: ruleID, Seq: seq}, Action: action}
+	return d.insertEntry(e)
+}
+
+// DeleteRule removes every entry of the rule.
+func (d *Device) DeleteRule(ruleID int) (UpdateResult, error) {
+	var keys []entryKey
+	for k := range d.locs {
+		if k.ruleID == ruleID {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return UpdateResult{}, ErrNotFound
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].seq < keys[j].seq })
+	var total UpdateResult
+	total.Class = ClassDelete
+	for _, k := range keys {
+		d.deleteEntry(k)
+		total.Cycles += ClassDelete.Cycles()
+	}
+	return total, nil
+}
+
+// ModifyRule replaces a rule with a new version, per §III-C:
+// "Modification can be processed by deleting the original rule then
+// inserting its new version." The new rule keeps the given ID; cycle
+// costs of both phases are reported together.
+func (d *Device) ModifyRule(ruleID int, newRule rules.Rule) (UpdateResult, error) {
+	if newRule.ID != ruleID {
+		return UpdateResult{}, fmt.Errorf("core: modify must keep rule ID %d, got %d", ruleID, newRule.ID)
+	}
+	del, err := d.DeleteRule(ruleID)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	ins, err := d.InsertRule(newRule)
+	ins.Cycles += del.Cycles
+	return ins, err
+}
+
+// targetSubtable locates the interval containing rank r: the active
+// subtable with the smallest max >= r. Returns index into d.order, or
+// len(d.order) when r exceeds every max.
+func (d *Device) targetSubtable(r Rank) int {
+	return sort.Search(len(d.order), func(i int) bool {
+		return !d.maxOf[d.order[i]].Less(r) // maxOf >= r
+	})
+}
+
+// insertEntry is the interval scheduler (§IV-B). It returns the cycle
+// class actually taken.
+func (d *Device) insertEntry(e Entry) (UpdateResult, error) {
+	var res UpdateResult
+	pos := d.targetSubtable(e.Rank)
+
+	if pos == len(d.order) {
+		// Rank above every interval: extend the top subtable if it has
+		// room, otherwise assign a fresh subtable above everything.
+		if len(d.order) > 0 {
+			top := d.order[len(d.order)-1]
+			if !d.subs[top].Full() {
+				d.placeEntry(top, e)
+				d.setMax(top, e.Rank)
+				res.Class = ClassInsertDirect
+				d.account(&res)
+				return res, nil
+			}
+		}
+		id, ok := d.assignSubtable(e.Rank, len(d.order))
+		if !ok {
+			return res, ErrFull
+		}
+		d.placeEntry(id, e)
+		res.Class = ClassInsertDirect
+		res.FreshTables = 1
+		d.account(&res)
+		return res, nil
+	}
+
+	target := d.order[pos]
+	if !d.subs[target].Full() {
+		d.placeEntry(target, e)
+		res.Class = ClassInsertDirect
+		d.account(&res)
+		return res, nil
+	}
+
+	// Target full: evict its maximum, which belongs to the next
+	// interval. Check feasibility BEFORE mutating.
+	nextPos := pos + 1
+	var evictDst int
+	fresh, cascade := false, false
+	switch {
+	case nextPos < len(d.order) && !d.subs[d.order[nextPos]].Full():
+		evictDst = d.order[nextPos]
+	case d.cfg.ChainedReallocation && nextPos < len(d.order) && d.chainFeasible(nextPos):
+		cascade = true
+	case len(d.freeSubs) > 0:
+		fresh = true
+	default:
+		return res, ErrFull
+	}
+
+	st := d.subs[target]
+	maxSlot := st.RecomputeMax() // 1 cycle: locate the rule to evict
+	evicted := st.ReadEntry(maxSlot)
+	st.Delete(maxSlot)
+	d.forgetLoc(evicted)
+
+	// New rule takes the evicted slot (3 cycles, parallel matrices).
+	d.placeEntryAt(target, maxSlot, e)
+	// The target's max shrinks to its new maximum (1 cycle, all-true
+	// trick); the interval boundary moves but the order is unchanged.
+	d.refreshMax(target)
+
+	if cascade {
+		// Ablation path: push the evicted rule through the (full) next
+		// subtable, which evicts its own maximum onward — the O(k)
+		// reallocation chain. Cycle/statistics accounting folds the
+		// whole chain into this request.
+		sub, err := d.insertEntry(evicted)
+		if err != nil {
+			// Defensive: chainFeasible guarantees this cannot happen,
+			// but re-home the evicted rule rather than lose it.
+			id, ok := d.assignSubtable(evicted.Rank, d.targetSubtable(evicted.Rank))
+			if !ok {
+				return res, ErrFull
+			}
+			d.placeEntry(id, evicted)
+			res.FreshTables++
+		} else {
+			// The cascaded insert self-accounted as its own request;
+			// fold its costs into ours and undo the double count.
+			d.stats.Inserts--
+			if sub.Class == ClassInsertRealloc {
+				d.stats.ReallocInserts--
+			} else {
+				d.stats.DirectInserts--
+			}
+			d.stats.UpdateCycles -= sub.Cycles
+			res.Reallocated += sub.Reallocated
+			res.FreshTables += sub.FreshTables
+			res.Cycles += sub.Cycles
+		}
+		res.Class = ClassInsertRealloc
+		res.Reallocated++
+		extra := res.Cycles
+		d.account(&res)
+		// account() set res.Cycles to the base class cost; add the
+		// chain's extra cycles on top for both the result and the
+		// device counter.
+		res.Cycles += extra
+		d.stats.UpdateCycles += extra
+		return res, nil
+	}
+
+	// Reinsert the evicted rule.
+	if fresh {
+		id, ok := d.assignSubtable(evicted.Rank, nextPos)
+		if !ok {
+			panic("core: fresh subtable vanished")
+		}
+		evictDst = id
+		res.FreshTables = 1
+	}
+	d.placeEntry(evictDst, evicted)
+	if d.maxOf[evictDst].Less(evicted.Rank) {
+		d.setMax(evictDst, evicted.Rank)
+	}
+
+	res.Class = ClassInsertRealloc
+	res.Reallocated = 1
+	d.account(&res)
+	return res, nil
+}
+
+// chainFeasible reports whether a reallocation chain starting at order
+// position pos can terminate: some subtable at or beyond pos has room,
+// or a fresh subtable is available for the chain's end.
+func (d *Device) chainFeasible(pos int) bool {
+	if len(d.freeSubs) > 0 {
+		return true
+	}
+	for i := pos; i < len(d.order); i++ {
+		if !d.subs[d.order[i]].Full() {
+			return true
+		}
+	}
+	return false
+}
+
+// account finalizes cycle bookkeeping for an insert result.
+func (d *Device) account(res *UpdateResult) {
+	res.Cycles = res.Class.Cycles()
+	d.stats.Inserts++
+	d.stats.UpdateCycles += res.Cycles
+	switch res.Class {
+	case ClassInsertDirect:
+		d.stats.DirectInserts++
+	case ClassInsertRealloc:
+		d.stats.ReallocInserts++
+		d.stats.Reallocations++
+	}
+	d.stats.FreshSubtables += uint64(res.FreshTables)
+}
+
+// placeEntry inserts e into any free slot of subtable id.
+func (d *Device) placeEntry(id int, e Entry) {
+	slot := d.subs[id].FreeSlot()
+	if slot < 0 {
+		panic(fmt.Sprintf("core: subtable %d unexpectedly full", id))
+	}
+	d.placeEntryAt(id, slot, e)
+}
+
+func (d *Device) placeEntryAt(id, slot int, e Entry) {
+	d.subs[id].Insert(slot, e)
+	d.locs[entryKey{e.Rank.RuleID, e.Rank.Seq}] = location{st: id, slot: slot}
+}
+
+func (d *Device) forgetLoc(e Entry) {
+	delete(d.locs, entryKey{e.Rank.RuleID, e.Rank.Seq})
+}
+
+// assignSubtable activates a fresh subtable whose interval slots in at
+// position pos of the order, with the given initial max rank, and
+// updates the global priority matrix (row + column write, overlapped
+// with the local update per §VIII-A).
+func (d *Device) assignSubtable(max Rank, pos int) (int, bool) {
+	if len(d.freeSubs) == 0 {
+		return 0, false
+	}
+	id := d.freeSubs[len(d.freeSubs)-1]
+	d.freeSubs = d.freeSubs[:len(d.freeSubs)-1]
+	d.active[id] = true
+	d.maxOf[id] = max
+
+	d.order = append(d.order, 0)
+	copy(d.order[pos+1:], d.order[pos:])
+	d.order[pos] = id
+
+	d.writeGlobalRelations(id)
+	return id, true
+}
+
+// releaseSubtable deactivates an emptied subtable and clears its global
+// relations.
+func (d *Device) releaseSubtable(id int) {
+	for i, x := range d.order {
+		if x == id {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+	d.active[id] = false
+	d.maxOf[id] = Rank{}
+	d.freeSubs = append(d.freeSubs, id)
+	// Clear row and column so the matrix matches the metadata exactly.
+	d.global.WriteRow(id, bitvec.New(d.cfg.Subtables))
+	d.global.WriteColumn(id, bitvec.New(d.cfg.Subtables))
+}
+
+// writeGlobalRelations writes subtable id's row and column of the
+// global priority matrix from the metadata comparisons (the same
+// row/column scheme as a rule insert, §IV-A).
+func (d *Device) writeGlobalRelations(id int) {
+	row := bitvec.New(d.cfg.Subtables)
+	col := bitvec.New(d.cfg.Subtables)
+	for _, other := range d.order {
+		if other == id {
+			continue
+		}
+		if d.maxOf[other].Less(d.maxOf[id]) {
+			row.Set(other)
+		} else {
+			col.Set(other)
+		}
+	}
+	d.global.WriteRow(id, row)
+	d.global.WriteColumn(id, col)
+}
+
+// setMax raises subtable id's max rank (its position in the order is
+// unchanged when the new max still sits below the successor's interval;
+// raising the top subtable's max is always order-preserving).
+func (d *Device) setMax(id int, r Rank) {
+	d.maxOf[id] = r
+}
+
+// refreshMax re-derives subtable id's max after an eviction or a
+// deletion of its maximum, releasing the subtable when it emptied.
+func (d *Device) refreshMax(id int) {
+	slot := d.subs[id].RecomputeMax()
+	if slot < 0 {
+		d.releaseSubtable(id)
+		return
+	}
+	r, _ := d.subs[id].Rank(slot)
+	d.maxOf[id] = r
+}
+
+// deleteEntry removes one entry (1 cycle). If the subtable max was
+// deleted the metadata max is re-derived; an emptied subtable returns
+// to the free pool.
+func (d *Device) deleteEntry(k entryKey) {
+	loc, ok := d.locs[k]
+	if !ok {
+		return
+	}
+	st := d.subs[loc.st]
+	r, _ := st.Rank(loc.slot)
+	st.Delete(loc.slot)
+	delete(d.locs, k)
+	d.stats.Deletes++
+	d.stats.UpdateCycles += ClassDelete.Cycles()
+	if r == d.maxOf[loc.st] {
+		d.refreshMax(loc.st)
+	}
+}
+
+// ArrayStats aggregates the SRAM-array statistics across the device:
+// all match matrices, all local priority matrices, and the global
+// priority matrix — the measured counterpart of the Fig 16 energy
+// model.
+func (d *Device) ArrayStats() (match, prio, global sram.Stats) {
+	for _, st := range d.subs {
+		m, p := st.Stats()
+		match.Add(m)
+		prio.Add(p)
+	}
+	global = d.global.Stats()
+	return match, prio, global
+}
+
+// ResetArrayStats zeroes every array's counters.
+func (d *Device) ResetArrayStats() {
+	for _, st := range d.subs {
+		st.ResetStats()
+	}
+	d.global.ResetStats()
+}
+
+// Occupancy returns stored entries / total slots.
+func (d *Device) Occupancy() float64 {
+	return float64(d.Len()) / float64(d.CapacityEntries())
+}
+
+// CheckInvariant verifies the scheduler's structural invariants: the
+// order is strictly sorted by max rank, every entry's rank lies in its
+// subtable's interval, subtable maxes match their contents, and the
+// global priority matrix encodes the order. Test support.
+func (d *Device) CheckInvariant() error {
+	for i := 1; i < len(d.order); i++ {
+		if !d.maxOf[d.order[i-1]].Less(d.maxOf[d.order[i]]) {
+			return fmt.Errorf("core: order not strictly increasing at %d", i)
+		}
+	}
+	for i, id := range d.order {
+		st := d.subs[id]
+		if st.Empty() {
+			return fmt.Errorf("core: active subtable %d empty", id)
+		}
+		var lower Rank
+		hasLower := i > 0
+		if hasLower {
+			lower = d.maxOf[d.order[i-1]]
+		}
+		maxSeen := Rank{}
+		first := true
+		for slot := 0; slot < st.Capacity(); slot++ {
+			r, ok := st.Rank(slot)
+			if !ok {
+				continue
+			}
+			if hasLower && !lower.Less(r) {
+				return fmt.Errorf("core: subtable %d rank %v below interval floor %v", id, r, lower)
+			}
+			if d.maxOf[id].Less(r) {
+				return fmt.Errorf("core: subtable %d rank %v above its max %v", id, r, d.maxOf[id])
+			}
+			if first || maxSeen.Less(r) {
+				maxSeen, first = r, false
+			}
+		}
+		if maxSeen != d.maxOf[id] {
+			return fmt.Errorf("core: subtable %d stored max %v != metadata %v", id, maxSeen, d.maxOf[id])
+		}
+		if err := st.CheckInvariant(); err != nil {
+			return err
+		}
+	}
+	for i, a := range d.order {
+		for j, b := range d.order {
+			want := j < i // a beats b iff a's interval is above b's
+			if got := d.global.Bit(a, b); got != want {
+				return fmt.Errorf("core: global matrix [%d][%d]=%v, want %v", a, b, got, want)
+			}
+		}
+	}
+	for k, loc := range d.locs {
+		r, ok := d.subs[loc.st].Rank(loc.slot)
+		if !ok || r.RuleID != k.ruleID || r.Seq != k.seq {
+			return fmt.Errorf("core: locator desync for %+v", k)
+		}
+	}
+	return nil
+}

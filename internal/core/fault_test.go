@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"catcam/internal/bitvec"
+	"catcam/internal/ternary"
+)
+
+// Fault injection: the priority decision's one-hot guarantee doubles as
+// an integrity check. Corrupting the antisymmetry of the priority
+// matrix (a stuck-at or disturbed cell) makes two matched columns
+// survive the NOR — and the decision path detects it.
+func TestFaultInjectionPriorityMatrixDetected(t *testing.T) {
+	st := testSubtable(8, 4)
+	st.Insert(1, Entry{Word: ternary.MustParse("1***"), Rank: Rank{Priority: 1, RuleID: 0}})
+	st.Insert(4, Entry{Word: ternary.MustParse("10**"), Rank: Rank{Priority: 5, RuleID: 1}})
+	st.Insert(6, Entry{Word: ternary.MustParse("100*"), Rank: Rank{Priority: 9, RuleID: 2}})
+
+	// Healthy decision works.
+	mv := st.Search(ternary.MustParseKey("1000"))
+	if slot := st.Decide(mv.Copy()); slot != 6 {
+		t.Fatalf("pre-fault winner = %d", slot)
+	}
+
+	// Inject: clear P[6][4] — the winner's row bit that suppresses the
+	// loser at slot 4. With P[4][6] already 0, neither matched column
+	// is suppressed and the report vector carries two bits.
+	row := st.prio.ReadRow(6)
+	row.Clear(4)
+	st.prio.WriteRow(6, row)
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("corrupted priority matrix not detected")
+		}
+	}()
+	st.Decide(mv)
+}
+
+// CheckInvariant catches the same corruption statically.
+func TestFaultInjectionCaughtByInvariant(t *testing.T) {
+	st := testSubtable(8, 4)
+	st.Insert(0, Entry{Word: ternary.MustParse("1***"), Rank: Rank{Priority: 1, RuleID: 0}})
+	st.Insert(1, Entry{Word: ternary.MustParse("10**"), Rank: Rank{Priority: 5, RuleID: 1}})
+	if err := st.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	row := st.prio.ReadRow(1)
+	row.Clear(0)
+	st.prio.WriteRow(1, row)
+	if err := st.CheckInvariant(); err == nil {
+		t.Fatal("invariant missed the corrupted cell")
+	}
+}
+
+// A symmetric fault — a spurious 1 making two rules each "beat" the
+// other — also breaks one-hotness and is detected.
+func TestFaultInjectionMutualDominance(t *testing.T) {
+	st := testSubtable(8, 4)
+	st.Insert(2, Entry{Word: ternary.MustParse("1***"), Rank: Rank{Priority: 1, RuleID: 0}})
+	st.Insert(5, Entry{Word: ternary.MustParse("10**"), Rank: Rank{Priority: 5, RuleID: 1}})
+	// P[2][5] = 1 (spurious: rule0 also beats rule1 now).
+	row := st.prio.ReadRow(2)
+	row.Set(5)
+	st.prio.WriteRow(2, row)
+
+	mv := bitvec.FromIndices(8, 2, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mutual dominance not detected")
+		}
+	}()
+	st.Decide(mv)
+}

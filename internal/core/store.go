@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"catcam/internal/bitvec"
+)
+
+// PriorityStore is the per-subtable register file (a 256×16 RF in the
+// prototype) holding the priority of every stored rule. During
+// insertion the new rule's priority is broadcast against all stored
+// priorities with O(n) parallel comparators (§III-C, §VI), producing
+// the row and column vectors written into the priority matrix.
+type PriorityStore struct {
+	ranks []Rank
+	valid *bitvec.Vector
+
+	compares uint64 // comparator activations, for firmware-op accounting
+}
+
+// NewPriorityStore returns an empty store with the given slot capacity.
+func NewPriorityStore(capacity int) *PriorityStore {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("core: invalid priority store capacity %d", capacity))
+	}
+	return &PriorityStore{ranks: make([]Rank, capacity), valid: bitvec.New(capacity)}
+}
+
+// Capacity returns the slot count.
+func (s *PriorityStore) Capacity() int { return len(s.ranks) }
+
+// Count returns the number of valid slots.
+func (s *PriorityStore) Count() int { return s.valid.Count() }
+
+// Compares returns the accumulated comparator activations.
+func (s *PriorityStore) Compares() uint64 { return s.compares }
+
+// Set records rank at slot.
+func (s *PriorityStore) Set(slot int, r Rank) {
+	s.ranks[slot] = r
+	s.valid.Set(slot)
+}
+
+// Clear invalidates slot.
+func (s *PriorityStore) Clear(slot int) {
+	s.valid.Clear(slot)
+	s.ranks[slot] = Rank{}
+}
+
+// Rank returns the rank stored at slot.
+func (s *PriorityStore) Rank(slot int) (Rank, bool) {
+	if !s.valid.Get(slot) {
+		return Rank{}, false
+	}
+	return s.ranks[slot], true
+}
+
+// Valid returns a copy of the valid mask.
+func (s *PriorityStore) Valid() *bitvec.Vector { return s.valid.Copy() }
+
+// CompareAll broadcasts the new rank against every valid slot and
+// returns the two vectors to write into the priority matrix for the new
+// rule's slot: row[j] = new beats slot j, col[i] = slot i beats new.
+// One comparator fires per valid slot (single-cycle in hardware).
+func (s *PriorityStore) CompareAll(r Rank) (row, col *bitvec.Vector) {
+	row = bitvec.New(len(s.ranks))
+	col = bitvec.New(len(s.ranks))
+	s.valid.ForEach(func(i int) bool {
+		s.compares++
+		if r.Beats(s.ranks[i]) {
+			row.Set(i)
+		} else {
+			col.Set(i)
+		}
+		return true
+	})
+	return row, col
+}
+
+// MaxSlot returns the slot holding the highest rank, or -1 when empty.
+// This is metadata bookkeeping (the hardware derives it with the
+// all-true priority decision; Subtable.RecomputeMax does that), kept
+// here for verification.
+func (s *PriorityStore) MaxSlot() int {
+	best := -1
+	s.valid.ForEach(func(i int) bool {
+		if best == -1 || s.ranks[best].Less(s.ranks[i]) {
+			best = i
+		}
+		return true
+	})
+	return best
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"testing"
+
+	"catcam/internal/bitvec"
+	"catcam/internal/sram"
+	"catcam/internal/ternary"
+)
+
+func testSubtable(cap, width int) *Subtable {
+	mp := sram.MatchMatrixParams()
+	mp.Rows, mp.Cols = cap, width
+	pp := sram.PriorityMatrixParams()
+	pp.Rows, pp.Cols = cap, cap
+	return NewSubtable(0, cap, width, mp, pp)
+}
+
+func TestRankOrder(t *testing.T) {
+	a := Rank{Priority: 1, RuleID: 1, Seq: 1}
+	b := Rank{Priority: 2, RuleID: 0, Seq: 0}
+	c := Rank{Priority: 1, RuleID: 2, Seq: 0}
+	d := Rank{Priority: 1, RuleID: 1, Seq: 2}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("priority ordering broken")
+	}
+	if !a.Less(c) || c.Less(a) {
+		t.Fatal("rule-ID tie-break broken")
+	}
+	if !a.Less(d) || d.Less(a) {
+		t.Fatal("seq tie-break broken")
+	}
+	if a.Less(a) || !a.Beats(Rank{}) == a.Less(Rank{}) && a.Beats(a) {
+		t.Fatal("order not strict")
+	}
+	if a.String() == "" {
+		t.Fatal("empty string form")
+	}
+}
+
+func TestPriorityStoreCompareAll(t *testing.T) {
+	s := NewPriorityStore(8)
+	s.Set(1, Rank{Priority: 10})
+	s.Set(3, Rank{Priority: 30})
+	s.Set(5, Rank{Priority: 50})
+	row, col := s.CompareAll(Rank{Priority: 40})
+	if got := row.Indices(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("row = %v, want [1 3]", got)
+	}
+	if got := col.Indices(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("col = %v, want [5]", got)
+	}
+	if s.Compares() != 3 {
+		t.Fatalf("Compares = %d", s.Compares())
+	}
+	if s.MaxSlot() != 5 {
+		t.Fatalf("MaxSlot = %d", s.MaxSlot())
+	}
+	s.Clear(5)
+	if s.MaxSlot() != 3 {
+		t.Fatalf("MaxSlot after clear = %d", s.MaxSlot())
+	}
+	if _, ok := s.Rank(5); ok {
+		t.Fatal("cleared slot still has rank")
+	}
+	if s.Count() != 2 || s.Capacity() != 8 {
+		t.Fatal("counts wrong")
+	}
+}
+
+func TestPriorityStoreEmptyMax(t *testing.T) {
+	if NewPriorityStore(4).MaxSlot() != -1 {
+		t.Fatal("empty store MaxSlot != -1")
+	}
+}
+
+// Reproduce the paper's Fig 5 end to end in one subtable: rules R0..R3
+// at slots 1,3,4,2 (scattered — addresses don't encode priority), input
+// 1010 must report R2.
+func TestSubtableFig5(t *testing.T) {
+	st := testSubtable(8, 4)
+	put := func(slot int, word string, prio, id int) {
+		st.Insert(slot, Entry{Word: ternary.MustParse(word), Rank: Rank{Priority: prio, RuleID: id}, Action: id})
+	}
+	put(1, "10**", 1, 0) // R0
+	put(3, "0110", 2, 1) // R1
+	put(4, "1010", 4, 2) // R2
+	put(2, "101*", 3, 3) // R3
+
+	mv := st.Search(ternary.MustParseKey("1010"))
+	if got := mv.Indices(); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("match vector = %v, want [1 2 4]", got)
+	}
+	slot := st.Decide(mv)
+	if slot != 4 {
+		t.Fatalf("Decide = slot %d, want 4 (R2)", slot)
+	}
+	if st.Action(slot) != 2 {
+		t.Fatalf("action = %d", st.Action(slot))
+	}
+	if err := st.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Fig 6: R4 (priority between R3 and R0... actually priority 0 lowest in
+// Fig 2's table is R4 prio 0? The paper's R4=1*** has priority 0 —
+// lowest). Insert into any empty slot; lookups still correct.
+func TestSubtableInsertAnySlotFig6(t *testing.T) {
+	st := testSubtable(8, 4)
+	st.Insert(1, Entry{Word: ternary.MustParse("10**"), Rank: Rank{Priority: 1, RuleID: 0}, Action: 0})
+	st.Insert(3, Entry{Word: ternary.MustParse("0110"), Rank: Rank{Priority: 2, RuleID: 1}, Action: 1})
+	st.Insert(4, Entry{Word: ternary.MustParse("1010"), Rank: Rank{Priority: 4, RuleID: 2}, Action: 2})
+	st.Insert(2, Entry{Word: ternary.MustParse("101*"), Rank: Rank{Priority: 3, RuleID: 3}, Action: 3})
+	// R4 into empty slot 0 — no other entry touched.
+	st.Insert(0, Entry{Word: ternary.MustParse("1***"), Rank: Rank{Priority: 0, RuleID: 4}, Action: 4})
+
+	cases := []struct {
+		key  string
+		want int // action
+	}{
+		{"1010", 2}, // R2 wins
+		{"1011", 3}, // R3
+		{"1000", 0}, // R0
+		{"1100", 4}, // only R4
+		{"0110", 1}, // R1
+	}
+	for _, c := range cases {
+		mv := st.Search(ternary.MustParseKey(c.key))
+		slot := st.Decide(mv)
+		if slot < 0 || st.Action(slot) != c.want {
+			t.Fatalf("key %s: got slot %d action %d, want action %d",
+				c.key, slot, st.Action(slot), c.want)
+		}
+	}
+	if err := st.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubtableDecideEmpty(t *testing.T) {
+	st := testSubtable(4, 4)
+	if st.Decide(bitvec.New(4)) != -1 {
+		t.Fatal("empty match vector should yield -1")
+	}
+}
+
+func TestSubtableRecomputeMax(t *testing.T) {
+	st := testSubtable(8, 4)
+	if st.RecomputeMax() != -1 {
+		t.Fatal("empty subtable max != -1")
+	}
+	st.Insert(6, Entry{Word: ternary.MustParse("0000"), Rank: Rank{Priority: 5, RuleID: 0}})
+	st.Insert(2, Entry{Word: ternary.MustParse("0001"), Rank: Rank{Priority: 9, RuleID: 1}})
+	st.Insert(4, Entry{Word: ternary.MustParse("0010"), Rank: Rank{Priority: 7, RuleID: 2}})
+	if got := st.RecomputeMax(); got != 2 {
+		t.Fatalf("RecomputeMax = %d, want 2", got)
+	}
+	st.Delete(2)
+	if got := st.RecomputeMax(); got != 4 {
+		t.Fatalf("RecomputeMax after delete = %d, want 4", got)
+	}
+}
+
+func TestSubtableDeleteReinsert(t *testing.T) {
+	st := testSubtable(4, 4)
+	st.Insert(0, Entry{Word: ternary.MustParse("1***"), Rank: Rank{Priority: 1, RuleID: 0}})
+	st.Insert(1, Entry{Word: ternary.MustParse("11**"), Rank: Rank{Priority: 2, RuleID: 1}})
+	st.Delete(0)
+	if st.Count() != 1 || st.Full() || st.Empty() {
+		t.Fatal("counts wrong after delete")
+	}
+	// Reinsert into the same slot with a different rank: stale priority
+	// bits must be fully overwritten.
+	st.Insert(0, Entry{Word: ternary.MustParse("1***"), Rank: Rank{Priority: 9, RuleID: 2}})
+	mv := st.Search(ternary.MustParseKey("1100"))
+	if slot := st.Decide(mv); slot != 0 {
+		t.Fatalf("reinserted high-priority rule should win, got slot %d", slot)
+	}
+	if err := st.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubtablePanics(t *testing.T) {
+	st := testSubtable(4, 4)
+	st.Insert(1, Entry{Word: ternary.MustParse("0000"), Rank: Rank{Priority: 1}})
+	for i, f := range []func(){
+		func() { st.Insert(1, Entry{Word: ternary.MustParse("1111"), Rank: Rank{Priority: 2}}) },
+		func() { st.Delete(0) },
+		func() { st.ReadEntry(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSubtableReadEntry(t *testing.T) {
+	st := testSubtable(4, 4)
+	e := Entry{Word: ternary.MustParse("10*1"), Rank: Rank{Priority: 3, RuleID: 7}, Action: 70}
+	st.Insert(2, e)
+	got := st.ReadEntry(2)
+	if !got.Word.Equal(e.Word) || got.Rank != e.Rank || got.Action != 70 {
+		t.Fatalf("ReadEntry = %+v", got)
+	}
+}
+
+func TestSubtableCycleCosts(t *testing.T) {
+	st := testSubtable(4, 4)
+	st.Insert(0, Entry{Word: ternary.MustParse("0000"), Rank: Rank{Priority: 1}})
+	m, p := st.Stats()
+	// insert: 1 match write; priority: 1 row write (1cy) + 1 column write (2cy)
+	if m.Cycles != 1 {
+		t.Fatalf("match cycles = %d, want 1", m.Cycles)
+	}
+	if p.Cycles != 3 {
+		t.Fatalf("priority cycles = %d, want 3", p.Cycles)
+	}
+	st.ResetStats()
+	st.Search(ternary.MustParseKey("0000"))
+	m, p = st.Stats()
+	if m.Cycles != 1 || p.Cycles != 0 {
+		t.Fatalf("search cycles = %d/%d", m.Cycles, p.Cycles)
+	}
+}

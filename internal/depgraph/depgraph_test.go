@@ -1,0 +1,255 @@
+package depgraph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"catcam/internal/tcam"
+	"catcam/internal/ternary"
+)
+
+func entry(word string, prio, id int) tcam.Entry {
+	return tcam.Entry{Word: ternary.MustParse(word), Priority: prio, RuleID: id}
+}
+
+// Build the Fig 2 ruleset: R2(1010,p4) > R3(101*,p3) > R1(0110,p2) >
+// R0(10**,p1). Overlaps: R2~R3, R2~R0, R3~R0; R1 is independent.
+func fig2Graph() *Graph {
+	g := New()
+	g.Add(0, entry("10**", 1, 0))
+	g.Add(1, entry("0110", 2, 1))
+	g.Add(2, entry("1010", 4, 2))
+	g.Add(3, entry("101*", 3, 3))
+	return g
+}
+
+func sorted(xs []int) []int { sort.Ints(xs); return xs }
+
+func TestAddBuildsDependencies(t *testing.T) {
+	g := fig2Graph()
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if got := sorted(g.Uppers(0)); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Uppers(R0) = %v, want [2 3]", got)
+	}
+	if got := g.Uppers(2); len(got) != 0 {
+		t.Fatalf("Uppers(R2) = %v, want none", got)
+	}
+	if got := sorted(g.Lowers(2)); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("Lowers(R2) = %v, want [0 3]", got)
+	}
+	if g.UpperCount(1) != 0 || g.LowerCount(1) != 0 {
+		t.Fatal("R1 should be independent")
+	}
+	if g.UpperCount(0) != 2 || g.LowerCount(0) != 0 {
+		t.Fatal("counts wrong for R0")
+	}
+}
+
+func TestAddDuplicatePanics(t *testing.T) {
+	g := New()
+	g.Add(1, entry("1", 1, 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate handle accepted")
+		}
+	}()
+	g.Add(1, entry("0", 2, 2))
+}
+
+func TestRemove(t *testing.T) {
+	g := fig2Graph()
+	g.Remove(3)
+	if g.Len() != 3 {
+		t.Fatalf("Len after remove = %d", g.Len())
+	}
+	if got := sorted(g.Uppers(0)); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Uppers(R0) after remove = %v", got)
+	}
+	if got := g.Lowers(2); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Lowers(R2) after remove = %v", got)
+	}
+	if _, ok := g.Entry(3); ok {
+		t.Fatal("removed entry still present")
+	}
+}
+
+func TestRemoveUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("remove of unknown handle accepted")
+		}
+	}()
+	New().Remove(9)
+}
+
+func TestComparisonCounting(t *testing.T) {
+	g := New()
+	g.Add(0, entry("1***", 1, 0))
+	if g.Comparisons() != 0 {
+		t.Fatal("first add compared against nothing")
+	}
+	g.Add(1, entry("0***", 2, 1))
+	g.Add(2, entry("11**", 3, 2))
+	if g.Comparisons() != 3 { // 1 + 2
+		t.Fatalf("Comparisons = %d, want 3", g.Comparisons())
+	}
+	g.ResetCounters()
+	if g.Comparisons() != 0 || g.Traversals() != 0 {
+		t.Fatal("ResetCounters failed")
+	}
+}
+
+func TestTieBreakEdgesDirection(t *testing.T) {
+	g := New()
+	g.Add(0, entry("1*", 5, 0))
+	g.Add(1, entry("1*", 5, 1)) // same priority, larger ID wins
+	if got := g.Uppers(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Uppers(0) = %v: newer rule should win ties", got)
+	}
+}
+
+// Chain R_high subsumes R_mid subsumes R_low: the direct edge low→high
+// is implied by low→mid→high, so the reduced uppers of low contain only
+// mid.
+func TestReducedUppers(t *testing.T) {
+	g := New()
+	g.Add(0, entry("10**", 1, 0)) // low
+	g.Add(1, entry("101*", 2, 1)) // mid
+	g.Add(2, entry("1010", 3, 2)) // high
+	if got := sorted(g.Uppers(0)); len(got) != 2 {
+		t.Fatalf("full uppers = %v", got)
+	}
+	red := g.ReducedUppers(0)
+	if len(red) != 1 || red[0] != 1 {
+		t.Fatalf("ReducedUppers = %v, want [1]", red)
+	}
+	if g.Traversals() == 0 {
+		t.Fatal("reduction performed no counted traversal work")
+	}
+	redLow := g.ReducedLowers(2)
+	if len(redLow) != 1 || redLow[0] != 1 {
+		t.Fatalf("ReducedLowers = %v, want [1]", redLow)
+	}
+}
+
+func TestReducedUppersKeepsIndependentEdges(t *testing.T) {
+	g := New()
+	g.Add(0, entry("1***", 1, 0))
+	g.Add(1, entry("11**", 2, 1)) // overlaps 0, not 2
+	g.Add(2, entry("10**", 3, 2)) // overlaps 0, not 1
+	red := sorted(g.ReducedUppers(0))
+	if len(red) != 2 || red[0] != 1 || red[1] != 2 {
+		t.Fatalf("ReducedUppers = %v, want [1 2]", red)
+	}
+}
+
+func TestCheckAcyclic(t *testing.T) {
+	g := fig2Graph()
+	if err := g.CheckAcyclic(); err != nil {
+		t.Fatalf("acyclic graph flagged: %v", err)
+	}
+}
+
+func TestLongestChain(t *testing.T) {
+	g := New()
+	if g.LongestChain() != 0 {
+		t.Fatal("empty graph chain != 0")
+	}
+	g.Add(0, entry("10**", 1, 0))
+	g.Add(1, entry("101*", 2, 1))
+	g.Add(2, entry("1010", 3, 2))
+	g.Add(3, entry("0***", 9, 3)) // independent
+	if got := g.LongestChain(); got != 2 {
+		t.Fatalf("LongestChain = %d, want 2", got)
+	}
+}
+
+// Property: on random entries, up/down adjacency are mirror images and
+// the graph stays acyclic.
+func TestQuickMirrorAndAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		g := New()
+		n := 2 + rng.Intn(40)
+		for h := 0; h < n; h++ {
+			g.Add(h, tcam.Entry{
+				Word:     ternary.Random(rng, 8, 0.4),
+				Priority: rng.Intn(20),
+				RuleID:   h,
+			})
+		}
+		for h := 0; h < n; h++ {
+			for _, u := range g.Uppers(h) {
+				found := false
+				for _, l := range g.Lowers(u) {
+					if l == h {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("edge %d->%d not mirrored", h, u)
+				}
+			}
+		}
+		if err := g.CheckAcyclic(); err != nil {
+			t.Fatal(err)
+		}
+		// Removal keeps the mirror intact.
+		victim := rng.Intn(n)
+		g.Remove(victim)
+		for h := 0; h < n; h++ {
+			if h == victim {
+				continue
+			}
+			for _, u := range g.Uppers(h) {
+				if u == victim {
+					t.Fatalf("dangling edge to removed node")
+				}
+			}
+		}
+	}
+}
+
+// Property: reduced uppers preserve reachability — every dropped upper
+// is still reachable through the kept ones.
+func TestQuickReductionPreservesReachability(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		g := New()
+		n := 3 + rng.Intn(25)
+		for h := 0; h < n; h++ {
+			g.Add(h, tcam.Entry{
+				Word:     ternary.Random(rng, 6, 0.5),
+				Priority: rng.Intn(15),
+				RuleID:   h,
+			})
+		}
+		for h := 0; h < n; h++ {
+			full := g.Uppers(h)
+			red := g.ReducedUppers(h)
+			kept := map[int]bool{}
+			for _, u := range red {
+				kept[u] = true
+			}
+			for _, u := range full {
+				if kept[u] {
+					continue
+				}
+				reachable := false
+				for _, w := range red {
+					if w == u || g.reachesVia(g.up, w, u) {
+						reachable = true
+						break
+					}
+				}
+				if !reachable {
+					t.Fatalf("dropped upper %d of %d unreachable via reduced set", u, h)
+				}
+			}
+		}
+	}
+}

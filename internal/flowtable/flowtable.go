@@ -1,0 +1,232 @@
+// Package flowtable layers OpenFlow-style multi-table semantics on top
+// of CATCAM devices — the deployment surface the paper's introduction
+// motivates: SDN controllers install fine-grained policies into a
+// pipeline of match-action tables, and expect both line-rate lookups
+// and immediate rule installation.
+//
+// Each flow table is backed by one CATCAM device (one match stage, as
+// in a dRMT processor). A packet enters table 0; the winning entry's
+// instruction either emits a final action or forwards the packet to a
+// later table (goto-table, strictly increasing as OpenFlow requires).
+// A table miss applies the table's miss policy.
+//
+// Because every table is a CATCAM, controller updates are O(1) at any
+// pipeline position — the end-to-end property the paper argues makes
+// reactive SDN policies viable on hardware.
+package flowtable
+
+import (
+	"errors"
+	"fmt"
+
+	"catcam/internal/core"
+	"catcam/internal/rules"
+)
+
+// Drop is the conventional "no output" action value.
+const Drop = -1
+
+// Instruction is what a matched entry does.
+type Instruction struct {
+	// GotoTable, when >= 0, continues matching at that table ID. The
+	// target must be greater than the current table (OpenFlow's
+	// forward-only constraint).
+	GotoTable int
+	// Action is the terminal action when GotoTable < 0.
+	Action int
+}
+
+// Terminal returns an instruction that outputs the action.
+func Terminal(action int) Instruction { return Instruction{GotoTable: -1, Action: action} }
+
+// Goto returns an instruction that jumps to a later table.
+func Goto(table int) Instruction { return Instruction{GotoTable: table} }
+
+// FlowRule is a rule plus its instruction.
+type FlowRule struct {
+	Rule        rules.Rule
+	Instruction Instruction
+}
+
+// MissPolicy decides what a table does when nothing matches.
+type MissPolicy struct {
+	// Continue forwards missed packets to the next table in ID order
+	// when true; otherwise the packet terminates with MissAction.
+	Continue   bool
+	MissAction int
+}
+
+// TableConfig declares one flow table.
+type TableConfig struct {
+	ID     int
+	Device core.Config
+	Miss   MissPolicy
+}
+
+// Pipeline is an ordered set of flow tables.
+type Pipeline struct {
+	tables map[int]*table
+	order  []int
+	// instr maps (tableID, ruleID) to the rule's instruction.
+	instr map[[2]int]Instruction
+}
+
+type table struct {
+	cfg TableConfig
+	dev *core.Device
+}
+
+// Errors returned by pipeline operations.
+var (
+	ErrUnknownTable = errors.New("flowtable: unknown table")
+	ErrBackwardGoto = errors.New("flowtable: goto-table must target a later table")
+	ErrLoopBound    = errors.New("flowtable: traversal exceeded table count")
+)
+
+// NewPipeline builds a pipeline; table IDs must be unique and are
+// traversed in ascending order.
+func NewPipeline(configs []TableConfig) (*Pipeline, error) {
+	if len(configs) == 0 {
+		return nil, errors.New("flowtable: no tables")
+	}
+	p := &Pipeline{
+		tables: make(map[int]*table, len(configs)),
+		instr:  make(map[[2]int]Instruction),
+	}
+	for _, c := range configs {
+		if _, dup := p.tables[c.ID]; dup {
+			return nil, fmt.Errorf("flowtable: duplicate table %d", c.ID)
+		}
+		p.tables[c.ID] = &table{cfg: c, dev: core.NewDevice(c.Device)}
+		p.order = append(p.order, c.ID)
+	}
+	for i := 1; i < len(p.order); i++ {
+		if p.order[i] <= p.order[i-1] {
+			return nil, fmt.Errorf("flowtable: table IDs must be ascending, got %v", p.order)
+		}
+	}
+	return p, nil
+}
+
+// Table returns the device backing a table (stats, invariants).
+func (p *Pipeline) Table(id int) (*core.Device, bool) {
+	t, ok := p.tables[id]
+	if !ok {
+		return nil, false
+	}
+	return t.dev, true
+}
+
+// TableIDs returns the traversal order.
+func (p *Pipeline) TableIDs() []int { return append([]int(nil), p.order...) }
+
+// Install adds a flow rule to a table. Goto targets are validated
+// against the forward-only constraint at install time, as an OpenFlow
+// agent would.
+func (p *Pipeline) Install(tableID int, fr FlowRule) (core.UpdateResult, error) {
+	t, ok := p.tables[tableID]
+	if !ok {
+		return core.UpdateResult{}, fmt.Errorf("%w: %d", ErrUnknownTable, tableID)
+	}
+	if g := fr.Instruction.GotoTable; g >= 0 {
+		if _, ok := p.tables[g]; !ok {
+			return core.UpdateResult{}, fmt.Errorf("%w: goto %d", ErrUnknownTable, g)
+		}
+		if g <= tableID {
+			return core.UpdateResult{}, fmt.Errorf("%w: %d -> %d", ErrBackwardGoto, tableID, g)
+		}
+	}
+	res, err := t.dev.InsertRule(fr.Rule)
+	if err != nil {
+		return res, err
+	}
+	p.instr[[2]int{tableID, fr.Rule.ID}] = fr.Instruction
+	return res, nil
+}
+
+// Remove deletes a rule from a table.
+func (p *Pipeline) Remove(tableID, ruleID int) (core.UpdateResult, error) {
+	t, ok := p.tables[tableID]
+	if !ok {
+		return core.UpdateResult{}, fmt.Errorf("%w: %d", ErrUnknownTable, tableID)
+	}
+	res, err := t.dev.DeleteRule(ruleID)
+	if err != nil {
+		return res, err
+	}
+	delete(p.instr, [2]int{tableID, ruleID})
+	return res, nil
+}
+
+// Trace records one table visit during classification.
+type Trace struct {
+	TableID int
+	RuleID  int // -1 on miss
+	Action  int // meaningful when terminal
+}
+
+// Classify walks the pipeline for a header and returns the final action
+// plus the per-table trace.
+func (p *Pipeline) Classify(h rules.Header) (int, []Trace, error) {
+	var traces []Trace
+	idx := 0 // position in p.order
+	for steps := 0; steps <= len(p.order); steps++ {
+		if idx >= len(p.order) {
+			// Fell off the end of a Continue chain: drop.
+			return Drop, traces, nil
+		}
+		id := p.order[idx]
+		t := p.tables[id]
+		ent, ok := t.dev.LookupKey(rules.EncodeHeader(h))
+		if !ok {
+			traces = append(traces, Trace{TableID: id, RuleID: -1, Action: t.cfg.Miss.MissAction})
+			if t.cfg.Miss.Continue {
+				idx++
+				continue
+			}
+			return t.cfg.Miss.MissAction, traces, nil
+		}
+		ruleID := ent.Rank.RuleID
+		ins := p.instr[[2]int{id, ruleID}]
+		traces = append(traces, Trace{TableID: id, RuleID: ruleID, Action: ins.Action})
+		if ins.GotoTable < 0 {
+			return ins.Action, traces, nil
+		}
+		// advance to the goto target
+		for idx < len(p.order) && p.order[idx] != ins.GotoTable {
+			idx++
+		}
+		if idx >= len(p.order) {
+			return Drop, traces, fmt.Errorf("%w: goto %d", ErrUnknownTable, ins.GotoTable)
+		}
+	}
+	return Drop, traces, ErrLoopBound
+}
+
+// UpdateStats sums update statistics across every table.
+func (p *Pipeline) UpdateStats() core.Stats {
+	var total core.Stats
+	for _, id := range p.order {
+		s := p.tables[id].dev.Stats()
+		total.Lookups += s.Lookups
+		total.Inserts += s.Inserts
+		total.Deletes += s.Deletes
+		total.Reallocations += s.Reallocations
+		total.DirectInserts += s.DirectInserts
+		total.ReallocInserts += s.ReallocInserts
+		total.UpdateCycles += s.UpdateCycles
+		total.LookupCycles += s.LookupCycles
+		total.FreshSubtables += s.FreshSubtables
+	}
+	return total
+}
+
+// CheckInvariant verifies every table's device invariants.
+func (p *Pipeline) CheckInvariant() error {
+	for _, id := range p.order {
+		if err := p.tables[id].dev.CheckInvariant(); err != nil {
+			return fmt.Errorf("table %d: %w", id, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+// Package metrics derives the paper's system-level numbers (Table I,
+// Table II, Table V, Fig 16) from the array models in internal/sram and
+// the device configuration, and defines the firmware-time cost models
+// used to regenerate Table IV.
+//
+// Absolute silicon constants (per-bit energies, delays, cell areas) are
+// taken from the paper's Table I — we cannot re-run SPICE — while every
+// roll-up (power, area, rates, energy-vs-activity curves) is computed
+// from those constants and the architecture's activity factors. The
+// computed roll-ups land within a few percent of the paper's Table II,
+// which is itself a useful consistency check of the model.
+package metrics
+
+import (
+	"fmt"
+
+	"catcam/internal/core"
+	"catcam/internal/sram"
+)
+
+// SystemMetrics is the content of the paper's Table II.
+type SystemMetrics struct {
+	FrequencyMHz    float64
+	PowerW          float64 // maximum total power
+	MatchPowerW     float64
+	PriorityPowerW  float64
+	AreaMM2         float64
+	MatchAreaMM2    float64
+	PriorityAreaMM2 float64
+	CapacityMbit    float64
+	LookupRateMOPS  float64
+	UpdateRateMOPS  float64
+	Configuration   string
+}
+
+// ComputeSystem derives Table II for a device configuration. avgCPR is
+// the measured average cycles per update request (the paper benchmarks
+// 4.4); pass 0 to use the paper's figure.
+func ComputeSystem(cfg core.Config, avgCPR float64) SystemMetrics {
+	if avgCPR == 0 {
+		avgCPR = 4.4
+	}
+	match := sram.MatchMatrixParams()
+	prio := sram.PriorityMatrixParams()
+	subarrays := cfg.KeyWidth / match.Cols
+	if subarrays < 1 {
+		subarrays = 1
+	}
+	period := 1e3 / cfg.FrequencyMHz // ns
+
+	// Match matrices: every subtable's subarrays search each cycle at
+	// worst case (fully loaded arrays).
+	matchEnergyFJ := float64(cfg.Subtables*subarrays) * match.ComputeEnergyFJ(match.Rows)
+	matchPowerW := matchEnergyFJ * 1e-6 / period // fJ/ns = µW
+
+	// Priority matrices: at most two are active per cycle (one local,
+	// the global), §VIII-C.
+	prioEnergyFJ := 2 * prio.ComputeEnergyFJ(prio.Rows)
+	prioPowerW := prioEnergyFJ * 1e-6 / period
+
+	matchArea := float64(cfg.Subtables*subarrays) * match.AreaMM2
+	prioArea := float64(cfg.Subtables+1) * prio.AreaMM2
+
+	capacityBits := float64(cfg.Subtables) * float64(cfg.SubtableCapacity) * float64(cfg.KeyWidth)
+
+	return SystemMetrics{
+		FrequencyMHz:    cfg.FrequencyMHz,
+		PowerW:          matchPowerW + prioPowerW,
+		MatchPowerW:     matchPowerW,
+		PriorityPowerW:  prioPowerW,
+		AreaMM2:         matchArea + prioArea,
+		MatchAreaMM2:    matchArea,
+		PriorityAreaMM2: prioArea,
+		CapacityMbit:    capacityBits / 1e6,
+		LookupRateMOPS:  cfg.FrequencyMHz, // fully pipelined: 1 per cycle
+		UpdateRateMOPS:  cfg.FrequencyMHz / avgCPR,
+		Configuration: fmt.Sprintf("(%db x %d) x %d x %d",
+			match.Cols, subarrays, cfg.SubtableCapacity, cfg.Subtables),
+	}
+}
+
+// PriorityOverhead reports the priority matrices' relative power and
+// area cost versus the match matrices — the paper's headline "0.3%
+// power and 20% area overhead".
+func (m SystemMetrics) PriorityOverhead() (power, area float64) {
+	return m.PriorityPowerW / m.MatchPowerW, m.PriorityAreaMM2 / m.MatchAreaMM2
+}
+
+// EnergyPoint is one sample of the Fig 16 curves.
+type EnergyPoint struct {
+	Entries   int
+	TotalPJ   float64
+	PerRuleFJ float64
+	PerBitFJ  float64
+}
+
+// MatchEnergyCurve returns the match-matrix energy as a function of
+// valid entries (Fig 16 left): each valid entry pre-charges a match
+// line; the control overhead amortizes across entries.
+func MatchEnergyCurve(keyWidth int, points []int) []EnergyPoint {
+	p := sram.MatchMatrixParams()
+	subarrays := keyWidth / p.Cols
+	if subarrays < 1 {
+		subarrays = 1
+	}
+	out := make([]EnergyPoint, 0, len(points))
+	for _, n := range points {
+		e := float64(subarrays) * p.ComputeEnergyFJ(n)
+		out = append(out, EnergyPoint{
+			Entries:   n,
+			TotalPJ:   e / 1e3,
+			PerRuleFJ: e / float64(maxInt(n, 1)),
+			PerBitFJ:  e / float64(maxInt(n, 1)*keyWidth),
+		})
+	}
+	return out
+}
+
+// PriorityEnergyCurve returns the priority-matrix energy as a function
+// of matched entries (Fig 16 right): each matched entry pre-charges a
+// read bit-line and drives a read word-line.
+func PriorityEnergyCurve(points []int) []EnergyPoint {
+	p := sram.PriorityMatrixParams()
+	out := make([]EnergyPoint, 0, len(points))
+	for _, n := range points {
+		e := p.ComputeEnergyFJ(n)
+		out = append(out, EnergyPoint{
+			Entries:   n,
+			TotalPJ:   e / 1e3,
+			PerRuleFJ: e / float64(maxInt(n, 1)),
+			PerBitFJ:  e / float64(maxInt(n, 1)*p.Cols),
+		})
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FirmwareModel converts an algorithm's counted work into time, the
+// paper's Table IV axis. PerOpNs prices one elementary firmware
+// operation (dependency comparison, graph traversal, scan step) on the
+// switch CPU; PerMoveNs prices one TCAM entry rewrite.
+//
+// Calibration (documented in EXPERIMENTS.md): FastRule and POT issue
+// moves through an optimized driver at TCAM speed (2.5 ns at 400 MHz)
+// and spend their time in graph work; their per-op costs are set so the
+// 10K-ruleset firmware times land on the papers' published figures
+// (FR ~35 µs, POT ~70 µs). RuleTris' op count is dominated by
+// reachability traversals — random pointer-chasing priced at a DRAM-bound 10 ns
+// each. The Naive
+// row models the commodity-switch slow path the paper measured in
+// Fig 1(a): every entry rewrite traverses the firmware/driver stack at
+// ~0.6 ms per entry, which reproduces the 300 ms (1K) to 3.5 s (10K)
+// scale and the NA at 20K.
+type FirmwareModel struct {
+	PerOpNs   float64
+	PerMoveNs float64
+}
+
+// TimeNs converts counted ops and moves into nanoseconds.
+func (m FirmwareModel) TimeNs(ops uint64, moves int) float64 {
+	return m.PerOpNs*float64(ops) + m.PerMoveNs*float64(moves)
+}
+
+// FirmwareModels maps algorithm names (update.Algorithm.Name) to their
+// cost models.
+func FirmwareModels() map[string]FirmwareModel {
+	return map[string]FirmwareModel{
+		"Naive":    {PerOpNs: 0, PerMoveNs: 600_000},
+		"FastRule": {PerOpNs: 3.5, PerMoveNs: 2.5},
+		"RuleTris": {PerOpNs: 10.0, PerMoveNs: 2.5},
+		"POT":      {PerOpNs: 7.0, PerMoveNs: 2.5},
+		"TreeCAM":  {PerOpNs: 3.5, PerMoveNs: 2.5},
+	}
+}
+
+// SoftwareLookupModel prices software classifier lookup operations
+// (hash probe / rule verification) on a server core, for the Fig 15
+// throughput axis. ~10 ns per probe corresponds to an L2-resident hash
+// table walk plus verification, matching OvS's ~1-5 M lookups/s/core
+// at tens of tuples.
+const SoftwareLookupOpNs = 10.0
+
+// ThroughputMOPS converts average per-lookup cost (ns) to millions of
+// lookups per second.
+func ThroughputMOPS(avgLookupNs float64) float64 {
+	if avgLookupNs <= 0 {
+		return 0
+	}
+	return 1e3 / avgLookupNs
+}
+
+// TapedOutTCAM is one row of the paper's Table V.
+type TapedOutTCAM struct {
+	Name           string
+	TechnologyNm   int
+	BitCell        string
+	AreaPerCellUM2 float64 // 0 when not published
+	FrequencyMHz   float64
+	EnergyFJPerBit float64 // 0 when not published
+	ArraySize      string
+}
+
+// TableV returns the published comparison rows plus CATCAM's computed
+// row.
+func TableV() []TapedOutTCAM {
+	match := sram.MatchMatrixParams()
+	return []TapedOutTCAM{
+		{Name: "CATCAM", TechnologyNm: 28, BitCell: "16T", AreaPerCellUM2: 0.71,
+			FrequencyMHz: 500, EnergyFJPerBit: match.EnergyPerBitFJ,
+			ArraySize: fmt.Sprintf("%d x %d", match.Rows, match.Cols)},
+		{Name: "Jeloka", TechnologyNm: 28, BitCell: "12T", AreaPerCellUM2: 0.304,
+			FrequencyMHz: 370, EnergyFJPerBit: 0.74, ArraySize: "32 x 64"},
+		{Name: "Nii", TechnologyNm: 28, BitCell: "16T", AreaPerCellUM2: 0.625,
+			FrequencyMHz: 400, EnergyFJPerBit: 0, ArraySize: "4k x 80"},
+		{Name: "Arsovski", TechnologyNm: 32, BitCell: "16T", AreaPerCellUM2: 0,
+			FrequencyMHz: 1000, EnergyFJPerBit: 0.58, ArraySize: "128 x 128"},
+	}
+}
+
+// TableI returns the memory-parameter rows exactly as modelled.
+func TableI() []sram.Params {
+	return []sram.Params{sram.MatchMatrixParams(), sram.PriorityMatrixParams()}
+}

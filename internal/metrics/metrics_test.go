@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"testing"
+
+	"catcam/internal/core"
+)
+
+func TestComputeSystemMatchesTableII(t *testing.T) {
+	m := ComputeSystem(core.Prototype(), 4.4)
+
+	if m.FrequencyMHz != 500 {
+		t.Fatalf("frequency = %v", m.FrequencyMHz)
+	}
+	// Paper Table II: power 16.7 W (match 16.4, priority ~0.1);
+	// our roll-up must land within ~10% of the silicon figures.
+	within := func(got, want, tol float64, what string) {
+		if got < want*(1-tol) || got > want*(1+tol) {
+			t.Errorf("%s = %.3f, want %.3f ±%.0f%%", what, got, want, tol*100)
+		}
+	}
+	within(m.MatchPowerW, 16.4, 0.05, "match power (W)")
+	within(m.AreaMM2, 48.8, 0.05, "total area (mm2)")
+	within(m.MatchAreaMM2, 40.2, 0.05, "match area (mm2)")
+	within(m.PriorityAreaMM2, 8.1, 0.05, "priority area (mm2)")
+	within(m.CapacityMbit, 40, 0.06, "capacity (Mbit)")
+	if m.LookupRateMOPS != 500 {
+		t.Errorf("lookup rate = %v", m.LookupRateMOPS)
+	}
+	within(m.UpdateRateMOPS, 113.6, 0.01, "update rate (MOPS)")
+	if m.Configuration != "(160b x 4) x 256 x 256" {
+		t.Errorf("configuration = %q", m.Configuration)
+	}
+}
+
+func TestComputeSystemDefaultsCPR(t *testing.T) {
+	a := ComputeSystem(core.Prototype(), 0)
+	b := ComputeSystem(core.Prototype(), 4.4)
+	if a.UpdateRateMOPS != b.UpdateRateMOPS {
+		t.Fatal("zero CPR should default to 4.4")
+	}
+}
+
+func TestPriorityOverheadHeadline(t *testing.T) {
+	m := ComputeSystem(core.Prototype(), 4.4)
+	power, area := m.PriorityOverhead()
+	// Paper headline: 0.3% power, 20% area overhead.
+	if power > 0.01 {
+		t.Errorf("priority power overhead = %.4f, want < 1%%", power)
+	}
+	if area < 0.15 || area > 0.25 {
+		t.Errorf("priority area overhead = %.3f, want ~0.20", area)
+	}
+}
+
+func TestEnergyCurvesDecreasePerRule(t *testing.T) {
+	points := []int{1, 16, 64, 128, 256}
+	for name, curve := range map[string][]EnergyPoint{
+		"match":    MatchEnergyCurve(640, points),
+		"priority": PriorityEnergyCurve(points),
+	} {
+		if len(curve) != len(points) {
+			t.Fatalf("%s: wrong point count", name)
+		}
+		for i := 1; i < len(curve); i++ {
+			if curve[i].TotalPJ <= curve[i-1].TotalPJ {
+				t.Errorf("%s: total energy not increasing at %d entries", name, curve[i].Entries)
+			}
+			if curve[i].PerRuleFJ >= curve[i-1].PerRuleFJ {
+				t.Errorf("%s: per-rule energy not decreasing at %d entries", name, curve[i].Entries)
+			}
+		}
+	}
+}
+
+func TestEnergyCurveEndpoints(t *testing.T) {
+	// Fully loaded: per-bit figures must match Table I (0.78 / 0.59).
+	m := MatchEnergyCurve(640, []int{256})
+	if got := m[0].PerBitFJ; got < 0.77 || got > 0.79 {
+		t.Errorf("match per-bit at full load = %.3f, want 0.78", got)
+	}
+	p := PriorityEnergyCurve([]int{256})
+	if got := p[0].PerBitFJ; got < 0.58 || got > 0.60 {
+		t.Errorf("priority per-bit at full load = %.3f, want 0.59", got)
+	}
+}
+
+func TestFirmwareModels(t *testing.T) {
+	models := FirmwareModels()
+	for _, name := range []string{"Naive", "FastRule", "RuleTris", "POT", "TreeCAM"} {
+		if _, ok := models[name]; !ok {
+			t.Fatalf("missing model for %s", name)
+		}
+	}
+	// Naive at 1K rules: ~500 moves -> ~300 ms, the paper's scale.
+	naive := models["Naive"].TimeNs(1000, 500)
+	if naive < 100e6 || naive > 1000e6 {
+		t.Errorf("naive 1K-update time = %.0f ns, want hundreds of ms", naive)
+	}
+	// FastRule at 10K: ~10K ops, ~1 move -> ~35 us.
+	fr := models["FastRule"].TimeNs(10000, 1)
+	if fr < 20e3 || fr > 60e3 {
+		t.Errorf("FR 10K time = %.0f ns, want ~35 us", fr)
+	}
+	if models["POT"].TimeNs(0, 0) != 0 {
+		t.Error("zero work should cost zero")
+	}
+}
+
+func TestThroughputMOPS(t *testing.T) {
+	if got := ThroughputMOPS(2); got != 500 {
+		t.Fatalf("2 ns/lookup = %v MOPS, want 500", got)
+	}
+	if ThroughputMOPS(0) != 0 {
+		t.Fatal("zero cost should yield 0")
+	}
+}
+
+func TestTableVRows(t *testing.T) {
+	rows := TableV()
+	if len(rows) != 4 || rows[0].Name != "CATCAM" {
+		t.Fatalf("TableV rows wrong: %+v", rows)
+	}
+	if rows[0].EnergyFJPerBit != 0.78 || rows[0].FrequencyMHz != 500 {
+		t.Fatal("CATCAM row does not match Table I/II")
+	}
+}
+
+func TestTableIRows(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 2 || rows[0].Name != "match-matrix" || rows[1].Name != "priority-matrix" {
+		t.Fatalf("TableI rows wrong")
+	}
+}

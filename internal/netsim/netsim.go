@@ -1,0 +1,153 @@
+// Package netsim is a small discrete-event model of an SDN switch's
+// control-plane/data-plane interaction, reproducing the divergence
+// measurement of the paper's Fig 1(a): the controller streams rule
+// installations, acknowledges them immediately (as commodity switch
+// firmware does), while the data plane applies them at the speed of the
+// underlying table engine. The divergence is the lag between what the
+// control plane believes is installed and what the data plane has
+// actually applied — the window in which packets hit stale state.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// InstallCost abstracts the table engine: given the install sequence
+// number (how many rules are already installed), return how long the
+// data plane needs to apply the next rule, in nanoseconds.
+type InstallCost func(installed int) float64
+
+// NaiveTCAMCost models the paper's naive baseline: an insertion moves
+// on average half the existing entries, each move costing one TCAM
+// write through the firmware slow path.
+func NaiveTCAMCost(perMoveNs float64) InstallCost {
+	return func(installed int) float64 {
+		moves := float64(installed) / 2
+		return (moves + 1) * perMoveNs
+	}
+}
+
+// ConstantCost models an O(1) engine (CATCAM): every install costs the
+// same regardless of occupancy.
+func ConstantCost(ns float64) InstallCost {
+	return func(int) float64 { return ns }
+}
+
+// Sample is one point of the divergence curve.
+type Sample struct {
+	RuleIndex    int     // rules sent by the controller so far
+	ControlMs    float64 // control-plane acknowledgment time
+	DataMs       float64 // data-plane application completion time
+	DivergenceMs float64 // DataMs - ControlMs
+}
+
+// Config parameterizes the simulation.
+type Config struct {
+	// Rules is the number of rules the controller installs.
+	Rules int
+	// ControlGapNs is the controller's inter-request gap (its own
+	// processing + RPC cost per rule).
+	ControlGapNs float64
+	// Cost is the data-plane install cost model.
+	Cost InstallCost
+	// SamplePoints is how many evenly-spaced samples to emit.
+	SamplePoints int
+	// Window bounds the number of acknowledged-but-unapplied installs
+	// (the TCP/OpenFlow backpressure real switches exert on the
+	// controller). 0 means unbounded: the controller free-runs and the
+	// backlog accumulates. With a finite window the divergence tracks
+	// the current per-install latency — the behaviour the HP 5406zl
+	// measurements in the paper's Fig 1(a) show.
+	Window int
+}
+
+// Run simulates the installation burst and returns the divergence curve.
+// The data plane is a single FIFO server: it starts applying a rule when
+// both the request has arrived and the previous apply finished.
+func Run(cfg Config) []Sample {
+	if cfg.Rules <= 0 {
+		return nil
+	}
+	if cfg.SamplePoints <= 0 {
+		cfg.SamplePoints = 10
+	}
+	if cfg.Cost == nil {
+		panic("netsim: nil cost model")
+	}
+
+	samples := make([]Sample, 0, cfg.SamplePoints)
+	every := cfg.Rules / cfg.SamplePoints
+	if every == 0 {
+		every = 1
+	}
+
+	controlNs := 0.0
+	dataDoneNs := 0.0
+	var completions []float64
+	if cfg.Window > 0 {
+		completions = make([]float64, 0, cfg.Rules)
+	}
+	for i := 0; i < cfg.Rules; i++ {
+		controlNs += cfg.ControlGapNs // request sent & acked
+		if cfg.Window > 0 && i >= cfg.Window {
+			// Backpressure: the switch does not accept request i until
+			// request i-Window has been applied.
+			if t := completions[i-cfg.Window]; t > controlNs {
+				controlNs = t
+			}
+		}
+		start := controlNs
+		if dataDoneNs > start {
+			start = dataDoneNs
+		}
+		dataDoneNs = start + cfg.Cost(i)
+		if cfg.Window > 0 {
+			completions = append(completions, dataDoneNs)
+		}
+		if (i+1)%every == 0 || i == cfg.Rules-1 {
+			samples = append(samples, Sample{
+				RuleIndex:    i + 1,
+				ControlMs:    controlNs / 1e6,
+				DataMs:       dataDoneNs / 1e6,
+				DivergenceMs: (dataDoneNs - controlNs) / 1e6,
+			})
+		}
+	}
+	return samples
+}
+
+// MaxDivergenceMs returns the peak divergence of a run.
+func MaxDivergenceMs(samples []Sample) float64 {
+	best := 0.0
+	for _, s := range samples {
+		if s.DivergenceMs > best {
+			best = s.DivergenceMs
+		}
+	}
+	return best
+}
+
+// Format renders samples as an aligned text table (one figure series).
+func Format(name string, samples []Sample) string {
+	out := fmt.Sprintf("%s\n%8s %14s %14s %14s\n", name, "rules", "control(ms)", "data(ms)", "divergence(ms)")
+	for _, s := range samples {
+		out += fmt.Sprintf("%8d %14.3f %14.3f %14.3f\n", s.RuleIndex, s.ControlMs, s.DataMs, s.DivergenceMs)
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (0-100) of divergence across
+// samples — useful for summarizing the tail behaviour Fig 1(a) shows.
+func Percentile(samples []Sample, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	vals := make([]float64, len(samples))
+	for i, s := range samples {
+		vals[i] = s.DivergenceMs
+	}
+	sort.Float64s(vals)
+	idx := int(p / 100 * float64(len(vals)-1))
+	return vals[idx]
+}

@@ -1,0 +1,112 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNaiveDivergenceGrows(t *testing.T) {
+	samples := Run(Config{
+		Rules:        1000,
+		ControlGapNs: 1000, // controller is fast
+		Cost:         NaiveTCAMCost(600_000),
+		SamplePoints: 10,
+	})
+	if len(samples) != 10 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	// Divergence must grow monotonically for a quadratic backlog.
+	for i := 1; i < len(samples); i++ {
+		if samples[i].DivergenceMs <= samples[i-1].DivergenceMs {
+			t.Fatalf("divergence not growing at sample %d: %v <= %v",
+				i, samples[i].DivergenceMs, samples[i-1].DivergenceMs)
+		}
+	}
+	// The shape of Fig 1(a): hundreds of ms of divergence near 1000 rules.
+	if max := MaxDivergenceMs(samples); max < 10 {
+		t.Fatalf("peak divergence %.1f ms implausibly small", max)
+	}
+}
+
+func TestConstantCostStaysBounded(t *testing.T) {
+	samples := Run(Config{
+		Rules:        1000,
+		ControlGapNs: 1000,
+		Cost:         ConstantCost(10), // CATCAM-like: 10 ns/update
+		SamplePoints: 10,
+	})
+	if max := MaxDivergenceMs(samples); max > 0.01 {
+		t.Fatalf("O(1) engine diverged %.4f ms", max)
+	}
+}
+
+func TestDataPlaneNeverAheadOfControl(t *testing.T) {
+	samples := Run(Config{Rules: 500, ControlGapNs: 100, Cost: NaiveTCAMCost(1000), SamplePoints: 20})
+	for _, s := range samples {
+		if s.DataMs < s.ControlMs {
+			t.Fatalf("data plane ahead of control at %d", s.RuleIndex)
+		}
+		if s.DivergenceMs < 0 {
+			t.Fatalf("negative divergence at %d", s.RuleIndex)
+		}
+	}
+}
+
+func TestRunEdgeCases(t *testing.T) {
+	if Run(Config{Rules: 0, Cost: ConstantCost(1)}) != nil {
+		t.Fatal("zero rules should yield nil")
+	}
+	s := Run(Config{Rules: 3, ControlGapNs: 1, Cost: ConstantCost(1), SamplePoints: 100})
+	if len(s) != 3 {
+		t.Fatalf("sample count = %d, want 3 (every rule)", len(s))
+	}
+	if s[len(s)-1].RuleIndex != 3 {
+		t.Fatal("last sample missing")
+	}
+}
+
+func TestRunNilCostPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil cost accepted")
+		}
+	}()
+	Run(Config{Rules: 1})
+}
+
+func TestFormatAndPercentile(t *testing.T) {
+	samples := Run(Config{Rules: 100, ControlGapNs: 10, Cost: NaiveTCAMCost(1000), SamplePoints: 10})
+	out := Format("fig1a", samples)
+	if !strings.Contains(out, "divergence(ms)") || !strings.Contains(out, "fig1a") {
+		t.Fatalf("format output missing headers:\n%s", out)
+	}
+	p50 := Percentile(samples, 50)
+	p99 := Percentile(samples, 99)
+	if p99 < p50 {
+		t.Fatalf("p99 (%v) < p50 (%v)", p99, p50)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile nonzero")
+	}
+}
+
+func TestWindowBoundsDivergence(t *testing.T) {
+	unbounded := Run(Config{Rules: 1000, ControlGapNs: 1000, Cost: NaiveTCAMCost(600_000), SamplePoints: 10})
+	windowed := Run(Config{Rules: 1000, ControlGapNs: 1000, Cost: NaiveTCAMCost(600_000), SamplePoints: 10, Window: 2})
+	if MaxDivergenceMs(windowed) >= MaxDivergenceMs(unbounded) {
+		t.Fatalf("window did not bound divergence: %v vs %v",
+			MaxDivergenceMs(windowed), MaxDivergenceMs(unbounded))
+	}
+	// Windowed divergence still grows with occupancy (per-install cost
+	// is linear in table size) and lands at the Fig 1(a) scale:
+	// hundreds of ms, not seconds.
+	last := windowed[len(windowed)-1].DivergenceMs
+	if last < 100 || last > 2000 {
+		t.Fatalf("windowed divergence at 1000 rules = %.1f ms, want Fig 1(a) scale", last)
+	}
+	for i := 1; i < len(windowed); i++ {
+		if windowed[i].DivergenceMs < windowed[i-1].DivergenceMs {
+			t.Fatalf("windowed divergence not monotone at %d", i)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package phv
+
+import (
+	"testing"
+
+	"catcam/internal/rules"
+)
+
+// BenchmarkExtractKey measures PHV parse + 640-bit key extraction.
+func BenchmarkExtractKey(b *testing.B) {
+	l := StandardLayout()
+	e := NewExtractor(l, 640)
+	for _, f := range []string{"ipv4.src", "ipv4.dst", "l4.sport", "l4.dport", "ipv4.proto"} {
+		if err := e.Select(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	h := rules.Header{SrcIP: 0x0A010203, DstIP: 0xC0A80101, SrcPort: 1234, DstPort: 80, Proto: 6}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := FromHeader(l, h)
+		_ = e.ExtractKey(p)
+	}
+}

@@ -1,0 +1,258 @@
+// Package phv models the packet header vector (PHV) front end of a
+// programmable switch pipeline, after dRMT (Chole et al., SIGCOMM 2017),
+// which the paper's prototype is sized for (§VII): parsed packet headers
+// live in a 4K-bit vector of up to 224 fields, and a match stage
+// extracts up to 640 bits of selected fields to form the TCAM search
+// key.
+//
+// The package provides the field layout, a parser from the 5-tuple
+// header model, and an Extractor that builds 640-bit search keys and
+// the matching ternary rule encodings — the glue between protocol-level
+// rules and CATCAM's prototype geometry.
+package phv
+
+import (
+	"fmt"
+
+	"catcam/internal/rules"
+	"catcam/internal/ternary"
+)
+
+// Bits is the PHV width used by dRMT.
+const Bits = 4096
+
+// Field identifies one header field within the PHV.
+type Field struct {
+	Name   string
+	Offset int // bit offset within the PHV, MSB-first
+	Width  int // bits
+}
+
+// Layout is an ordered set of non-overlapping fields.
+type Layout struct {
+	fields []Field
+	byName map[string]Field
+}
+
+// NewLayout validates and indexes a field list.
+func NewLayout(fields []Field) (*Layout, error) {
+	l := &Layout{byName: make(map[string]Field, len(fields))}
+	used := make([]bool, Bits)
+	for _, f := range fields {
+		if f.Width <= 0 || f.Offset < 0 || f.Offset+f.Width > Bits {
+			return nil, fmt.Errorf("phv: field %q out of range [%d,%d)", f.Name, f.Offset, f.Offset+f.Width)
+		}
+		if _, dup := l.byName[f.Name]; dup {
+			return nil, fmt.Errorf("phv: duplicate field %q", f.Name)
+		}
+		for b := f.Offset; b < f.Offset+f.Width; b++ {
+			if used[b] {
+				return nil, fmt.Errorf("phv: field %q overlaps at bit %d", f.Name, b)
+			}
+			used[b] = true
+		}
+		l.fields = append(l.fields, f)
+		l.byName[f.Name] = f
+	}
+	return l, nil
+}
+
+// Field returns the named field.
+func (l *Layout) Field(name string) (Field, bool) {
+	f, ok := l.byName[name]
+	return f, ok
+}
+
+// Fields returns the layout's fields in declaration order.
+func (l *Layout) Fields() []Field { return append([]Field(nil), l.fields...) }
+
+// StandardLayout returns a dRMT-flavoured layout covering the classic
+// parse graph: Ethernet, VLAN, IPv4, L4 and a few metadata registers.
+// Only a subset participates in classification; the rest exercises the
+// "many fields, few extracted" reality of a programmable pipeline.
+func StandardLayout() *Layout {
+	fields := []Field{
+		{Name: "eth.dst", Offset: 0, Width: 48},
+		{Name: "eth.src", Offset: 48, Width: 48},
+		{Name: "eth.type", Offset: 96, Width: 16},
+		{Name: "vlan.id", Offset: 112, Width: 12},
+		{Name: "vlan.pcp", Offset: 124, Width: 3},
+		{Name: "ipv4.version", Offset: 128, Width: 4},
+		{Name: "ipv4.ihl", Offset: 132, Width: 4},
+		{Name: "ipv4.dscp", Offset: 136, Width: 8},
+		{Name: "ipv4.len", Offset: 144, Width: 16},
+		{Name: "ipv4.ttl", Offset: 160, Width: 8},
+		{Name: "ipv4.proto", Offset: 168, Width: 8},
+		{Name: "ipv4.src", Offset: 176, Width: 32},
+		{Name: "ipv4.dst", Offset: 208, Width: 32},
+		{Name: "l4.sport", Offset: 240, Width: 16},
+		{Name: "l4.dport", Offset: 256, Width: 16},
+		{Name: "tcp.flags", Offset: 272, Width: 9},
+		{Name: "meta.ingress_port", Offset: 288, Width: 9},
+		{Name: "meta.egress_spec", Offset: 297, Width: 9},
+		{Name: "meta.zone", Offset: 306, Width: 16},
+		{Name: "meta.tenant", Offset: 322, Width: 24},
+	}
+	l, err := NewLayout(fields)
+	if err != nil {
+		panic(err) // static layout; cannot fail
+	}
+	return l
+}
+
+// Vector is one packet's PHV.
+type Vector struct {
+	key ternary.Key
+}
+
+// NewVector returns a zeroed PHV.
+func NewVector() *Vector { return &Vector{key: ternary.NewKey(Bits)} }
+
+// SetField writes the low f.Width bits of v into the field.
+func (p *Vector) SetField(f Field, v uint64) {
+	p.key.SlotKey(f.Offset, ternary.KeyFromUint(v, f.Width))
+}
+
+// FieldValue reads a field back (fields up to 64 bits).
+func (p *Vector) FieldValue(f Field) uint64 {
+	if f.Width > 64 {
+		panic(fmt.Sprintf("phv: field %q wider than 64 bits", f.Name))
+	}
+	sub := p.key.ExtractKey(f.Offset, f.Width)
+	var out uint64
+	for i := 0; i < f.Width; i++ {
+		out <<= 1
+		if sub.KeyBit(i) {
+			out |= 1
+		}
+	}
+	return out
+}
+
+// FromHeader parses a 5-tuple header into a PHV under the standard
+// layout (the parser stage of the pipeline).
+func FromHeader(l *Layout, h rules.Header) *Vector {
+	p := NewVector()
+	set := func(name string, v uint64) {
+		f, ok := l.Field(name)
+		if !ok {
+			panic(fmt.Sprintf("phv: layout lacks %q", name))
+		}
+		p.SetField(f, v)
+	}
+	set("ipv4.version", 4)
+	set("ipv4.proto", uint64(h.Proto))
+	set("ipv4.src", uint64(h.SrcIP))
+	set("ipv4.dst", uint64(h.DstIP))
+	set("l4.sport", uint64(h.SrcPort))
+	set("l4.dport", uint64(h.DstPort))
+	set("eth.type", 0x0800)
+	return p
+}
+
+// Extractor selects PHV fields into a fixed-width search key, in order.
+// Total selected width must not exceed the key width; the remainder is
+// zero-filled (and wildcarded in rule encodings).
+type Extractor struct {
+	layout   *Layout
+	keyWidth int
+	selected []Field
+	used     int
+}
+
+// NewExtractor builds an extractor for the given key width.
+func NewExtractor(l *Layout, keyWidth int) *Extractor {
+	if keyWidth <= 0 {
+		panic(fmt.Sprintf("phv: invalid key width %d", keyWidth))
+	}
+	return &Extractor{layout: l, keyWidth: keyWidth}
+}
+
+// Select appends a field to the extraction list.
+func (e *Extractor) Select(name string) error {
+	f, ok := e.layout.Field(name)
+	if !ok {
+		return fmt.Errorf("phv: unknown field %q", name)
+	}
+	if e.used+f.Width > e.keyWidth {
+		return fmt.Errorf("phv: selecting %q exceeds key width %d (used %d)", name, e.keyWidth, e.used)
+	}
+	e.selected = append(e.selected, f)
+	e.used += f.Width
+	return nil
+}
+
+// SelectedBits returns the bits consumed by selected fields.
+func (e *Extractor) SelectedBits() int { return e.used }
+
+// KeyWidth returns the search-key width.
+func (e *Extractor) KeyWidth() int { return e.keyWidth }
+
+// ExtractKey builds the search key from a PHV.
+func (e *Extractor) ExtractKey(p *Vector) ternary.Key {
+	out := ternary.NewKey(e.keyWidth)
+	off := 0
+	for _, f := range e.selected {
+		out.SlotKey(off, p.key.ExtractKey(f.Offset, f.Width))
+		off += f.Width
+	}
+	return out
+}
+
+// FieldSpec is a ternary constraint on one selected field.
+type FieldSpec struct {
+	Name string
+	Word ternary.Word // width must equal the field's width
+}
+
+// Exact returns a fully-specified field constraint.
+func Exact(name string, v uint64, width int) FieldSpec {
+	return FieldSpec{Name: name, Word: ternary.FromUint(v, width)}
+}
+
+// PrefixSpec returns a prefix field constraint.
+func PrefixSpec(name string, v uint64, plen, width int) FieldSpec {
+	return FieldSpec{Name: name, Word: ternary.Prefix(v, plen, width)}
+}
+
+// Wildcard returns a match-all field constraint.
+func Wildcard(name string, width int) FieldSpec {
+	return FieldSpec{Name: name, Word: ternary.NewWord(width)}
+}
+
+// EncodeRule builds the key-width ternary word for a rule expressed as
+// per-field constraints. Unselected key bits are wildcards; fields not
+// mentioned default to wildcard.
+func (e *Extractor) EncodeRule(specs []FieldSpec) (ternary.Word, error) {
+	byName := make(map[string]ternary.Word, len(specs))
+	for _, s := range specs {
+		f, ok := e.layout.Field(s.Name)
+		if !ok {
+			return ternary.Word{}, fmt.Errorf("phv: unknown field %q", s.Name)
+		}
+		if s.Word.Width() != f.Width {
+			return ternary.Word{}, fmt.Errorf("phv: spec for %q is %d bits, field is %d",
+				s.Name, s.Word.Width(), f.Width)
+		}
+		selected := false
+		for _, sf := range e.selected {
+			if sf.Name == s.Name {
+				selected = true
+				break
+			}
+		}
+		if !selected {
+			return ternary.Word{}, fmt.Errorf("phv: field %q not selected by the extractor", s.Name)
+		}
+		byName[s.Name] = s.Word
+	}
+	out := ternary.NewWord(e.keyWidth)
+	off := 0
+	for _, f := range e.selected {
+		if w, ok := byName[f.Name]; ok {
+			out.Slot(off, w)
+		}
+		off += f.Width
+	}
+	return out, nil
+}

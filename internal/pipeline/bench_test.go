@@ -1,0 +1,30 @@
+package pipeline
+
+import (
+	"testing"
+
+	"catcam/internal/core"
+	"catcam/internal/rules"
+)
+
+// BenchmarkPipelineLookups measures simulator overhead per pipelined
+// lookup (host-side cost, not modelled hardware time).
+func BenchmarkPipelineLookups(b *testing.B) {
+	d := core.NewDevice(core.Config{Subtables: 8, SubtableCapacity: 16, KeyWidth: 160})
+	r := rules.Rule{ID: 1, Priority: 5, Action: 1,
+		SrcPort: rules.FullPortRange(), DstPort: rules.FullPortRange(), ProtoWildcard: true}
+	if _, err := d.InsertRule(r); err != nil {
+		b.Fatal(err)
+	}
+	e := New(d, 64)
+	req := Request{Kind: Lookup, Header: rules.Header{}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for e.Enqueue(req) != nil {
+			e.Tick()
+		}
+		e.Tick()
+	}
+	e.Drain()
+}

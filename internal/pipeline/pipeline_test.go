@@ -1,0 +1,243 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+
+	"catcam/internal/core"
+	"catcam/internal/rules"
+)
+
+func testDevice(t *testing.T) *core.Device {
+	t.Helper()
+	d := core.NewDevice(core.Config{Subtables: 8, SubtableCapacity: 16, KeyWidth: 160})
+	for i, prio := range []int{10, 20, 30} {
+		r := rules.Rule{
+			ID: i, Priority: prio, Action: prio,
+			SrcIP:   rules.Prefix{Addr: uint32(i) << 24, Len: 8},
+			SrcPort: rules.FullPortRange(), DstPort: rules.FullPortRange(),
+			ProtoWildcard: true,
+		}
+		if _, err := d.InsertRule(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func lookupReq(tag int, src uint32) Request {
+	return Request{Kind: Lookup, Tag: tag, Header: rules.Header{SrcIP: src}}
+}
+
+func TestKindStrings(t *testing.T) {
+	if Lookup.String() != "lookup" || Insert.String() != "insert" || Delete.String() != "delete" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind empty")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero FIFO depth accepted")
+		}
+	}()
+	New(testDevice(t), 0)
+}
+
+func TestSingleLookupLatency(t *testing.T) {
+	e := New(testDevice(t), 8)
+	if err := e.Enqueue(lookupReq(1, 0x00000001)); err != nil {
+		t.Fatal(err)
+	}
+	resps := e.Drain()
+	if len(resps) != 1 {
+		t.Fatalf("responses = %d", len(resps))
+	}
+	r := resps[0]
+	if !r.OK || r.Action != 10 {
+		t.Fatalf("lookup result = %d,%v", r.Action, r.OK)
+	}
+	if r.Latency() != 3 {
+		t.Fatalf("lookup latency = %d cycles, want 3 (the paper's pipeline depth)", r.Latency())
+	}
+}
+
+func TestPipelinedThroughputOnePerCycle(t *testing.T) {
+	e := New(testDevice(t), 256)
+	const n = 200
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = lookupReq(i, uint32(i%3)<<24|1)
+	}
+	resps, err := e.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != n {
+		t.Fatalf("responses = %d", len(resps))
+	}
+	// n lookups should take n + pipeline-fill cycles.
+	if got := e.Stats().Cycles; got > n+lookupLatency+1 {
+		t.Fatalf("%d lookups took %d cycles; pipeline not sustaining 1/cycle", n, got)
+	}
+	// Results retire in issue order with monotone DoneCycles.
+	for i := 1; i < len(resps); i++ {
+		if resps[i].Tag != resps[i-1].Tag+1 {
+			t.Fatalf("retirement order broken at %d", i)
+		}
+		if resps[i].DoneCycle <= resps[i-1].DoneCycle {
+			t.Fatalf("done cycles not increasing at %d", i)
+		}
+	}
+}
+
+func TestUpdateAtomicityAndCost(t *testing.T) {
+	e := New(testDevice(t), 64)
+	newRule := rules.Rule{
+		ID: 99, Priority: 99, Action: 999,
+		SrcIP:   rules.Prefix{Len: 0},
+		SrcPort: rules.FullPortRange(), DstPort: rules.FullPortRange(),
+		ProtoWildcard: true,
+	}
+	reqs := []Request{
+		lookupReq(1, 0x00000001),
+		{Kind: Insert, Tag: 2, Rule: newRule},
+		lookupReq(3, 0x00000001),
+	}
+	resps, err := e.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTag := map[int]Response{}
+	for _, r := range resps {
+		byTag[r.Tag] = r
+	}
+	// Lookup before the insert sees the old winner; after, the new one.
+	if byTag[1].Action != 10 {
+		t.Fatalf("pre-update lookup = %d, want 10", byTag[1].Action)
+	}
+	if byTag[3].Action != 999 {
+		t.Fatalf("post-update lookup = %d, want 999 (atomicity broken)", byTag[3].Action)
+	}
+	// The insert issues only after the in-flight lookup drained and
+	// occupies the arrays for its 3-cycle class.
+	ins := byTag[2]
+	if !ins.OK || ins.Latency() != 3 {
+		t.Fatalf("insert response: ok=%v latency=%d", ins.OK, ins.Latency())
+	}
+	if byTag[3].IssueCycle < ins.DoneCycle {
+		t.Fatalf("lookup issued at %d before insert finished at %d",
+			byTag[3].IssueCycle, ins.DoneCycle)
+	}
+	if byTag[1].DoneCycle > ins.IssueCycle {
+		t.Fatalf("insert issued at %d while lookup in flight until %d",
+			ins.IssueCycle, byTag[1].DoneCycle)
+	}
+}
+
+func TestDeleteOneCycle(t *testing.T) {
+	e := New(testDevice(t), 8)
+	resps, err := e.Run([]Request{{Kind: Delete, Tag: 1, RuleID: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resps[0].OK || resps[0].Latency() != 1 {
+		t.Fatalf("delete: ok=%v latency=%d, want 1 cycle", resps[0].OK, resps[0].Latency())
+	}
+}
+
+func TestFailedUpdateReported(t *testing.T) {
+	e := New(testDevice(t), 8)
+	resps, err := e.Run([]Request{{Kind: Delete, Tag: 1, RuleID: 12345}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resps[0].OK || resps[0].Err == nil {
+		t.Fatal("missing-rule delete not reported as failed")
+	}
+}
+
+func TestQueueFullBackpressure(t *testing.T) {
+	e := New(testDevice(t), 2)
+	if err := e.Enqueue(lookupReq(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Enqueue(lookupReq(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Enqueue(lookupReq(3, 1)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	// Run applies backpressure transparently.
+	reqs := make([]Request, 20)
+	for i := range reqs {
+		reqs[i] = lookupReq(10+i, 1)
+	}
+	resps, err := e.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 22 {
+		t.Fatalf("responses = %d, want 22", len(resps))
+	}
+	if e.Stats().MaxQueueLen > 2 {
+		t.Fatalf("queue exceeded depth: %d", e.Stats().MaxQueueLen)
+	}
+}
+
+func TestMixedStreamAccounting(t *testing.T) {
+	e := New(testDevice(t), 128)
+	var reqs []Request
+	id := 100
+	for i := 0; i < 30; i++ {
+		if i%10 == 5 {
+			r := rules.Rule{
+				ID: id, Priority: 40 + i, Action: id,
+				SrcIP:   rules.Prefix{Len: 0},
+				SrcPort: rules.FullPortRange(), DstPort: rules.FullPortRange(),
+				ProtoWildcard: true,
+			}
+			id++
+			reqs = append(reqs, Request{Kind: Insert, Tag: i, Rule: r})
+		} else {
+			reqs = append(reqs, lookupReq(i, 0x00000001))
+		}
+	}
+	resps, err := e.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 30 {
+		t.Fatalf("responses = %d", len(resps))
+	}
+	s := e.Stats()
+	if s.Lookups != 27 || s.Updates != 3 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if e.Throughput() <= 0 || e.Throughput() > 1 {
+		t.Fatalf("throughput = %v", e.Throughput())
+	}
+	// Updates are interspersed without starving lookups: total cycles
+	// stay near lookups + update costs + stalls.
+	if s.Cycles > 27+3*5+uint64(s.StallCycles)+lookupLatency+2 {
+		t.Fatalf("cycle accounting off: %+v", s)
+	}
+}
+
+func TestIdleTicks(t *testing.T) {
+	e := New(testDevice(t), 4)
+	e.Tick()
+	e.Tick()
+	if e.Stats().IdleCycles != 2 {
+		t.Fatalf("idle cycles = %d", e.Stats().IdleCycles)
+	}
+	if e.Cycle() != 2 || e.QueueLen() != 0 {
+		t.Fatal("cycle/queue state wrong")
+	}
+	if e.Throughput() != 0 {
+		t.Fatal("throughput on idle engine nonzero")
+	}
+}

@@ -1,0 +1,171 @@
+// Package rram explores the paper's §IX future-work direction: building
+// CATCAM's priority matrix from resistive RAM instead of 8T SRAM.
+//
+// RRAM crossbars natively support column-wise writes and pack far
+// denser than SRAM, but cells wear out: the paper cites ~10^12 write
+// endurance and rejects RRAM because CATCAM's update rate (one row plus
+// one column write per insertion, concentrated on hot slots) would wear
+// cells out "within hours". This package makes that argument executable:
+// a crossbar model with per-cell wear counters, a wear-aware write path,
+// and a lifetime projector that reproduces the paper's hours-scale
+// conclusion — and shows how far simple wear-leveling (rotating the
+// slot allocator) stretches it.
+package rram
+
+import (
+	"fmt"
+
+	"catcam/internal/bitvec"
+)
+
+// Endurance is the per-cell write budget the paper cites (~10^12).
+const Endurance = 1e12
+
+// Crossbar is an n×n resistive priority matrix with wear tracking.
+type Crossbar struct {
+	n    int
+	wear []uint64 // per-cell write counts, row-major
+	rows []*bitvec.Vector
+
+	writes    uint64
+	maxWear   uint64
+	worn      bool
+	endurance uint64
+}
+
+// New returns an n×n crossbar with the given per-cell endurance budget
+// (0 uses the paper's 10^12).
+func New(n int, endurance uint64) *Crossbar {
+	if n <= 0 {
+		panic(fmt.Sprintf("rram: invalid size %d", n))
+	}
+	if endurance == 0 {
+		endurance = uint64(Endurance)
+	}
+	c := &Crossbar{n: n, wear: make([]uint64, n*n), endurance: endurance}
+	c.rows = make([]*bitvec.Vector, n)
+	for i := range c.rows {
+		c.rows[i] = bitvec.New(n)
+	}
+	return c
+}
+
+// Size returns n.
+func (c *Crossbar) Size() int { return c.n }
+
+// Writes returns total cell writes so far.
+func (c *Crossbar) Writes() uint64 { return c.writes }
+
+// MaxWear returns the most-written cell's count.
+func (c *Crossbar) MaxWear() uint64 { return c.maxWear }
+
+// Worn reports whether any cell exceeded its endurance budget.
+func (c *Crossbar) Worn() bool { return c.worn }
+
+// Bit returns the stored bit (no wear; reads are free in RRAM too).
+func (c *Crossbar) Bit(r, col int) bool { return c.rows[r].Get(col) }
+
+func (c *Crossbar) wearCell(r, col int) {
+	idx := r*c.n + col
+	c.wear[idx]++
+	c.writes++
+	if c.wear[idx] > c.maxWear {
+		c.maxWear = c.wear[idx]
+	}
+	if c.wear[idx] > c.endurance {
+		c.worn = true
+	}
+}
+
+// WriteRow writes a full row. Unlike SRAM, every cell in the row is
+// programmed (RRAM writes are destructive SET/RESET), so each cell
+// wears.
+func (c *Crossbar) WriteRow(r int, v *bitvec.Vector) {
+	if v.Len() != c.n {
+		panic(fmt.Sprintf("rram: row width %d != %d", v.Len(), c.n))
+	}
+	for col := 0; col < c.n; col++ {
+		c.wearCell(r, col)
+	}
+	c.rows[r].CopyFrom(v)
+}
+
+// WriteColumn writes a full column natively (the RRAM advantage: no
+// dual-voltage trick needed); every cell in the column wears.
+func (c *Crossbar) WriteColumn(col int, v *bitvec.Vector) {
+	if v.Len() != c.n {
+		panic(fmt.Sprintf("rram: column height %d != %d", v.Len(), c.n))
+	}
+	for r := 0; r < c.n; r++ {
+		c.wearCell(r, col)
+		c.rows[r].SetBool(col, v.Get(r))
+	}
+}
+
+// ColumnNOR is the same in-place priority decision as the SRAM array
+// (reads do not wear the cells).
+func (c *Crossbar) ColumnNOR(active *bitvec.Vector) *bitvec.Vector {
+	if active.Len() != c.n {
+		panic(fmt.Sprintf("rram: active length %d != %d", active.Len(), c.n))
+	}
+	result := active.Copy()
+	active.ForEach(func(r int) bool {
+		result.AndNot(c.rows[r])
+		return true
+	})
+	return result
+}
+
+// InsertWear models one CATCAM rule insertion into slot s: the slot's
+// row and column are rewritten (2n cell writes; the diagonal cell is
+// programmed by both passes and wears twice).
+func (c *Crossbar) InsertWear(s int, row, col *bitvec.Vector) {
+	c.WriteRow(s, row)
+	c.WriteColumn(s, col)
+}
+
+// Lifetime projects how long the crossbar survives a given update rate.
+type Lifetime struct {
+	UpdatesPerSecond float64
+	// HotSlot assumes the allocator reuses one slot (worst case: a
+	// single rule slot flapping); Leveled assumes perfect rotation over
+	// all n slots.
+	HotSlotSeconds float64
+	LeveledSeconds float64
+}
+
+// ProjectLifetime computes time-to-wear-out for the paper's scenario:
+// every update rewrites one row and one column. A cell on the hot
+// slot's row/column wears once per update in the hot-slot policy and
+// 2/n times per update (amortized) under perfect leveling.
+func (c *Crossbar) ProjectLifetime(updatesPerSecond float64) Lifetime {
+	if updatesPerSecond <= 0 {
+		return Lifetime{UpdatesPerSecond: updatesPerSecond}
+	}
+	perCellPerUpdateHot := 1.0 // the hot slot's own cells rewrite every time
+	perCellPerUpdateLeveled := 2.0 / float64(c.n)
+	e := float64(c.endurance)
+	return Lifetime{
+		UpdatesPerSecond: updatesPerSecond,
+		HotSlotSeconds:   e / (perCellPerUpdateHot * updatesPerSecond),
+		LeveledSeconds:   e / (perCellPerUpdateLeveled * updatesPerSecond),
+	}
+}
+
+// String renders a lifetime in humane units.
+func (l Lifetime) String() string {
+	fmtDur := func(s float64) string {
+		switch {
+		case s < 3600:
+			return fmt.Sprintf("%.1f minutes", s/60)
+		case s < 86400:
+			return fmt.Sprintf("%.1f hours", s/3600)
+		case s < 365*86400:
+			return fmt.Sprintf("%.1f days", s/86400)
+		default:
+			return fmt.Sprintf("%.1f years", s/(365*86400))
+		}
+	}
+	return fmt.Sprintf("at %.0f updates/s: hot-slot wear-out in %s, perfectly leveled in %s",
+		l.UpdatesPerSecond, fmtDur(l.HotSlotSeconds), fmtDur(l.LeveledSeconds))
+}

@@ -1,0 +1,154 @@
+package rram
+
+import (
+	"strings"
+	"testing"
+
+	"catcam/internal/bitvec"
+)
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid size accepted")
+		}
+	}()
+	New(0, 0)
+}
+
+func TestWritesAndReads(t *testing.T) {
+	c := New(4, 0)
+	row := bitvec.FromIndices(4, 1, 3)
+	c.WriteRow(2, row)
+	for col := 0; col < 4; col++ {
+		if c.Bit(2, col) != row.Get(col) {
+			t.Fatalf("row bit %d wrong", col)
+		}
+	}
+	col := bitvec.FromIndices(4, 0, 2)
+	c.WriteColumn(1, col)
+	for r := 0; r < 4; r++ {
+		if c.Bit(r, 1) != col.Get(r) {
+			t.Fatalf("column bit %d wrong", r)
+		}
+	}
+	// 4 (row) + 4 (column) cell writes
+	if c.Writes() != 8 {
+		t.Fatalf("writes = %d", c.Writes())
+	}
+}
+
+func TestDimensionPanics(t *testing.T) {
+	c := New(4, 0)
+	for i, f := range []func(){
+		func() { c.WriteRow(0, bitvec.New(5)) },
+		func() { c.WriteColumn(0, bitvec.New(3)) },
+		func() { c.ColumnNOR(bitvec.New(5)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestColumnNORMatchesSRAMSemantics(t *testing.T) {
+	c := New(4, 0)
+	// rule2 beats 0,1,3; rule3 beats 0,1; rule0 beats 1.
+	set := func(i, j int) {
+		row := bitvec.New(4)
+		for col := 0; col < 4; col++ {
+			if c.Bit(i, col) {
+				row.Set(col)
+			}
+		}
+		row.Set(j)
+		c.WriteRow(i, row)
+	}
+	set(2, 0)
+	set(2, 1)
+	set(2, 3)
+	set(3, 0)
+	set(3, 1)
+	set(0, 1)
+	report := c.ColumnNOR(bitvec.FromIndices(4, 0, 2, 3))
+	if !report.IsOneHot() || report.First() != 2 {
+		t.Fatalf("report = %s, want one-hot at 2", report)
+	}
+}
+
+func TestWearTracking(t *testing.T) {
+	c := New(8, 10) // tiny endurance
+	row := bitvec.New(8)
+	col := bitvec.New(8)
+	for i := 0; i < 5; i++ {
+		c.InsertWear(3, row, col)
+	}
+	// The diagonal cell (3,3) wears twice per insert: 10 writes = budget.
+	if c.MaxWear() != 10 {
+		t.Fatalf("max wear = %d, want 10", c.MaxWear())
+	}
+	if c.Worn() {
+		t.Fatal("worn at exactly the budget")
+	}
+	c.InsertWear(3, row, col)
+	if !c.Worn() {
+		t.Fatal("not worn past the budget")
+	}
+}
+
+func TestReadsDoNotWear(t *testing.T) {
+	c := New(8, 0)
+	before := c.Writes()
+	c.ColumnNOR(bitvec.FromIndices(8, 1, 2, 3))
+	c.Bit(0, 0)
+	if c.Writes() != before {
+		t.Fatal("reads consumed endurance")
+	}
+}
+
+// The paper's argument: at CATCAM's 100M updates/s, a hot slot wears
+// out within hours; even perfect leveling over a 256-slot subtable only
+// buys days.
+func TestPaperEnduranceArgument(t *testing.T) {
+	c := New(256, 0)
+	l := c.ProjectLifetime(100e6)
+	hotHours := l.HotSlotSeconds / 3600
+	if hotHours < 0.5 || hotHours > 24 {
+		t.Fatalf("hot-slot lifetime = %.1f hours, paper says 'within hours'", hotHours)
+	}
+	leveledDays := l.LeveledSeconds / 86400
+	if leveledDays < 1 || leveledDays > 365 {
+		t.Fatalf("leveled lifetime = %.1f days, expect days-to-months", leveledDays)
+	}
+	if l.LeveledSeconds <= l.HotSlotSeconds {
+		t.Fatal("leveling did not help")
+	}
+	s := l.String()
+	if !strings.Contains(s, "hours") || !strings.Contains(s, "updates/s") {
+		t.Fatalf("lifetime string: %s", s)
+	}
+}
+
+func TestProjectLifetimeZeroRate(t *testing.T) {
+	l := New(16, 0).ProjectLifetime(0)
+	if l.HotSlotSeconds != 0 || l.LeveledSeconds != 0 {
+		t.Fatal("zero rate should project zero")
+	}
+}
+
+func TestLifetimeStringUnits(t *testing.T) {
+	c := New(256, 0)
+	// Low rate: leveled lifetime lands in years.
+	if s := c.ProjectLifetime(100).String(); !strings.Contains(s, "years") {
+		t.Fatalf("expected years at 100 updates/s: %s", s)
+	}
+	// Extremely high rate: hot slot in minutes.
+	if s := c.ProjectLifetime(10e9).String(); !strings.Contains(s, "minutes") {
+		t.Fatalf("expected minutes at 10G updates/s: %s", s)
+	}
+}

@@ -1,0 +1,68 @@
+package rules
+
+import "testing"
+
+// FuzzRangeToPrefixes verifies the cover is exact at fuzzer-chosen
+// probe points.
+func FuzzRangeToPrefixes(f *testing.F) {
+	f.Add(uint16(0), uint16(65535), uint16(80))
+	f.Add(uint16(1024), uint16(65535), uint16(1023))
+	f.Add(uint16(80), uint16(80), uint16(80))
+	f.Fuzz(func(t *testing.T, lo, hi, probe uint16) {
+		r := PortRange{Lo: lo, Hi: hi}
+		prefixes := RangeToPrefixes(r)
+		if !r.Valid() {
+			if prefixes != nil {
+				t.Fatal("invalid range produced prefixes")
+			}
+			return
+		}
+		covered := false
+		for _, p := range prefixes {
+			if p.Contains(probe) {
+				covered = true
+				break
+			}
+		}
+		if covered != r.Contains(probe) {
+			t.Fatalf("range [%d,%d] probe %d: cover=%v semantic=%v",
+				lo, hi, probe, covered, r.Contains(probe))
+		}
+		// Minimality sanity: never more than 2*16-2 prefixes.
+		if len(prefixes) > 30 {
+			t.Fatalf("range [%d,%d] expanded to %d prefixes", lo, hi, len(prefixes))
+		}
+	})
+}
+
+// FuzzEncodeMatches verifies that ternary encoding agrees with rule
+// semantics on fuzzer-chosen headers.
+func FuzzEncodeMatches(f *testing.F) {
+	f.Add(uint32(0x0A000000), 8, uint32(0x0A010203), uint16(80), uint16(443), uint8(6))
+	f.Fuzz(func(t *testing.T, addr uint32, plen int, src uint32, pLo, pHi uint16, proto uint8) {
+		if plen < 0 || plen > 32 || pLo > pHi {
+			return
+		}
+		r := Rule{
+			ID: 1, Priority: 1,
+			SrcIP:   Prefix{Addr: addr, Len: plen}.Canonical(),
+			DstIP:   Prefix{},
+			SrcPort: PortRange{Lo: pLo, Hi: pHi},
+			DstPort: FullPortRange(),
+			Proto:   proto,
+		}
+		h := Header{SrcIP: src, SrcPort: pLo, DstPort: 9, Proto: proto}
+		key := EncodeHeader(h)
+		matched := false
+		for _, w := range r.Encode() {
+			if w.Match(key) {
+				matched = true
+				break
+			}
+		}
+		if matched != r.Matches(h) {
+			t.Fatalf("encode/semantic mismatch: rule %v header %+v encoded=%v want=%v",
+				r, h, matched, r.Matches(h))
+		}
+	})
+}

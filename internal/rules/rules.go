@@ -1,0 +1,332 @@
+// Package rules models packet-classification rules and packet headers.
+//
+// A rule is the classic 5-tuple used by ClassBench and OpenFlow-style
+// tables: source/destination IPv4 prefixes, source/destination port
+// ranges, and a protocol byte (exact or wildcard), plus a priority. A
+// ruleset maps each incoming header to the action of the highest-priority
+// matching rule.
+//
+// TCAMs store ternary strings, not ranges, so port ranges are expanded
+// into a minimal cover of prefix-style ternary words (the "inflation due
+// to range expansion" the paper excludes from its occupancy numbers).
+// Encode performs this expansion and concatenates the per-field
+// encodings into fixed-width ternary words.
+package rules
+
+import (
+	"fmt"
+
+	"catcam/internal/ternary"
+)
+
+// Field widths of the encoded 5-tuple, most significant first.
+const (
+	SrcIPBits   = 32
+	DstIPBits   = 32
+	SrcPortBits = 16
+	DstPortBits = 16
+	ProtoBits   = 8
+
+	// TupleBits is the total encoded width of a 5-tuple rule.
+	TupleBits = SrcIPBits + DstIPBits + SrcPortBits + DstPortBits + ProtoBits
+)
+
+// Field offsets within the encoded word.
+const (
+	srcIPOff   = 0
+	dstIPOff   = srcIPOff + SrcIPBits
+	srcPortOff = dstIPOff + DstIPBits
+	dstPortOff = srcPortOff + SrcPortBits
+	protoOff   = dstPortOff + DstPortBits
+)
+
+// PortRange is an inclusive [Lo, Hi] range over 16-bit ports.
+type PortRange struct {
+	Lo, Hi uint16
+}
+
+// FullPortRange matches every port.
+func FullPortRange() PortRange { return PortRange{0, 0xFFFF} }
+
+// Contains reports whether p lies in the range.
+func (r PortRange) Contains(p uint16) bool { return p >= r.Lo && p <= r.Hi }
+
+// IsFull reports whether the range covers all ports.
+func (r PortRange) IsFull() bool { return r.Lo == 0 && r.Hi == 0xFFFF }
+
+// Valid reports whether Lo <= Hi.
+func (r PortRange) Valid() bool { return r.Lo <= r.Hi }
+
+func (r PortRange) String() string {
+	if r.IsFull() {
+		return "*"
+	}
+	if r.Lo == r.Hi {
+		return fmt.Sprintf("%d", r.Lo)
+	}
+	return fmt.Sprintf("%d-%d", r.Lo, r.Hi)
+}
+
+// Prefix is an IPv4 prefix: the top Len bits of Addr are significant.
+type Prefix struct {
+	Addr uint32
+	Len  int // 0..32
+}
+
+// Contains reports whether ip falls under the prefix.
+func (p Prefix) Contains(ip uint32) bool {
+	if p.Len == 0 {
+		return true
+	}
+	shift := uint(32 - p.Len)
+	return ip>>shift == p.Addr>>shift
+}
+
+// Canonical returns the prefix with bits below Len cleared.
+func (p Prefix) Canonical() Prefix {
+	if p.Len <= 0 {
+		return Prefix{0, 0}
+	}
+	if p.Len >= 32 {
+		return Prefix{p.Addr, 32}
+	}
+	mask := ^uint32(0) << uint(32-p.Len)
+	return Prefix{p.Addr & mask, p.Len}
+}
+
+func (p Prefix) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d/%d",
+		byte(p.Addr>>24), byte(p.Addr>>16), byte(p.Addr>>8), byte(p.Addr), p.Len)
+}
+
+// Rule is one packet-classification rule. Priority follows the paper's
+// convention: larger numbers mean higher priority. ID is a stable,
+// unique identifier assigned by the ruleset owner; it doubles as the
+// tie-breaker for equal priorities (larger ID, i.e. newer rule, wins).
+type Rule struct {
+	ID       int
+	Priority int
+	SrcIP    Prefix
+	DstIP    Prefix
+	SrcPort  PortRange
+	DstPort  PortRange
+	// Proto is the protocol byte; ProtoWildcard makes it match-all.
+	Proto         uint8
+	ProtoWildcard bool
+	// Action is an opaque action identifier carried to the reporter.
+	Action int
+}
+
+// Header is a packet header: the concrete 5-tuple under classification.
+type Header struct {
+	SrcIP   uint32
+	DstIP   uint32
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+}
+
+// Matches reports whether the rule matches the header, field by field.
+// This is the ground-truth semantics every engine must agree with.
+func (r Rule) Matches(h Header) bool {
+	return r.SrcIP.Contains(h.SrcIP) &&
+		r.DstIP.Contains(h.DstIP) &&
+		r.SrcPort.Contains(h.SrcPort) &&
+		r.DstPort.Contains(h.DstPort) &&
+		(r.ProtoWildcard || r.Proto == h.Proto)
+}
+
+// Before reports whether r loses to o under the strict total order used
+// across all engines: higher priority wins; equal priorities break by
+// larger ID (the newer rule).
+func (r Rule) Before(o Rule) bool {
+	if r.Priority != o.Priority {
+		return r.Priority < o.Priority
+	}
+	return r.ID < o.ID
+}
+
+func (r Rule) String() string {
+	proto := "*"
+	if !r.ProtoWildcard {
+		proto = fmt.Sprintf("%d", r.Proto)
+	}
+	return fmt.Sprintf("rule %d prio %d: %s -> %s sport %s dport %s proto %s",
+		r.ID, r.Priority, r.SrcIP, r.DstIP, r.SrcPort, r.DstPort, proto)
+}
+
+// Overlaps reports whether some header matches both rules. Two rules
+// overlap iff every field pair intersects.
+func (r Rule) Overlaps(o Rule) bool {
+	return prefixesOverlap(r.SrcIP, o.SrcIP) &&
+		prefixesOverlap(r.DstIP, o.DstIP) &&
+		rangesOverlap(r.SrcPort, o.SrcPort) &&
+		rangesOverlap(r.DstPort, o.DstPort) &&
+		(r.ProtoWildcard || o.ProtoWildcard || r.Proto == o.Proto)
+}
+
+func prefixesOverlap(a, b Prefix) bool {
+	min := a.Len
+	if b.Len < min {
+		min = b.Len
+	}
+	if min == 0 {
+		return true
+	}
+	shift := uint(32 - min)
+	return a.Addr>>shift == b.Addr>>shift
+}
+
+func rangesOverlap(a, b PortRange) bool {
+	return a.Lo <= b.Hi && b.Lo <= a.Hi
+}
+
+// RangeToPrefixes returns the minimal set of (value, prefixLen) pairs
+// whose union over 16-bit space equals [r.Lo, r.Hi]. This is the
+// standard greedy largest-aligned-block expansion; a worst-case range
+// expands to at most 2*16-2 = 30 prefixes.
+func RangeToPrefixes(r PortRange) []Prefix16 {
+	if !r.Valid() {
+		return nil
+	}
+	var out []Prefix16
+	lo, hi := uint32(r.Lo), uint32(r.Hi)
+	for lo <= hi {
+		// Largest power-of-two block aligned at lo that fits in [lo, hi].
+		size := uint32(1)
+		for {
+			next := size << 1
+			if next == 0 || lo&(next-1) != 0 || lo+next-1 > hi {
+				break
+			}
+			size = next
+		}
+		plen := 16
+		for s := size; s > 1; s >>= 1 {
+			plen--
+		}
+		out = append(out, Prefix16{Value: uint16(lo), Len: plen})
+		lo += size
+		if lo == 0 { // wrapped past 0xFFFF
+			break
+		}
+	}
+	return out
+}
+
+// Prefix16 is a prefix over the 16-bit port space.
+type Prefix16 struct {
+	Value uint16
+	Len   int // 0..16
+}
+
+// Contains reports whether port p falls under the prefix.
+func (p Prefix16) Contains(v uint16) bool {
+	if p.Len == 0 {
+		return true
+	}
+	shift := uint(16 - p.Len)
+	return v>>shift == p.Value>>shift
+}
+
+// Encode expands the rule into one or more ternary words of width
+// TupleBits. Multiple words arise only from port-range expansion; all
+// expansion words carry the same priority and action. The word layout is
+// srcIP | dstIP | srcPort | dstPort | proto, most significant first.
+func (r Rule) Encode() []ternary.Word {
+	src := ternary.Prefix(uint64(r.SrcIP.Addr), r.SrcIP.Len, SrcIPBits)
+	dst := ternary.Prefix(uint64(r.DstIP.Addr), r.DstIP.Len, DstIPBits)
+
+	var proto ternary.Word
+	if r.ProtoWildcard {
+		proto = ternary.NewWord(ProtoBits)
+	} else {
+		proto = ternary.FromUint(uint64(r.Proto), ProtoBits)
+	}
+
+	sports := RangeToPrefixes(r.SrcPort)
+	dports := RangeToPrefixes(r.DstPort)
+	out := make([]ternary.Word, 0, len(sports)*len(dports))
+	for _, sp := range sports {
+		spw := ternary.Prefix(uint64(sp.Value), sp.Len, SrcPortBits)
+		for _, dp := range dports {
+			dpw := ternary.Prefix(uint64(dp.Value), dp.Len, DstPortBits)
+			w := ternary.NewWord(TupleBits)
+			w.Slot(srcIPOff, src)
+			w.Slot(dstIPOff, dst)
+			w.Slot(srcPortOff, spw)
+			w.Slot(dstPortOff, dpw)
+			w.Slot(protoOff, proto)
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// ExpansionCount returns how many ternary words Encode will produce,
+// without building them.
+func (r Rule) ExpansionCount() int {
+	return len(RangeToPrefixes(r.SrcPort)) * len(RangeToPrefixes(r.DstPort))
+}
+
+// EncodeHeader returns the search key for a header, in the same layout
+// as Encode.
+func EncodeHeader(h Header) ternary.Key {
+	k := ternary.NewKey(TupleBits)
+	k.SlotKey(srcIPOff, ternary.KeyFromUint(uint64(h.SrcIP), SrcIPBits))
+	k.SlotKey(dstIPOff, ternary.KeyFromUint(uint64(h.DstIP), DstIPBits))
+	k.SlotKey(srcPortOff, ternary.KeyFromUint(uint64(h.SrcPort), SrcPortBits))
+	k.SlotKey(dstPortOff, ternary.KeyFromUint(uint64(h.DstPort), DstPortBits))
+	k.SlotKey(protoOff, ternary.KeyFromUint(uint64(h.Proto), ProtoBits))
+	return k
+}
+
+// Ruleset is an ordered collection of rules with unique IDs.
+type Ruleset struct {
+	Rules []Rule
+}
+
+// ByID returns the rule with the given ID, or false.
+func (s *Ruleset) ByID(id int) (Rule, bool) {
+	for _, r := range s.Rules {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// Best returns the winning rule for h under the strict total order, or
+// false if none matches. This linear scan is the reference semantics all
+// classification engines are validated against.
+func (s *Ruleset) Best(h Header) (Rule, bool) {
+	var best Rule
+	found := false
+	for _, r := range s.Rules {
+		if !r.Matches(h) {
+			continue
+		}
+		if !found || best.Before(r) {
+			best, found = r, true
+		}
+	}
+	return best, found
+}
+
+// Validate checks ID uniqueness and field validity.
+func (s *Ruleset) Validate() error {
+	seen := make(map[int]bool, len(s.Rules))
+	for _, r := range s.Rules {
+		if seen[r.ID] {
+			return fmt.Errorf("rules: duplicate rule ID %d", r.ID)
+		}
+		seen[r.ID] = true
+		if !r.SrcPort.Valid() || !r.DstPort.Valid() {
+			return fmt.Errorf("rules: rule %d has invalid port range", r.ID)
+		}
+		if r.SrcIP.Len < 0 || r.SrcIP.Len > 32 || r.DstIP.Len < 0 || r.DstIP.Len > 32 {
+			return fmt.Errorf("rules: rule %d has invalid prefix length", r.ID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,376 @@
+// Package sram is a functional, cycle- and energy-accounted model of the
+// customized 8T SRAM arrays CATCAM is built from.
+//
+// Two array flavours are modelled:
+//
+//   - Array: a plain bit array with the PIM extensions the paper adds —
+//     multi-row bit-line NOR (the priority decision primitive, §V-A) and
+//     the dual-voltage column-wise write (§V-B) that updates one column
+//     in two cycles instead of one cycle per row. This hosts the local
+//     and global priority matrices.
+//
+//   - TernaryArray: the transposed-cell match matrix (§V-C). Each entry
+//     row stores a ternary word as two bit planes (the 10/01/00 encoding
+//     of Fig 13); a search drives the encoded key on the search lines
+//     and senses all match lines in parallel.
+//
+// Energy follows the paper's Table I: a search/decision costs a base
+// amount (peripheral control, amortized) plus an incremental amount per
+// active entry — pre-charged match lines for valid entries in the match
+// matrix, pre-charged read bit-lines and driven read word-lines for
+// matched entries in the priority matrix. Absolute constants are taken
+// from the paper's silicon measurements (we cannot re-run SPICE); cycle
+// counts and activity factors are computed by this model.
+package sram
+
+import (
+	"fmt"
+
+	"catcam/internal/bitvec"
+	"catcam/internal/ternary"
+)
+
+// Params holds the physical parameters of one array instance, following
+// the paper's Table I.
+type Params struct {
+	Name           string
+	Rows, Cols     int
+	ComputeDelayPs float64 // input-to-output delay of an in-memory op
+	AccessDelayPs  float64 // row-wise read/write delay
+	EnergyPerBitFJ float64 // full-array compute energy per bit
+	IncrementalFJ  float64 // compute energy per additionally active row
+	ReadEnergyPJ   float64 // row read energy
+	WriteEnergyPJ  float64 // row write energy
+	AreaMM2        float64
+}
+
+// MatchMatrixParams returns Table I's match-matrix subarray parameters
+// (256 entries x 160 ternary bits).
+func MatchMatrixParams() Params {
+	return Params{
+		Name: "match-matrix", Rows: 256, Cols: 160,
+		ComputeDelayPs: 585, AccessDelayPs: 461,
+		EnergyPerBitFJ: 0.78, IncrementalFJ: 63.3,
+		ReadEnergyPJ: 26.7, WriteEnergyPJ: 35.6,
+		AreaMM2: 0.039,
+	}
+}
+
+// PriorityMatrixParams returns Table I's priority-matrix parameters
+// (256 x 256 bits).
+func PriorityMatrixParams() Params {
+	return Params{
+		Name: "priority-matrix", Rows: 256, Cols: 256,
+		ComputeDelayPs: 505, AccessDelayPs: 479,
+		EnergyPerBitFJ: 0.59, IncrementalFJ: 148.6,
+		ReadEnergyPJ: 22.7, WriteEnergyPJ: 30.3,
+		AreaMM2: 0.031,
+	}
+}
+
+// BaseComputeFJ returns the activity-independent part of one in-memory
+// operation's energy, calibrated so that a fully-active array matches
+// the per-bit figure: base + rows*incremental = perBit * rows * cols.
+func (p Params) BaseComputeFJ() float64 {
+	full := p.EnergyPerBitFJ * float64(p.Rows) * float64(p.Cols)
+	base := full - float64(p.Rows)*p.IncrementalFJ
+	if base < 0 {
+		base = 0
+	}
+	return base
+}
+
+// ComputeEnergyFJ returns the energy of one in-memory operation with the
+// given number of active rows (valid entries for a search, matched
+// entries for a priority decision).
+func (p Params) ComputeEnergyFJ(activeRows int) float64 {
+	return p.BaseComputeFJ() + float64(activeRows)*p.IncrementalFJ
+}
+
+// Stats accumulates the operation counts, cycles and energy of an array.
+type Stats struct {
+	Cycles    uint64
+	RowReads  uint64
+	RowWrites uint64
+	ColWrites uint64
+	NOROps    uint64
+	Searches  uint64
+	EnergyFJ  float64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Cycles += o.Cycles
+	s.RowReads += o.RowReads
+	s.RowWrites += o.RowWrites
+	s.ColWrites += o.ColWrites
+	s.NOROps += o.NOROps
+	s.Searches += o.Searches
+	s.EnergyFJ += o.EnergyFJ
+}
+
+// Array is the bit-matrix flavour used for priority matrices. Row i is a
+// bitvec of Cols bits.
+type Array struct {
+	params Params
+	rows   []*bitvec.Vector
+	stats  Stats
+}
+
+// NewArray returns a zeroed array with the given parameters.
+func NewArray(p Params) *Array {
+	if p.Rows <= 0 || p.Cols <= 0 {
+		panic(fmt.Sprintf("sram: invalid dimensions %dx%d", p.Rows, p.Cols))
+	}
+	a := &Array{params: p, rows: make([]*bitvec.Vector, p.Rows)}
+	for i := range a.rows {
+		a.rows[i] = bitvec.New(p.Cols)
+	}
+	return a
+}
+
+// Params returns the array's physical parameters.
+func (a *Array) Params() Params { return a.params }
+
+// Stats returns a copy of the accumulated statistics.
+func (a *Array) Stats() Stats { return a.stats }
+
+// ResetStats zeroes the accumulated statistics.
+func (a *Array) ResetStats() { a.stats = Stats{} }
+
+func (a *Array) checkRow(r int) {
+	if r < 0 || r >= a.params.Rows {
+		panic(fmt.Sprintf("sram: row %d out of range [0,%d)", r, a.params.Rows))
+	}
+}
+
+func (a *Array) checkCol(c int) {
+	if c < 0 || c >= a.params.Cols {
+		panic(fmt.Sprintf("sram: column %d out of range [0,%d)", c, a.params.Cols))
+	}
+}
+
+// ReadRow returns a copy of row r. One cycle, one row-read energy.
+func (a *Array) ReadRow(r int) *bitvec.Vector {
+	a.checkRow(r)
+	a.stats.Cycles++
+	a.stats.RowReads++
+	a.stats.EnergyFJ += a.params.ReadEnergyPJ * 1000
+	return a.rows[r].Copy()
+}
+
+// WriteRow overwrites row r. One cycle, one row-write energy. This is
+// the conventional SRAM write path, used for the new rule's own row of
+// the priority matrix.
+func (a *Array) WriteRow(r int, v *bitvec.Vector) {
+	a.checkRow(r)
+	if v.Len() != a.params.Cols {
+		panic(fmt.Sprintf("sram: row width %d != %d", v.Len(), a.params.Cols))
+	}
+	a.stats.Cycles++
+	a.stats.RowWrites++
+	a.stats.EnergyFJ += a.params.WriteEnergyPJ * 1000
+	a.rows[r].CopyFrom(v)
+}
+
+// WriteColumn writes column c across all rows using the dual-voltage
+// scheme: the '1' bits and '0' bits of the data are written in two
+// separate cycles (§V-B), independent of the number of rows. v holds one
+// bit per row.
+func (a *Array) WriteColumn(c int, v *bitvec.Vector) {
+	a.checkCol(c)
+	if v.Len() != a.params.Rows {
+		panic(fmt.Sprintf("sram: column height %d != %d", v.Len(), a.params.Rows))
+	}
+	a.stats.Cycles += 2
+	a.stats.ColWrites++
+	a.stats.EnergyFJ += 2 * a.params.WriteEnergyPJ * 1000
+	for r := 0; r < a.params.Rows; r++ {
+		a.rows[r].SetBool(c, v.Get(r))
+	}
+}
+
+// WriteColumnRowwise is the ablation path a conventional SRAM would be
+// forced to take: updating a column by read-modify-writing every row.
+// It costs Rows cycles and Rows write energies, demonstrating why the
+// dual-voltage column write is required for O(1) insertion.
+func (a *Array) WriteColumnRowwise(c int, v *bitvec.Vector) {
+	a.checkCol(c)
+	if v.Len() != a.params.Rows {
+		panic(fmt.Sprintf("sram: column height %d != %d", v.Len(), a.params.Rows))
+	}
+	a.stats.Cycles += uint64(a.params.Rows)
+	a.stats.RowWrites += uint64(a.params.Rows)
+	a.stats.EnergyFJ += float64(a.params.Rows) * a.params.WriteEnergyPJ * 1000
+	for r := 0; r < a.params.Rows; r++ {
+		a.rows[r].SetBool(c, v.Get(r))
+	}
+}
+
+// Bit returns the stored bit at (r, c) without cycle accounting
+// (debug/verification path, not a hardware access).
+func (a *Array) Bit(r, c int) bool {
+	a.checkRow(r)
+	a.checkCol(c)
+	return a.rows[r].Get(c)
+}
+
+// ColumnNOR performs the in-memory priority decision: the read word-line
+// of every row in `active` is asserted and the read bit-lines of the
+// columns in `active` are pre-charged; every other bit-line is grounded.
+// The sensed result is, per pre-charged column, the NOR of the activated
+// rows' cells (Fig 11). One cycle; energy is base plus incremental per
+// activated row.
+//
+// Returned vector: bit c is 1 iff c ∈ active and no activated row has a
+// 1 in column c. It requires Rows == Cols (square priority matrix).
+func (a *Array) ColumnNOR(active *bitvec.Vector) *bitvec.Vector {
+	if a.params.Rows != a.params.Cols {
+		panic("sram: ColumnNOR requires a square array")
+	}
+	if active.Len() != a.params.Rows {
+		panic(fmt.Sprintf("sram: active vector length %d != %d", active.Len(), a.params.Rows))
+	}
+	a.stats.Cycles++
+	a.stats.NOROps++
+	a.stats.EnergyFJ += a.params.ComputeEnergyFJ(active.Count())
+
+	result := active.Copy()
+	active.ForEach(func(r int) bool {
+		result.AndNot(a.rows[r])
+		return true
+	})
+	return result
+}
+
+// TernaryArray is the transposed-8T match matrix: Rows ternary entries
+// of Cols ternary bits each, searched in parallel.
+type TernaryArray struct {
+	params  Params
+	entries []ternary.Word
+	valid   *bitvec.Vector
+	stats   Stats
+	// subarrays is how many physical subarrays one logical entry spans
+	// (the prototype splits a 640-bit key over 4 160-bit subarrays); it
+	// scales search energy accounting.
+	subarrays int
+}
+
+// NewTernaryArray returns an empty match matrix of rows entries, each
+// width ternary bits wide, built from physical subarrays with the given
+// parameters. width must be a multiple of p.Cols; the ratio is the
+// subarray count.
+func NewTernaryArray(p Params, width int) *TernaryArray {
+	if width <= 0 || width%p.Cols != 0 {
+		panic(fmt.Sprintf("sram: width %d not a multiple of subarray cols %d", width, p.Cols))
+	}
+	return &TernaryArray{
+		params:    p,
+		entries:   make([]ternary.Word, p.Rows),
+		valid:     bitvec.New(p.Rows),
+		subarrays: width / p.Cols,
+	}
+}
+
+// Rows returns the entry capacity.
+func (t *TernaryArray) Rows() int { return t.params.Rows }
+
+// Width returns the logical entry width in ternary bits.
+func (t *TernaryArray) Width() int { return t.params.Cols * t.subarrays }
+
+// Subarrays returns the physical subarray count per entry.
+func (t *TernaryArray) Subarrays() int { return t.subarrays }
+
+// Params returns the per-subarray physical parameters.
+func (t *TernaryArray) Params() Params { return t.params }
+
+// Stats returns a copy of the accumulated statistics.
+func (t *TernaryArray) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the accumulated statistics.
+func (t *TernaryArray) ResetStats() { t.stats = Stats{} }
+
+// ValidCount returns the number of valid entries.
+func (t *TernaryArray) ValidCount() int { return t.valid.Count() }
+
+// ValidMask returns a copy of the valid-entry mask.
+func (t *TernaryArray) ValidMask() *bitvec.Vector { return t.valid.Copy() }
+
+// IsValid reports whether entry r holds a rule.
+func (t *TernaryArray) IsValid(r int) bool { return t.valid.Get(r) }
+
+// FirstFree returns the lowest invalid row, or -1 if full.
+func (t *TernaryArray) FirstFree() int {
+	for r := 0; r < t.params.Rows; r++ {
+		if !t.valid.Get(r) {
+			return r
+		}
+	}
+	return -1
+}
+
+func (t *TernaryArray) checkRow(r int) {
+	if r < 0 || r >= t.params.Rows {
+		panic(fmt.Sprintf("sram: entry %d out of range [0,%d)", r, t.params.Rows))
+	}
+}
+
+// WriteEntry stores a ternary word in row r and marks it valid. One
+// cycle (the paper's match-matrix update cost), write energy per
+// spanned subarray.
+func (t *TernaryArray) WriteEntry(r int, w ternary.Word) {
+	t.checkRow(r)
+	if w.Width() != t.Width() {
+		panic(fmt.Sprintf("sram: entry width %d != %d", w.Width(), t.Width()))
+	}
+	t.stats.Cycles++
+	t.stats.RowWrites++
+	t.stats.EnergyFJ += float64(t.subarrays) * t.params.WriteEnergyPJ * 1000
+	t.entries[r] = w.Copy()
+	t.valid.Set(r)
+}
+
+// ReadEntry reads back entry r (used when a rule is reallocated between
+// subtables). One cycle, read energy per subarray.
+func (t *TernaryArray) ReadEntry(r int) (ternary.Word, bool) {
+	t.checkRow(r)
+	t.stats.Cycles++
+	t.stats.RowReads++
+	t.stats.EnergyFJ += float64(t.subarrays) * t.params.ReadEnergyPJ * 1000
+	if !t.valid.Get(r) {
+		return ternary.Word{}, false
+	}
+	return t.entries[r].Copy(), true
+}
+
+// Invalidate clears entry r (rule deletion: one cycle).
+func (t *TernaryArray) Invalidate(r int) {
+	t.checkRow(r)
+	t.stats.Cycles++
+	t.stats.RowWrites++
+	t.stats.EnergyFJ += t.params.WriteEnergyPJ * 1000 // single valid-bit write
+	t.valid.Clear(r)
+	t.entries[r] = ternary.Word{}
+}
+
+// Search broadcasts the key on the search lines and senses every match
+// line, returning the match vector. One cycle; energy is (base +
+// incremental per valid entry) per subarray, since every valid entry's
+// match line is pre-charged regardless of outcome.
+func (t *TernaryArray) Search(k ternary.Key) *bitvec.Vector {
+	if k.Width() != t.Width() {
+		panic(fmt.Sprintf("sram: key width %d != %d", k.Width(), t.Width()))
+	}
+	t.stats.Cycles++
+	t.stats.Searches++
+	t.stats.EnergyFJ += float64(t.subarrays) * t.params.ComputeEnergyFJ(t.valid.Count())
+
+	m := bitvec.New(t.params.Rows)
+	t.valid.ForEach(func(r int) bool {
+		if t.entries[r].Match(k) {
+			m.Set(r)
+		}
+		return true
+	})
+	return m
+}

@@ -1,0 +1,298 @@
+package swclass
+
+import (
+	"fmt"
+
+	"catcam/internal/rules"
+)
+
+// DTree is a HiCuts-flavoured decision-tree classifier, the third
+// software family the paper's related work surveys (decision-tree /
+// divide-and-conquer approaches such as HiCuts, EffiCuts and the sorted
+// partitioning of [56]). The packet space is cut recursively on header
+// fields; each leaf holds the rules intersecting its hypercube, sorted
+// by priority, and a lookup walks the tree and scans one leaf.
+//
+// Updates exhibit the weakness the paper calls out for this family:
+// rules overlapping many cells replicate across leaves, and deletions
+// must chase every replica — fast lookups traded against update effort
+// and memory.
+type DTree struct {
+	root     *dnode
+	leafCap  int
+	count    int
+	byID     map[int][]*dleaf
+	rebuilt  int
+	maxDepth int
+}
+
+// dnode is an internal node (cut) or leaf.
+type dnode struct {
+	dim   int // 0 srcIP, 1 dstIP, 2 srcPort, 3 dstPort, 4 proto
+	mid   uint64
+	lo    *dnode
+	hi    *dnode
+	leaf  *dleaf
+	depth int
+}
+
+type dleaf struct {
+	rules  []rules.Rule // sorted descending by order (winner first)
+	bounds cube
+	depth  int
+}
+
+// cube is an axis-aligned box over the 5 header dimensions.
+type cube struct {
+	lo [5]uint64
+	hi [5]uint64 // inclusive
+}
+
+func fullCube() cube {
+	return cube{
+		hi: [5]uint64{1<<32 - 1, 1<<32 - 1, 1<<16 - 1, 1<<16 - 1, 1<<8 - 1},
+	}
+}
+
+// dims of a header, in cut order preference.
+func headerDim(h rules.Header, dim int) uint64 {
+	switch dim {
+	case 0:
+		return uint64(h.SrcIP)
+	case 1:
+		return uint64(h.DstIP)
+	case 2:
+		return uint64(h.SrcPort)
+	case 3:
+		return uint64(h.DstPort)
+	default:
+		return uint64(h.Proto)
+	}
+}
+
+// ruleRange returns the rule's [lo,hi] extent on a dimension.
+func ruleRange(r rules.Rule, dim int) (uint64, uint64) {
+	switch dim {
+	case 0:
+		return prefixRange(r.SrcIP)
+	case 1:
+		return prefixRange(r.DstIP)
+	case 2:
+		return uint64(r.SrcPort.Lo), uint64(r.SrcPort.Hi)
+	case 3:
+		return uint64(r.DstPort.Lo), uint64(r.DstPort.Hi)
+	default:
+		if r.ProtoWildcard {
+			return 0, 255
+		}
+		return uint64(r.Proto), uint64(r.Proto)
+	}
+}
+
+func prefixRange(p rules.Prefix) (uint64, uint64) {
+	if p.Len <= 0 {
+		return 0, 1<<32 - 1
+	}
+	shift := uint(32 - p.Len)
+	lo := uint64(p.Addr) >> shift << shift
+	return lo, lo | (1<<shift - 1)
+}
+
+func ruleIntersects(r rules.Rule, c cube) bool {
+	for d := 0; d < 5; d++ {
+		lo, hi := ruleRange(r, d)
+		if hi < c.lo[d] || lo > c.hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// dtreeMaxDepth bounds cutting; beyond it leaves simply grow.
+const dtreeMaxDepth = 24
+
+// NewDTree returns a decision-tree classifier with the given leaf
+// capacity (rules per leaf before a cut; 16 is a typical HiCuts bucket).
+func NewDTree(leafCap int) *DTree {
+	if leafCap <= 0 {
+		panic(fmt.Sprintf("swclass: invalid leaf capacity %d", leafCap))
+	}
+	return &DTree{
+		leafCap: leafCap,
+		root:    &dnode{leaf: &dleaf{bounds: fullCube()}},
+		byID:    make(map[int][]*dleaf),
+	}
+}
+
+// Name implements Classifier.
+func (dt *DTree) Name() string { return "DTree" }
+
+// Len implements Classifier.
+func (dt *DTree) Len() int { return dt.count }
+
+// Rebuilds reports how many leaf cuts have occurred (update-cost
+// visibility for benchmarks).
+func (dt *DTree) Rebuilds() int { return dt.rebuilt }
+
+// Insert implements Classifier.
+func (dt *DTree) Insert(r rules.Rule) error {
+	if _, dup := dt.byID[r.ID]; dup {
+		return fmt.Errorf("swclass: duplicate rule %d", r.ID)
+	}
+	dt.byID[r.ID] = nil
+	dt.insertInto(dt.root, r)
+	dt.count++
+	return nil
+}
+
+func (dt *DTree) insertInto(n *dnode, r rules.Rule) {
+	if n.leaf != nil {
+		lf := n.leaf
+		pos := len(lf.rules)
+		for i, x := range lf.rules {
+			if x.Before(r) {
+				pos = i
+				break
+			}
+		}
+		lf.rules = append(lf.rules, rules.Rule{})
+		copy(lf.rules[pos+1:], lf.rules[pos:])
+		lf.rules[pos] = r
+		dt.byID[r.ID] = append(dt.byID[r.ID], lf)
+		if len(lf.rules) > dt.leafCap && lf.depth < dtreeMaxDepth {
+			dt.cut(n)
+		}
+		return
+	}
+	lo, hi := ruleRange(r, n.dim)
+	if lo <= n.mid {
+		dt.insertInto(n.lo, r)
+	}
+	if hi > n.mid {
+		dt.insertInto(n.hi, r)
+	}
+}
+
+// cut splits a leaf on the dimension/midpoint that best separates its
+// rules (fewest replications, most balance).
+func (dt *DTree) cut(n *dnode) {
+	lf := n.leaf
+	bestDim, bestMid := -1, uint64(0)
+	bestScore := len(lf.rules)*2 + 1
+	for d := 0; d < 5; d++ {
+		span := lf.bounds.hi[d] - lf.bounds.lo[d]
+		if span == 0 {
+			continue
+		}
+		mid := lf.bounds.lo[d] + span/2
+		nlo, nhi := 0, 0
+		for _, r := range lf.rules {
+			rlo, rhi := ruleRange(r, d)
+			if rlo <= mid {
+				nlo++
+			}
+			if rhi > mid {
+				nhi++
+			}
+		}
+		larger := nlo
+		if nhi > larger {
+			larger = nhi
+		}
+		repl := nlo + nhi - len(lf.rules)
+		score := larger + repl
+		if larger < len(lf.rules) && score < bestScore {
+			bestDim, bestMid, bestScore = d, mid, score
+		}
+	}
+	if bestDim < 0 {
+		return // inseparable; leaf simply grows
+	}
+	dt.rebuilt++
+
+	loCube, hiCube := lf.bounds, lf.bounds
+	loCube.hi[bestDim] = bestMid
+	hiCube.lo[bestDim] = bestMid + 1
+	loLeaf := &dleaf{bounds: loCube, depth: lf.depth + 1}
+	hiLeaf := &dleaf{bounds: hiCube, depth: lf.depth + 1}
+	if lf.depth+1 > dt.maxDepth {
+		dt.maxDepth = lf.depth + 1
+	}
+	for _, r := range lf.rules {
+		rlo, rhi := ruleRange(r, bestDim)
+		dt.dropLeafRef(r.ID, lf)
+		if rlo <= bestMid {
+			loLeaf.rules = append(loLeaf.rules, r)
+			dt.byID[r.ID] = append(dt.byID[r.ID], loLeaf)
+		}
+		if rhi > bestMid {
+			hiLeaf.rules = append(hiLeaf.rules, r)
+			dt.byID[r.ID] = append(dt.byID[r.ID], hiLeaf)
+		}
+	}
+	n.leaf = nil
+	n.dim, n.mid = bestDim, bestMid
+	n.lo = &dnode{leaf: loLeaf, depth: lf.depth + 1}
+	n.hi = &dnode{leaf: hiLeaf, depth: lf.depth + 1}
+
+	// Recursively cut children that are still oversized.
+	if len(loLeaf.rules) > dt.leafCap && loLeaf.depth < dtreeMaxDepth {
+		dt.cut(n.lo)
+	}
+	if len(hiLeaf.rules) > dt.leafCap && hiLeaf.depth < dtreeMaxDepth {
+		dt.cut(n.hi)
+	}
+}
+
+func (dt *DTree) dropLeafRef(id int, lf *dleaf) {
+	ls := dt.byID[id]
+	for i, x := range ls {
+		if x == lf {
+			ls[i] = ls[len(ls)-1]
+			dt.byID[id] = ls[:len(ls)-1]
+			return
+		}
+	}
+}
+
+// Delete implements Classifier: every replica is chased.
+func (dt *DTree) Delete(ruleID int) error {
+	leaves, ok := dt.byID[ruleID]
+	if !ok {
+		return fmt.Errorf("swclass: rule %d not present", ruleID)
+	}
+	for _, lf := range leaves {
+		for i := 0; i < len(lf.rules); {
+			if lf.rules[i].ID == ruleID {
+				lf.rules = append(lf.rules[:i], lf.rules[i+1:]...)
+				continue
+			}
+			i++
+		}
+	}
+	delete(dt.byID, ruleID)
+	dt.count--
+	return nil
+}
+
+// Lookup implements Classifier: tree walk plus one leaf scan; the leaf
+// is sorted, so the first match wins.
+func (dt *DTree) Lookup(h rules.Header) (int, bool, int) {
+	ops := 0
+	n := dt.root
+	for n.leaf == nil {
+		ops++
+		if headerDim(h, n.dim) <= n.mid {
+			n = n.lo
+		} else {
+			n = n.hi
+		}
+	}
+	for _, r := range n.leaf.rules {
+		ops++
+		if r.Matches(h) {
+			return r.Action, true, ops
+		}
+	}
+	return 0, false, ops
+}

@@ -1,0 +1,138 @@
+package swclass
+
+import (
+	"testing"
+
+	"catcam/internal/classbench"
+	"catcam/internal/rules"
+)
+
+func TestDTreeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero leaf capacity accepted")
+		}
+	}()
+	NewDTree(0)
+}
+
+func TestDTreeBasic(t *testing.T) {
+	dt := NewDTree(4)
+	if err := dt.Insert(sampleRule(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	h := rules.Header{SrcIP: 0x0A010101, DstPort: 80, Proto: 6}
+	if act, ok, _ := dt.Lookup(h); !ok || act != 10 {
+		t.Fatalf("lookup = %d,%v", act, ok)
+	}
+	if err := dt.Insert(sampleRule(1, 9)); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := dt.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Delete(1); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	if _, ok, _ := dt.Lookup(h); ok {
+		t.Fatal("deleted rule matches")
+	}
+	if dt.Len() != 0 {
+		t.Fatalf("Len = %d", dt.Len())
+	}
+}
+
+func TestDTreeCutsUnderLoad(t *testing.T) {
+	dt := NewDTree(8)
+	rs := classbench.Generate(classbench.Config{Family: classbench.ACL, Size: 400, Seed: 9})
+	for _, r := range rs.Rules {
+		if err := dt.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dt.Rebuilds() == 0 {
+		t.Fatal("no cuts on a 400-rule set with 8-rule leaves")
+	}
+	// Lookups must now cost far less than a full scan.
+	headers := classbench.PacketTrace(rs, 200, 0.8, 10)
+	total := 0
+	for _, h := range headers {
+		_, _, ops := dt.Lookup(h)
+		total += ops
+	}
+	if avg := float64(total) / float64(len(headers)); avg > 120 {
+		t.Fatalf("avg lookup ops = %.1f, tree not cutting effectively", avg)
+	}
+}
+
+func TestDTreeConformance(t *testing.T) {
+	rs := classbench.Generate(classbench.Config{Family: classbench.FW, Size: 250, Seed: 11})
+	trace := classbench.UpdateTrace(rs, 200, 12)
+	headers := classbench.PacketTrace(rs, 250, 0.7, 13)
+
+	ref := NewLinear()
+	dt := NewDTree(8)
+	for _, r := range rs.Rules {
+		if err := ref.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := dt.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(stage string) {
+		for _, h := range headers {
+			wantAct, wantOK, _ := ref.Lookup(h)
+			act, ok, _ := dt.Lookup(h)
+			if ok != wantOK || (ok && act != wantAct) {
+				t.Fatalf("%s: header %+v got (%d,%v) want (%d,%v)", stage, h, act, ok, wantAct, wantOK)
+			}
+		}
+	}
+	check("loaded")
+	for _, u := range trace {
+		if u.Op == classbench.OpInsert {
+			if err := ref.Insert(u.Rule); err != nil {
+				t.Fatal(err)
+			}
+			if err := dt.Insert(u.Rule); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := ref.Delete(u.Rule.ID); err != nil {
+				t.Fatal(err)
+			}
+			if err := dt.Delete(u.Rule.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	check("after churn")
+}
+
+func TestPrefixRange(t *testing.T) {
+	lo, hi := prefixRange(rules.Prefix{Addr: 0x0A000000, Len: 8})
+	if lo != 0x0A000000 || hi != 0x0AFFFFFF {
+		t.Fatalf("range = %x..%x", lo, hi)
+	}
+	lo, hi = prefixRange(rules.Prefix{Len: 0})
+	if lo != 0 || hi != 0xFFFFFFFF {
+		t.Fatalf("/0 range = %x..%x", lo, hi)
+	}
+	lo, hi = prefixRange(rules.Prefix{Addr: 0xC0A80101, Len: 32})
+	if lo != 0xC0A80101 || hi != lo {
+		t.Fatalf("/32 range = %x..%x", lo, hi)
+	}
+}
+
+func TestRuleIntersects(t *testing.T) {
+	r := sampleRule(1, 5) // 10/8, dport 80, proto 6
+	c := fullCube()
+	if !ruleIntersects(r, c) {
+		t.Fatal("rule misses full cube")
+	}
+	c.lo[0], c.hi[0] = 0x0B000000, 0x0BFFFFFF // src outside 10/8
+	if ruleIntersects(r, c) {
+		t.Fatal("rule intersects disjoint cube")
+	}
+}

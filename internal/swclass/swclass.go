@@ -1,0 +1,322 @@
+// Package swclass implements the software packet classifiers CATCAM is
+// compared against in Fig 15: the linear reference scan, Tuple Space
+// Search (Srinivasan et al., SIGCOMM 1999 — the lookup kernel of Open
+// vSwitch), and a flow-cache front end standing in for HALO (Yuan et
+// al., ISCA 2019), which accelerates tuple space search with a cache.
+//
+// Every classifier counts the elementary lookup operations it performs
+// (hash probes, mask applications, rule comparisons), so throughput can
+// be modelled on the same axis as the hardware engines: operations per
+// lookup × per-operation cost.
+package swclass
+
+import (
+	"fmt"
+
+	"catcam/internal/rules"
+)
+
+// Classifier is a software packet classification engine.
+type Classifier interface {
+	Name() string
+	Insert(r rules.Rule) error
+	Delete(ruleID int) error
+	// Lookup returns the winning rule's action and the elementary
+	// operations spent on this lookup.
+	Lookup(h rules.Header) (action int, ok bool, ops int)
+	Len() int
+}
+
+// Linear is the brute-force reference: scan every rule, keep the best.
+type Linear struct {
+	rules map[int]rules.Rule
+}
+
+// NewLinear returns an empty linear classifier.
+func NewLinear() *Linear { return &Linear{rules: make(map[int]rules.Rule)} }
+
+// Name implements Classifier.
+func (l *Linear) Name() string { return "Linear" }
+
+// Len implements Classifier.
+func (l *Linear) Len() int { return len(l.rules) }
+
+// Insert implements Classifier.
+func (l *Linear) Insert(r rules.Rule) error {
+	if _, dup := l.rules[r.ID]; dup {
+		return fmt.Errorf("swclass: duplicate rule %d", r.ID)
+	}
+	l.rules[r.ID] = r
+	return nil
+}
+
+// Delete implements Classifier.
+func (l *Linear) Delete(ruleID int) error {
+	if _, ok := l.rules[ruleID]; !ok {
+		return fmt.Errorf("swclass: rule %d not present", ruleID)
+	}
+	delete(l.rules, ruleID)
+	return nil
+}
+
+// Lookup implements Classifier.
+func (l *Linear) Lookup(h rules.Header) (int, bool, int) {
+	ops := 0
+	var best rules.Rule
+	found := false
+	for _, r := range l.rules {
+		ops++
+		if !r.Matches(h) {
+			continue
+		}
+		if !found || best.Before(r) {
+			best, found = r, true
+		}
+	}
+	return best.Action, found, ops
+}
+
+// tuple is a TSS mask signature: the wildcard pattern shared by all
+// rules in one hash table.
+type tuple struct {
+	srcLen, dstLen int
+	srcPortExact   bool
+	dstPortExact   bool
+	protoExact     bool
+}
+
+// tupleKey is the masked header used as hash key within one tuple.
+type tupleKey struct {
+	src, dst         uint32
+	srcPort, dstPort uint16
+	proto            uint8
+}
+
+// TSS is Tuple Space Search: rules are partitioned by mask tuple; a
+// lookup probes one hash table per tuple. Port ranges and non-exact
+// ports fall into the wildcard side of the tuple and are verified on
+// the candidate list (Open vSwitch handles ranges similarly, via
+// staged lookups and verification).
+type TSS struct {
+	tables map[tuple]map[tupleKey][]rules.Rule
+	byID   map[int]tuple
+	count  int
+}
+
+// NewTSS returns an empty tuple-space-search classifier.
+func NewTSS() *TSS {
+	return &TSS{
+		tables: make(map[tuple]map[tupleKey][]rules.Rule),
+		byID:   make(map[int]tuple),
+	}
+}
+
+// Name implements Classifier.
+func (t *TSS) Name() string { return "TSS" }
+
+// Len implements Classifier.
+func (t *TSS) Len() int { return t.count }
+
+// TupleCount returns the number of distinct tuples (hash tables) — the
+// d in TSS's O(d) lookup.
+func (t *TSS) TupleCount() int { return len(t.tables) }
+
+func tupleOf(r rules.Rule) tuple {
+	return tuple{
+		srcLen:       r.SrcIP.Len,
+		dstLen:       r.DstIP.Len,
+		srcPortExact: r.SrcPort.Lo == r.SrcPort.Hi,
+		dstPortExact: r.DstPort.Lo == r.DstPort.Hi,
+		protoExact:   !r.ProtoWildcard,
+	}
+}
+
+func maskHeader(tp tuple, h rules.Header) tupleKey {
+	k := tupleKey{}
+	if tp.srcLen > 0 {
+		k.src = h.SrcIP >> uint(32-tp.srcLen) << uint(32-tp.srcLen)
+	}
+	if tp.dstLen > 0 {
+		k.dst = h.DstIP >> uint(32-tp.dstLen) << uint(32-tp.dstLen)
+	}
+	if tp.srcPortExact {
+		k.srcPort = h.SrcPort
+	}
+	if tp.dstPortExact {
+		k.dstPort = h.DstPort
+	}
+	if tp.protoExact {
+		k.proto = h.Proto
+	}
+	return k
+}
+
+func keyOf(tp tuple, r rules.Rule) tupleKey {
+	k := tupleKey{}
+	if tp.srcLen > 0 {
+		k.src = r.SrcIP.Addr >> uint(32-tp.srcLen) << uint(32-tp.srcLen)
+	}
+	if tp.dstLen > 0 {
+		k.dst = r.DstIP.Addr >> uint(32-tp.dstLen) << uint(32-tp.dstLen)
+	}
+	if tp.srcPortExact {
+		k.srcPort = r.SrcPort.Lo
+	}
+	if tp.dstPortExact {
+		k.dstPort = r.DstPort.Lo
+	}
+	if tp.protoExact {
+		k.proto = r.Proto
+	}
+	return k
+}
+
+// Insert implements Classifier.
+func (t *TSS) Insert(r rules.Rule) error {
+	if _, dup := t.byID[r.ID]; dup {
+		return fmt.Errorf("swclass: duplicate rule %d", r.ID)
+	}
+	tp := tupleOf(r)
+	tbl := t.tables[tp]
+	if tbl == nil {
+		tbl = make(map[tupleKey][]rules.Rule)
+		t.tables[tp] = tbl
+	}
+	k := keyOf(tp, r)
+	tbl[k] = append(tbl[k], r)
+	t.byID[r.ID] = tp
+	t.count++
+	return nil
+}
+
+// Delete implements Classifier.
+func (t *TSS) Delete(ruleID int) error {
+	tp, ok := t.byID[ruleID]
+	if !ok {
+		return fmt.Errorf("swclass: rule %d not present", ruleID)
+	}
+	tbl := t.tables[tp]
+	for k, bucket := range tbl {
+		for i, r := range bucket {
+			if r.ID == ruleID {
+				bucket = append(bucket[:i], bucket[i+1:]...)
+				if len(bucket) == 0 {
+					delete(tbl, k)
+				} else {
+					tbl[k] = bucket
+				}
+				if len(tbl) == 0 {
+					delete(t.tables, tp)
+				}
+				delete(t.byID, ruleID)
+				t.count--
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("swclass: rule %d index desync", ruleID)
+}
+
+// Lookup implements Classifier: one hash probe per tuple plus candidate
+// verification; the best match across tuples wins.
+func (t *TSS) Lookup(h rules.Header) (int, bool, int) {
+	ops := 0
+	var best rules.Rule
+	found := false
+	for tp, tbl := range t.tables {
+		ops++ // mask + hash probe
+		bucket, hit := tbl[maskHeader(tp, h)]
+		if !hit {
+			continue
+		}
+		for _, r := range bucket {
+			ops++ // candidate verification
+			if !r.Matches(h) {
+				continue
+			}
+			if !found || best.Before(r) {
+				best, found = r, true
+			}
+		}
+	}
+	return best.Action, found, ops
+}
+
+// Cached wraps a classifier with an exact-match flow cache, the
+// mechanism HALO accelerates in hardware: repeated flows skip the tuple
+// search entirely. The cache is a bounded map with random-ish eviction
+// (replacement policy is not the bottleneck being modelled).
+type Cached struct {
+	inner    Classifier
+	capacity int
+	cache    map[rules.Header]cacheEntry
+	hits     uint64
+	misses   uint64
+}
+
+type cacheEntry struct {
+	action int
+	ok     bool
+}
+
+// NewCached wraps inner with a flow cache of the given capacity.
+func NewCached(inner Classifier, capacity int) *Cached {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("swclass: invalid cache capacity %d", capacity))
+	}
+	return &Cached{inner: inner, capacity: capacity, cache: make(map[rules.Header]cacheEntry)}
+}
+
+// Name implements Classifier.
+func (c *Cached) Name() string { return c.inner.Name() + "+cache" }
+
+// Len implements Classifier.
+func (c *Cached) Len() int { return c.inner.Len() }
+
+// HitRate returns the cache hit fraction so far.
+func (c *Cached) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Insert implements Classifier; any rule change invalidates the cache
+// (the correctness-preserving policy real flow caches implement with
+// revalidation).
+func (c *Cached) Insert(r rules.Rule) error {
+	if err := c.inner.Insert(r); err != nil {
+		return err
+	}
+	c.cache = make(map[rules.Header]cacheEntry)
+	return nil
+}
+
+// Delete implements Classifier.
+func (c *Cached) Delete(ruleID int) error {
+	if err := c.inner.Delete(ruleID); err != nil {
+		return err
+	}
+	c.cache = make(map[rules.Header]cacheEntry)
+	return nil
+}
+
+// Lookup implements Classifier: a cache hit costs one probe; a miss
+// pays the inner lookup plus the fill.
+func (c *Cached) Lookup(h rules.Header) (int, bool, int) {
+	if e, hit := c.cache[h]; hit {
+		c.hits++
+		return e.action, e.ok, 1
+	}
+	c.misses++
+	action, ok, ops := c.inner.Lookup(h)
+	if len(c.cache) >= c.capacity {
+		for k := range c.cache { // evict an arbitrary entry
+			delete(c.cache, k)
+			break
+		}
+	}
+	c.cache[h] = cacheEntry{action, ok}
+	return action, ok, ops + 1
+}

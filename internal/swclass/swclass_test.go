@@ -1,0 +1,278 @@
+package swclass
+
+import (
+	"testing"
+
+	"catcam/internal/classbench"
+	"catcam/internal/rules"
+)
+
+func sampleRule(id, prio int) rules.Rule {
+	return rules.Rule{
+		ID: id, Priority: prio, Action: id * 10,
+		SrcIP: rules.Prefix{Addr: 0x0A000000, Len: 8}, DstIP: rules.Prefix{Len: 0},
+		SrcPort: rules.FullPortRange(), DstPort: rules.PortRange{Lo: 80, Hi: 80},
+		Proto: 6,
+	}
+}
+
+func classifiers() []Classifier {
+	return []Classifier{NewLinear(), NewTSS(), NewCached(NewTSS(), 128)}
+}
+
+func TestBasicInsertLookupDelete(t *testing.T) {
+	for _, c := range classifiers() {
+		t.Run(c.Name(), func(t *testing.T) {
+			if err := c.Insert(sampleRule(1, 5)); err != nil {
+				t.Fatal(err)
+			}
+			h := rules.Header{SrcIP: 0x0A010101, DstPort: 80, Proto: 6}
+			act, ok, ops := c.Lookup(h)
+			if !ok || act != 10 {
+				t.Fatalf("lookup = %d,%v", act, ok)
+			}
+			if ops <= 0 {
+				t.Fatal("no ops counted")
+			}
+			if _, ok, _ := c.Lookup(rules.Header{SrcIP: 0x0B000000}); ok {
+				t.Fatal("miss matched")
+			}
+			if err := c.Delete(1); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, _ := c.Lookup(h); ok {
+				t.Fatal("deleted rule still matches")
+			}
+			if c.Len() != 0 {
+				t.Fatalf("Len = %d", c.Len())
+			}
+		})
+	}
+}
+
+func TestDuplicateAndMissingErrors(t *testing.T) {
+	for _, c := range classifiers() {
+		if err := c.Insert(sampleRule(1, 5)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Insert(sampleRule(1, 6)); err == nil {
+			t.Errorf("%s: duplicate insert accepted", c.Name())
+		}
+		if err := c.Delete(99); err == nil {
+			t.Errorf("%s: delete of missing rule accepted", c.Name())
+		}
+	}
+}
+
+func TestPriorityWinsAcrossTuples(t *testing.T) {
+	// Two rules in different tuples (different prefix lengths) both
+	// match; the higher priority must win in every classifier.
+	broad := rules.Rule{ID: 1, Priority: 1, Action: 100,
+		SrcIP: rules.Prefix{Len: 0}, DstIP: rules.Prefix{Len: 0},
+		SrcPort: rules.FullPortRange(), DstPort: rules.FullPortRange(), ProtoWildcard: true}
+	narrow := rules.Rule{ID: 2, Priority: 9, Action: 200,
+		SrcIP: rules.Prefix{Addr: 0x0A000000, Len: 8}, DstIP: rules.Prefix{Len: 0},
+		SrcPort: rules.FullPortRange(), DstPort: rules.FullPortRange(), ProtoWildcard: true}
+	for _, c := range classifiers() {
+		if err := c.Insert(broad); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Insert(narrow); err != nil {
+			t.Fatal(err)
+		}
+		act, ok, _ := c.Lookup(rules.Header{SrcIP: 0x0A010101})
+		if !ok || act != 200 {
+			t.Errorf("%s: got %d,%v want 200", c.Name(), act, ok)
+		}
+	}
+}
+
+func TestTSSTupleCount(t *testing.T) {
+	ts := NewTSS()
+	if err := ts.Insert(sampleRule(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	r2 := sampleRule(2, 2)
+	r2.SrcIP.Len = 16 // new tuple
+	if err := ts.Insert(r2); err != nil {
+		t.Fatal(err)
+	}
+	r3 := sampleRule(3, 3) // same tuple as rule 1
+	r3.SrcIP.Addr = 0x0B000000
+	if err := ts.Insert(r3); err != nil {
+		t.Fatal(err)
+	}
+	if ts.TupleCount() != 2 {
+		t.Fatalf("TupleCount = %d, want 2", ts.TupleCount())
+	}
+	// Deleting the only rule of a tuple removes the tuple.
+	if err := ts.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if ts.TupleCount() != 1 {
+		t.Fatalf("TupleCount after delete = %d, want 1", ts.TupleCount())
+	}
+}
+
+func TestTSSRangeRulesVerified(t *testing.T) {
+	ts := NewTSS()
+	r := sampleRule(1, 5)
+	r.DstPort = rules.PortRange{Lo: 1000, Hi: 2000} // non-exact: wildcard side of tuple
+	if err := ts.Insert(r); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := ts.Lookup(rules.Header{SrcIP: 0x0A010101, DstPort: 1500, Proto: 6}); !ok {
+		t.Fatal("in-range port should match")
+	}
+	if _, ok, _ := ts.Lookup(rules.Header{SrcIP: 0x0A010101, DstPort: 2500, Proto: 6}); ok {
+		t.Fatal("out-of-range port matched")
+	}
+}
+
+func TestCacheHitsReduceOps(t *testing.T) {
+	c := NewCached(NewTSS(), 16)
+	for i := 0; i < 20; i++ {
+		r := sampleRule(i, i+1)
+		r.SrcIP = rules.Prefix{Addr: uint32(i) << 24, Len: 8}
+		if err := c.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := rules.Header{SrcIP: 0x05000001, DstPort: 80, Proto: 6}
+	_, _, opsMiss := c.Lookup(h)
+	_, _, opsHit := c.Lookup(h)
+	if opsHit != 1 {
+		t.Fatalf("cache hit cost %d ops, want 1", opsHit)
+	}
+	if opsMiss <= opsHit {
+		t.Fatalf("miss (%d) should cost more than hit (%d)", opsMiss, opsHit)
+	}
+	if c.HitRate() <= 0 || c.HitRate() >= 1 {
+		t.Fatalf("hit rate = %v", c.HitRate())
+	}
+}
+
+func TestCacheInvalidatedOnUpdate(t *testing.T) {
+	c := NewCached(NewTSS(), 16)
+	if err := c.Insert(sampleRule(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	h := rules.Header{SrcIP: 0x0A010101, DstPort: 80, Proto: 6}
+	if act, ok, _ := c.Lookup(h); !ok || act != 10 {
+		t.Fatalf("pre-update lookup = %d,%v", act, ok)
+	}
+	hi := sampleRule(2, 9)
+	hi.Action = 999
+	if err := c.Insert(hi); err != nil {
+		t.Fatal(err)
+	}
+	if act, ok, _ := c.Lookup(h); !ok || act != 999 {
+		t.Fatalf("stale cache after insert: %d,%v", act, ok)
+	}
+	if err := c.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if act, ok, _ := c.Lookup(h); !ok || act != 10 {
+		t.Fatalf("stale cache after delete: %d,%v", act, ok)
+	}
+}
+
+func TestCacheEvictionBounded(t *testing.T) {
+	c := NewCached(NewLinear(), 4)
+	if err := c.Insert(sampleRule(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		c.Lookup(rules.Header{SrcIP: uint32(i), DstPort: 80, Proto: 6})
+	}
+	if len(c.cache) > 4 {
+		t.Fatalf("cache grew to %d entries", len(c.cache))
+	}
+}
+
+func TestNewCachedValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity accepted")
+		}
+	}()
+	NewCached(NewLinear(), 0)
+}
+
+// Conformance: TSS and the cached variant must agree with Linear across
+// a ClassBench workload, with churn.
+func TestConformance(t *testing.T) {
+	rs := classbench.Generate(classbench.Config{Family: classbench.IPC, Size: 300, Seed: 41})
+	trace := classbench.UpdateTrace(rs, 200, 42)
+	headers := classbench.PacketTrace(rs, 300, 0.7, 43)
+
+	ref := NewLinear()
+	under := []Classifier{NewTSS(), NewCached(NewTSS(), 64)}
+	apply := func(c Classifier, u classbench.Update) {
+		var err error
+		if u.Op == classbench.OpInsert {
+			err = c.Insert(u.Rule)
+		} else {
+			err = c.Delete(u.Rule.ID)
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+	}
+	for _, r := range rs.Rules {
+		if err := ref.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range under {
+			if err := c.Insert(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	check := func(stage string) {
+		for _, h := range headers {
+			wantAct, wantOK, _ := ref.Lookup(h)
+			for _, c := range under {
+				act, ok, _ := c.Lookup(h)
+				if ok != wantOK || (ok && act != wantAct) {
+					t.Fatalf("%s@%s: header %+v got (%d,%v) want (%d,%v)",
+						c.Name(), stage, h, act, ok, wantAct, wantOK)
+				}
+			}
+		}
+	}
+	check("loaded")
+	for _, u := range trace {
+		apply(ref, u)
+		for _, c := range under {
+			apply(c, u)
+		}
+	}
+	check("after churn")
+}
+
+// TSS ops per lookup should be far below Linear's on a large ruleset —
+// the O(d) vs O(n) separation that motivates tuple space search.
+func TestTSSOpsWellBelowLinear(t *testing.T) {
+	rs := classbench.Generate(classbench.Config{Family: classbench.ACL, Size: 2000, Seed: 44})
+	lin, ts := NewLinear(), NewTSS()
+	for _, r := range rs.Rules {
+		if err := lin.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := ts.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	headers := classbench.PacketTrace(rs, 200, 0.8, 45)
+	linOps, tssOps := 0, 0
+	for _, h := range headers {
+		_, _, o1 := lin.Lookup(h)
+		_, _, o2 := ts.Lookup(h)
+		linOps += o1
+		tssOps += o2
+	}
+	if tssOps*4 >= linOps {
+		t.Fatalf("TSS ops (%d) not well below Linear (%d)", tssOps, linOps)
+	}
+}

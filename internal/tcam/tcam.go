@@ -1,0 +1,232 @@
+// Package tcam models a conventional ternary CAM with an address-based
+// priority encoder — the baseline architecture CATCAM replaces.
+//
+// Entries live at physical addresses 0..capacity-1. Address 0 is the
+// "top": the priority encoder reports the matching entry with the lowest
+// address, so correctness requires that whenever two stored entries
+// overlap (some key matches both), the one that should win is stored at
+// a lower address. Maintaining that invariant under insertion is exactly
+// the O(n) entry-movement problem the paper describes; the update
+// algorithms in internal/update implement the published strategies on
+// top of this package's primitives, and every movement is counted here.
+package tcam
+
+import (
+	"fmt"
+
+	"catcam/internal/bitvec"
+	"catcam/internal/ternary"
+)
+
+// Entry is one TCAM slot's content: a ternary word plus the rule
+// identity used for priority bookkeeping and reporting.
+type Entry struct {
+	Word     ternary.Word
+	Priority int
+	RuleID   int
+	Action   int
+}
+
+// Before reports whether e loses to o under the strict total order
+// (higher priority wins; ties break toward larger RuleID).
+func (e Entry) Before(o Entry) bool {
+	if e.Priority != o.Priority {
+		return e.Priority < o.Priority
+	}
+	return e.RuleID < o.RuleID
+}
+
+// Stats counts the hardware work a TCAM has performed.
+type Stats struct {
+	Searches uint64
+	Writes   uint64 // slot writes (including those caused by moves)
+	Moves    uint64 // entry relocations (read+write pairs)
+}
+
+// TCAM is a fixed-capacity ternary CAM.
+type TCAM struct {
+	width int
+	slots []slot
+	valid int
+	stats Stats
+}
+
+type slot struct {
+	valid bool
+	entry Entry
+}
+
+// New returns an empty TCAM with the given entry capacity and word width.
+func New(capacity, width int) *TCAM {
+	if capacity <= 0 || width <= 0 {
+		panic(fmt.Sprintf("tcam: invalid geometry %dx%d", capacity, width))
+	}
+	return &TCAM{width: width, slots: make([]slot, capacity)}
+}
+
+// Capacity returns the number of slots.
+func (t *TCAM) Capacity() int { return len(t.slots) }
+
+// Width returns the entry width in ternary bits.
+func (t *TCAM) Width() int { return t.width }
+
+// Len returns the number of valid entries.
+func (t *TCAM) Len() int { return t.valid }
+
+// Stats returns a copy of the accumulated statistics.
+func (t *TCAM) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the statistics.
+func (t *TCAM) ResetStats() { t.stats = Stats{} }
+
+func (t *TCAM) check(addr int) {
+	if addr < 0 || addr >= len(t.slots) {
+		panic(fmt.Sprintf("tcam: address %d out of range [0,%d)", addr, len(t.slots)))
+	}
+}
+
+// At returns the entry at addr, if valid.
+func (t *TCAM) At(addr int) (Entry, bool) {
+	t.check(addr)
+	s := t.slots[addr]
+	return s.entry, s.valid
+}
+
+// IsFree reports whether addr holds no entry.
+func (t *TCAM) IsFree(addr int) bool {
+	t.check(addr)
+	return !t.slots[addr].valid
+}
+
+// Write stores e at addr, overwriting any previous content.
+func (t *TCAM) Write(addr int, e Entry) {
+	t.check(addr)
+	if e.Word.Width() != t.width {
+		panic(fmt.Sprintf("tcam: entry width %d != %d", e.Word.Width(), t.width))
+	}
+	if !t.slots[addr].valid {
+		t.valid++
+	}
+	t.slots[addr] = slot{valid: true, entry: e}
+	t.stats.Writes++
+}
+
+// Invalidate clears addr.
+func (t *TCAM) Invalidate(addr int) {
+	t.check(addr)
+	if t.slots[addr].valid {
+		t.valid--
+		t.stats.Writes++
+	}
+	t.slots[addr] = slot{}
+}
+
+// Move relocates the entry at from into the empty slot at to, counting
+// one entry movement. It panics if from is empty or to is occupied —
+// callers (the update algorithms) are responsible for scheduling.
+func (t *TCAM) Move(from, to int) {
+	t.check(from)
+	t.check(to)
+	if from == to {
+		return
+	}
+	if !t.slots[from].valid {
+		panic(fmt.Sprintf("tcam: move from empty slot %d", from))
+	}
+	if t.slots[to].valid {
+		panic(fmt.Sprintf("tcam: move into occupied slot %d", to))
+	}
+	t.slots[to] = t.slots[from]
+	t.slots[from] = slot{}
+	t.stats.Moves++
+	t.stats.Writes++
+}
+
+// MatchVector returns the raw match lines for key k: bit a is set iff
+// slot a is valid and its word matches k.
+func (t *TCAM) MatchVector(k ternary.Key) *bitvec.Vector {
+	if k.Width() != t.width {
+		panic(fmt.Sprintf("tcam: key width %d != %d", k.Width(), t.width))
+	}
+	t.stats.Searches++
+	m := bitvec.New(len(t.slots))
+	for a, s := range t.slots {
+		if s.valid && s.entry.Word.Match(k) {
+			m.Set(a)
+		}
+	}
+	return m
+}
+
+// Lookup searches for k and returns the winning entry and its address.
+// The priority encoder selects the matching entry with the lowest
+// address (the top of the table).
+func (t *TCAM) Lookup(k ternary.Key) (Entry, int, bool) {
+	m := t.MatchVector(k)
+	a := m.First()
+	if a < 0 {
+		return Entry{}, -1, false
+	}
+	return t.slots[a].entry, a, true
+}
+
+// ForEach calls fn for every valid entry in address order. Iteration
+// stops if fn returns false.
+func (t *TCAM) ForEach(fn func(addr int, e Entry) bool) {
+	for a, s := range t.slots {
+		if s.valid && !fn(a, s.entry) {
+			return
+		}
+	}
+}
+
+// FindRule returns the address of the first valid entry with the given
+// rule ID, or -1.
+func (t *TCAM) FindRule(ruleID int) int {
+	for a, s := range t.slots {
+		if s.valid && s.entry.RuleID == ruleID {
+			return a
+		}
+	}
+	return -1
+}
+
+// Addresses of free slots in ascending order.
+func (t *TCAM) FreeSlots() []int {
+	var out []int
+	for a, s := range t.slots {
+		if !s.valid {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// CheckOrder verifies the priority-encoder invariant: for every pair of
+// valid entries whose words overlap, the entry that should win under
+// Entry.Before is stored at the lower address. It returns nil if the
+// table is consistent. O(n²) — a verification aid for tests, not a
+// hardware operation.
+func (t *TCAM) CheckOrder() error {
+	for i := 0; i < len(t.slots); i++ {
+		if !t.slots[i].valid {
+			continue
+		}
+		for j := i + 1; j < len(t.slots); j++ {
+			if !t.slots[j].valid {
+				continue
+			}
+			a, b := t.slots[i].entry, t.slots[j].entry
+			if !a.Word.Overlaps(b.Word) {
+				continue
+			}
+			// address i < j, so entry a wins the encoder; it must not
+			// lose to b under the rule order.
+			if a.Before(b) {
+				return fmt.Errorf("tcam: order violation: addr %d (rule %d prio %d) above addr %d (rule %d prio %d) but loses",
+					i, a.RuleID, a.Priority, j, b.RuleID, b.Priority)
+			}
+		}
+	}
+	return nil
+}

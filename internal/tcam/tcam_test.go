@@ -1,0 +1,221 @@
+package tcam
+
+import (
+	"testing"
+
+	"catcam/internal/ternary"
+)
+
+func entry(word string, prio, id int) Entry {
+	return Entry{Word: ternary.MustParse(word), Priority: prio, RuleID: id, Action: id}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 4) },
+		func() { New(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid geometry accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Paper Fig 2(b): rules stored in decreasing priority; input 1010
+// matches R2, R3, R0 and the encoder reports R2 (highest address in the
+// paper's convention, lowest address in ours — the top of the table).
+func TestPaperFig2Lookup(t *testing.T) {
+	tc := New(8, 4)
+	tc.Write(0, entry("1010", 4, 2)) // R2, highest priority
+	tc.Write(1, entry("101*", 3, 3)) // R3
+	tc.Write(2, entry("0110", 2, 1)) // R1
+	tc.Write(3, entry("10**", 1, 0)) // R0
+
+	e, addr, ok := tc.Lookup(ternary.MustParseKey("1010"))
+	if !ok || e.RuleID != 2 || addr != 0 {
+		t.Fatalf("Lookup(1010) = rule %d at %d (%v), want rule 2 at 0", e.RuleID, addr, ok)
+	}
+	e, _, ok = tc.Lookup(ternary.MustParseKey("1011"))
+	if !ok || e.RuleID != 3 {
+		t.Fatalf("Lookup(1011) = rule %d, want 3", e.RuleID)
+	}
+	e, _, ok = tc.Lookup(ternary.MustParseKey("1000"))
+	if !ok || e.RuleID != 0 {
+		t.Fatalf("Lookup(1000) = rule %d, want 0", e.RuleID)
+	}
+	if _, _, ok = tc.Lookup(ternary.MustParseKey("0000")); ok {
+		t.Fatal("Lookup(0000) matched something")
+	}
+	if err := tc.CheckOrder(); err != nil {
+		t.Fatalf("ordered table reported violation: %v", err)
+	}
+}
+
+func TestMatchVector(t *testing.T) {
+	tc := New(4, 4)
+	tc.Write(0, entry("1010", 4, 2))
+	tc.Write(1, entry("101*", 3, 3))
+	tc.Write(3, entry("10**", 1, 0))
+	m := tc.MatchVector(ternary.MustParseKey("1010"))
+	if got := m.Indices(); len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 3 {
+		t.Fatalf("match vector = %v", got)
+	}
+}
+
+func TestWriteInvalidateLen(t *testing.T) {
+	tc := New(4, 4)
+	tc.Write(2, entry("1111", 1, 1))
+	if tc.Len() != 1 {
+		t.Fatalf("Len = %d", tc.Len())
+	}
+	tc.Write(2, entry("0000", 2, 2)) // overwrite does not change Len
+	if tc.Len() != 1 {
+		t.Fatalf("Len after overwrite = %d", tc.Len())
+	}
+	if e, ok := tc.At(2); !ok || e.RuleID != 2 {
+		t.Fatal("overwrite failed")
+	}
+	tc.Invalidate(2)
+	if tc.Len() != 0 || !tc.IsFree(2) {
+		t.Fatal("Invalidate failed")
+	}
+	tc.Invalidate(2) // idempotent
+	if tc.Len() != 0 {
+		t.Fatal("double Invalidate changed Len")
+	}
+}
+
+func TestMoveCountsAndValidates(t *testing.T) {
+	tc := New(4, 4)
+	tc.Write(0, entry("1111", 1, 1))
+	tc.Move(0, 3)
+	if !tc.IsFree(0) {
+		t.Fatal("source still occupied")
+	}
+	if e, ok := tc.At(3); !ok || e.RuleID != 1 {
+		t.Fatal("destination wrong")
+	}
+	if tc.Stats().Moves != 1 {
+		t.Fatalf("Moves = %d", tc.Stats().Moves)
+	}
+	tc.Move(3, 3) // no-op
+	if tc.Stats().Moves != 1 {
+		t.Fatal("self-move counted")
+	}
+
+	for i, f := range []func(){
+		func() { tc.Move(0, 1) },                                   // from empty
+		func() { tc.Write(1, entry("0000", 1, 2)); tc.Move(1, 3) }, // into occupied
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("invalid move %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCheckOrderViolation(t *testing.T) {
+	tc := New(4, 4)
+	tc.Write(0, entry("10**", 1, 0)) // low priority on top
+	tc.Write(1, entry("1010", 4, 2)) // high priority below, overlapping
+	if err := tc.CheckOrder(); err == nil {
+		t.Fatal("order violation not detected")
+	}
+	// Non-overlapping entries may be in any order.
+	tc2 := New(4, 4)
+	tc2.Write(0, entry("0000", 1, 0))
+	tc2.Write(1, entry("1111", 4, 1))
+	if err := tc2.CheckOrder(); err != nil {
+		t.Fatalf("non-overlapping order flagged: %v", err)
+	}
+}
+
+func TestFindRuleAndFreeSlots(t *testing.T) {
+	tc := New(4, 4)
+	tc.Write(1, entry("1111", 1, 7))
+	if got := tc.FindRule(7); got != 1 {
+		t.Fatalf("FindRule = %d", got)
+	}
+	if got := tc.FindRule(9); got != -1 {
+		t.Fatalf("FindRule missing = %d", got)
+	}
+	free := tc.FreeSlots()
+	if len(free) != 3 || free[0] != 0 || free[1] != 2 || free[2] != 3 {
+		t.Fatalf("FreeSlots = %v", free)
+	}
+}
+
+func TestForEachOrderAndEarlyStop(t *testing.T) {
+	tc := New(4, 4)
+	tc.Write(3, entry("1111", 1, 3))
+	tc.Write(0, entry("0000", 2, 0))
+	var seen []int
+	tc.ForEach(func(addr int, e Entry) bool {
+		seen = append(seen, e.RuleID)
+		return true
+	})
+	if len(seen) != 2 || seen[0] != 0 || seen[1] != 3 {
+		t.Fatalf("ForEach order = %v", seen)
+	}
+	seen = nil
+	tc.ForEach(func(addr int, e Entry) bool {
+		seen = append(seen, e.RuleID)
+		return false
+	})
+	if len(seen) != 1 {
+		t.Fatal("ForEach did not stop early")
+	}
+}
+
+func TestEntryBefore(t *testing.T) {
+	a := Entry{Priority: 1, RuleID: 1}
+	b := Entry{Priority: 2, RuleID: 0}
+	c := Entry{Priority: 1, RuleID: 2}
+	if !a.Before(b) || b.Before(a) {
+		t.Fatal("priority order wrong")
+	}
+	if !a.Before(c) || c.Before(a) {
+		t.Fatal("tie-break wrong")
+	}
+}
+
+func TestStatsAccumulation(t *testing.T) {
+	tc := New(4, 4)
+	tc.Write(0, entry("1111", 1, 1))
+	tc.Lookup(ternary.MustParseKey("1111"))
+	tc.MatchVector(ternary.MustParseKey("0000"))
+	s := tc.Stats()
+	if s.Searches != 2 || s.Writes != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	tc.ResetStats()
+	if tc.Stats() != (Stats{}) {
+		t.Fatal("ResetStats failed")
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	tc := New(4, 4)
+	for i, f := range []func(){
+		func() { tc.Write(0, entry("11111", 1, 1)) },
+		func() { tc.Lookup(ternary.MustParseKey("111")) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("width mismatch %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

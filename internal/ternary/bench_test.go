@@ -1,0 +1,36 @@
+package ternary
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMatch160(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w := Random(rng, 160, 0.3)
+	k := RandomMatchingKey(rng, w)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = w.Match(k)
+	}
+}
+
+func BenchmarkMatch640(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	w := Random(rng, 640, 0.3)
+	k := RandomMatchingKey(rng, w)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = w.Match(k)
+	}
+}
+
+func BenchmarkOverlaps160(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := Random(rng, 160, 0.3)
+	y := Random(rng, 160, 0.3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Overlaps(y)
+	}
+}

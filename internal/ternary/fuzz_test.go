@@ -1,0 +1,82 @@
+package ternary
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that any accepted string round-trips and that
+// matching agrees with a per-position interpretation.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{"10*1", "*", "0", "1111", "0*0*", "10**10**"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		w, err := Parse(s)
+		if err != nil {
+			// Must reject exactly the strings with non-ternary runes or
+			// empty input.
+			if s != "" && !strings.ContainsFunc(s, func(r rune) bool {
+				return r != '0' && r != '1' && r != '*'
+			}) {
+				t.Fatalf("rejected valid ternary string %q: %v", s, err)
+			}
+			return
+		}
+		if got := w.String(); got != s {
+			t.Fatalf("round-trip %q -> %q", s, got)
+		}
+		rng := rand.New(rand.NewSource(int64(len(s))))
+		k := RandomMatchingKey(rng, w)
+		if !w.Match(k) {
+			t.Fatalf("constructed matching key rejected: %q vs %q", s, k)
+		}
+		// Flip one cared bit: must mismatch.
+		for i := 0; i < w.Width(); i++ {
+			if w.BitAt(i) == Star {
+				continue
+			}
+			k2 := NewKey(w.Width())
+			for j := 0; j < w.Width(); j++ {
+				k2.SetKeyBit(j, k.KeyBit(j))
+			}
+			k2.SetKeyBit(i, !k.KeyBit(i))
+			if w.Match(k2) {
+				t.Fatalf("flipped cared bit %d still matches %q", i, s)
+			}
+			break
+		}
+	})
+}
+
+// FuzzOverlap checks that Overlaps is symmetric and consistent with a
+// witness construction.
+func FuzzOverlap(f *testing.F) {
+	f.Add("10**", "1*0*")
+	f.Add("0", "1")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		wa, errA := Parse(a)
+		wb, errB := Parse(b)
+		if errA != nil || errB != nil || wa.Width() != wb.Width() {
+			return
+		}
+		if wa.Overlaps(wb) != wb.Overlaps(wa) {
+			t.Fatalf("Overlaps not symmetric: %q %q", a, b)
+		}
+		if wa.Overlaps(wb) {
+			k := NewKey(wa.Width())
+			for i := 0; i < wa.Width(); i++ {
+				switch {
+				case wa.BitAt(i) != Star:
+					k.SetKeyBit(i, wa.BitAt(i) == One)
+				case wb.BitAt(i) != Star:
+					k.SetKeyBit(i, wb.BitAt(i) == One)
+				}
+			}
+			if !wa.Match(k) || !wb.Match(k) {
+				t.Fatalf("no witness for declared overlap: %q %q", a, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,444 @@
+// Package ternary implements fixed-width ternary words: bit strings over
+// {0, 1, *} where * ("don't care") matches both 0 and 1.
+//
+// Ternary words are the storage format of TCAM entries and of CATCAM's
+// match matrix. A word of width w is represented by two w-bit masks:
+// value (the cared-for bits) and care (1 = bit is specified, 0 = *).
+// The canonical form keeps value ⊆ care so equality is bitwise.
+//
+// The paper's match-matrix circuit encodes ternary 0/1/* as bit pairs
+// 10/01/00 in two transposed 8T cells (Fig 13); functionally that is
+// exactly the (value, care) pair per bit, which is what Match evaluates.
+package ternary
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+const wordBits = 64
+
+// Word is a ternary word of fixed width. The zero value is unusable;
+// construct words with NewWord, Parse or FromBits.
+type Word struct {
+	width int
+	value []uint64 // cared bit values; bits outside care are zero
+	care  []uint64 // 1 = specified bit, 0 = wildcard
+}
+
+// Key is a fully-specified binary search key of fixed width, the input
+// broadcast on the search lines during a lookup.
+type Key struct {
+	width int
+	bits  []uint64
+}
+
+func words(width int) int { return (width + wordBits - 1) / wordBits }
+
+func tailMask(width int) uint64 {
+	if r := width % wordBits; r != 0 {
+		return (1 << r) - 1
+	}
+	return ^uint64(0)
+}
+
+// NewWord returns an all-wildcard ternary word of the given width.
+func NewWord(width int) Word {
+	if width <= 0 {
+		panic(fmt.Sprintf("ternary: non-positive width %d", width))
+	}
+	return Word{width: width, value: make([]uint64, words(width)), care: make([]uint64, words(width))}
+}
+
+// NewKey returns an all-zero key of the given width.
+func NewKey(width int) Key {
+	if width <= 0 {
+		panic(fmt.Sprintf("ternary: non-positive width %d", width))
+	}
+	return Key{width: width, bits: make([]uint64, words(width))}
+}
+
+// Width returns the number of ternary positions in the word.
+func (w Word) Width() int { return w.width }
+
+// Width returns the number of bits in the key.
+func (k Key) Width() int { return k.width }
+
+// Bit describes one ternary position.
+type Bit uint8
+
+// Ternary bit states.
+const (
+	Zero Bit = iota // matches key bit 0
+	One             // matches key bit 1
+	Star            // matches both
+)
+
+func (b Bit) String() string {
+	switch b {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	case Star:
+		return "*"
+	}
+	return "?"
+}
+
+func (w Word) check(i int) {
+	if i < 0 || i >= w.width {
+		panic(fmt.Sprintf("ternary: bit %d out of range [0,%d)", i, w.width))
+	}
+}
+
+// SetBit sets position i (0 = most significant, matching the left-to-right
+// string form used throughout the paper's figures).
+func (w *Word) SetBit(i int, b Bit) {
+	w.check(i)
+	pos := w.width - 1 - i
+	wi, off := pos/wordBits, uint(pos%wordBits)
+	switch b {
+	case Zero:
+		w.care[wi] |= 1 << off
+		w.value[wi] &^= 1 << off
+	case One:
+		w.care[wi] |= 1 << off
+		w.value[wi] |= 1 << off
+	case Star:
+		w.care[wi] &^= 1 << off
+		w.value[wi] &^= 1 << off
+	default:
+		panic(fmt.Sprintf("ternary: invalid bit %d", b))
+	}
+}
+
+// BitAt returns the ternary state of position i (0 = most significant).
+func (w Word) BitAt(i int) Bit {
+	w.check(i)
+	pos := w.width - 1 - i
+	wi, off := pos/wordBits, uint(pos%wordBits)
+	if w.care[wi]&(1<<off) == 0 {
+		return Star
+	}
+	if w.value[wi]&(1<<off) != 0 {
+		return One
+	}
+	return Zero
+}
+
+// SetKeyBit sets key bit i (0 = most significant) to b.
+func (k *Key) SetKeyBit(i int, b bool) {
+	if i < 0 || i >= k.width {
+		panic(fmt.Sprintf("ternary: key bit %d out of range [0,%d)", i, k.width))
+	}
+	pos := k.width - 1 - i
+	wi, off := pos/wordBits, uint(pos%wordBits)
+	if b {
+		k.bits[wi] |= 1 << off
+	} else {
+		k.bits[wi] &^= 1 << off
+	}
+}
+
+// KeyBit returns key bit i (0 = most significant).
+func (k Key) KeyBit(i int) bool {
+	if i < 0 || i >= k.width {
+		panic(fmt.Sprintf("ternary: key bit %d out of range [0,%d)", i, k.width))
+	}
+	pos := k.width - 1 - i
+	return k.bits[pos/wordBits]&(1<<uint(pos%wordBits)) != 0
+}
+
+// Parse builds a word from a string of '0', '1' and '*' characters,
+// most-significant first, e.g. "10*1" as in Fig 2 of the paper.
+func Parse(s string) (Word, error) {
+	if len(s) == 0 {
+		return Word{}, fmt.Errorf("ternary: empty word")
+	}
+	w := NewWord(len(s))
+	for i, c := range s {
+		switch c {
+		case '0':
+			w.SetBit(i, Zero)
+		case '1':
+			w.SetBit(i, One)
+		case '*':
+			w.SetBit(i, Star)
+		default:
+			return Word{}, fmt.Errorf("ternary: invalid character %q at position %d", c, i)
+		}
+	}
+	return w, nil
+}
+
+// MustParse is Parse that panics on error, for tests and fixtures.
+func MustParse(s string) Word {
+	w, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// ParseKey builds a key from a string of '0' and '1' characters.
+func ParseKey(s string) (Key, error) {
+	if len(s) == 0 {
+		return Key{}, fmt.Errorf("ternary: empty key")
+	}
+	k := NewKey(len(s))
+	for i, c := range s {
+		switch c {
+		case '0':
+			k.SetKeyBit(i, false)
+		case '1':
+			k.SetKeyBit(i, true)
+		default:
+			return Key{}, fmt.Errorf("ternary: invalid key character %q at position %d", c, i)
+		}
+	}
+	return k, nil
+}
+
+// MustParseKey is ParseKey that panics on error.
+func MustParseKey(s string) Key {
+	k, err := ParseKey(s)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// String renders the word most-significant first with '*' wildcards.
+func (w Word) String() string {
+	var b strings.Builder
+	b.Grow(w.width)
+	for i := 0; i < w.width; i++ {
+		b.WriteString(w.BitAt(i).String())
+	}
+	return b.String()
+}
+
+// String renders the key most-significant first.
+func (k Key) String() string {
+	var b strings.Builder
+	b.Grow(k.width)
+	for i := 0; i < k.width; i++ {
+		if k.KeyBit(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Match reports whether key k matches word w: every cared-for bit of w
+// equals the corresponding key bit. This is the wire-AND of per-bit XNORs
+// the match line evaluates.
+func (w Word) Match(k Key) bool {
+	if w.width != k.width {
+		panic(fmt.Sprintf("ternary: match width mismatch %d vs %d", w.width, k.width))
+	}
+	for i := range w.value {
+		if (w.value[i]^k.bits[i])&w.care[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Overlaps reports whether some key matches both w and o: at every
+// position where both words care, their values agree.
+func (w Word) Overlaps(o Word) bool {
+	if w.width != o.width {
+		panic(fmt.Sprintf("ternary: overlap width mismatch %d vs %d", w.width, o.width))
+	}
+	for i := range w.value {
+		if (w.value[i]^o.value[i])&w.care[i]&o.care[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Subsumes reports whether every key matching o also matches w (w is a
+// generalization of o): w's cared bits are a subset of o's and agree.
+func (w Word) Subsumes(o Word) bool {
+	if w.width != o.width {
+		panic(fmt.Sprintf("ternary: subsume width mismatch %d vs %d", w.width, o.width))
+	}
+	for i := range w.value {
+		if w.care[i]&^o.care[i] != 0 { // w cares where o doesn't
+			return false
+		}
+		if (w.value[i]^o.value[i])&w.care[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether w and o have identical width and ternary states.
+func (w Word) Equal(o Word) bool {
+	if w.width != o.width {
+		return false
+	}
+	for i := range w.value {
+		if w.value[i] != o.value[i] || w.care[i] != o.care[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WildcardCount returns the number of * positions.
+func (w Word) WildcardCount() int {
+	n := 0
+	for i := 0; i < w.width; i++ {
+		if w.BitAt(i) == Star {
+			n++
+		}
+	}
+	return n
+}
+
+// Copy returns an independent copy of the word.
+func (w Word) Copy() Word {
+	c := NewWord(w.width)
+	copy(c.value, w.value)
+	copy(c.care, w.care)
+	return c
+}
+
+// Slot writes word o into positions [off, off+o.width) of w (0 = most
+// significant), used to concatenate per-field encodings into one search
+// word. It panics if o does not fit.
+func (w *Word) Slot(off int, o Word) {
+	if off < 0 || off+o.width > w.width {
+		panic(fmt.Sprintf("ternary: slot [%d,%d) outside width %d", off, off+o.width, w.width))
+	}
+	for i := 0; i < o.width; i++ {
+		w.SetBit(off+i, o.BitAt(i))
+	}
+}
+
+// SlotKey writes key o into positions [off, off+o.width) of k.
+func (k *Key) SlotKey(off int, o Key) {
+	if off < 0 || off+o.width > k.width {
+		panic(fmt.Sprintf("ternary: slot [%d,%d) outside width %d", off, off+o.width, k.width))
+	}
+	for i := 0; i < o.width; i++ {
+		k.SetKeyBit(off+i, o.KeyBit(i))
+	}
+}
+
+// Extract returns the sub-word at positions [off, off+width).
+func (w Word) Extract(off, width int) Word {
+	if off < 0 || width <= 0 || off+width > w.width {
+		panic(fmt.Sprintf("ternary: extract [%d,%d) outside width %d", off, off+width, w.width))
+	}
+	out := NewWord(width)
+	for i := 0; i < width; i++ {
+		out.SetBit(i, w.BitAt(off+i))
+	}
+	return out
+}
+
+// ExtractKey returns the sub-key at positions [off, off+width).
+func (k Key) ExtractKey(off, width int) Key {
+	if off < 0 || width <= 0 || off+width > k.width {
+		panic(fmt.Sprintf("ternary: extract [%d,%d) outside width %d", off, off+width, k.width))
+	}
+	out := NewKey(width)
+	for i := 0; i < width; i++ {
+		out.SetKeyBit(i, k.KeyBit(off+i))
+	}
+	return out
+}
+
+// FromUint returns a fully-specified width-bit word holding v's low bits.
+func FromUint(v uint64, width int) Word {
+	w := NewWord(width)
+	for i := 0; i < width; i++ {
+		if v&(1<<uint(width-1-i)) != 0 {
+			w.SetBit(i, One)
+		} else {
+			w.SetBit(i, Zero)
+		}
+	}
+	return w
+}
+
+// KeyFromUint returns a width-bit key holding v's low bits.
+func KeyFromUint(v uint64, width int) Key {
+	k := NewKey(width)
+	for i := 0; i < width; i++ {
+		k.SetKeyBit(i, v&(1<<uint(width-1-i)) != 0)
+	}
+	return k
+}
+
+// Prefix returns a width-bit word whose top plen bits equal the top plen
+// bits of v and whose remaining bits are wildcards — the encoding of an
+// IP prefix in a TCAM.
+func Prefix(v uint64, plen, width int) Word {
+	if plen < 0 || plen > width {
+		panic(fmt.Sprintf("ternary: prefix length %d outside [0,%d]", plen, width))
+	}
+	w := NewWord(width)
+	for i := 0; i < plen; i++ {
+		if v&(1<<uint(width-1-i)) != 0 {
+			w.SetBit(i, One)
+		} else {
+			w.SetBit(i, Zero)
+		}
+	}
+	return w
+}
+
+// Random returns a random word where each position is * with probability
+// pStar and otherwise a uniform 0/1.
+func Random(rng *rand.Rand, width int, pStar float64) Word {
+	w := NewWord(width)
+	for i := 0; i < width; i++ {
+		switch {
+		case rng.Float64() < pStar:
+			w.SetBit(i, Star)
+		case rng.Intn(2) == 0:
+			w.SetBit(i, Zero)
+		default:
+			w.SetBit(i, One)
+		}
+	}
+	return w
+}
+
+// RandomKey returns a uniformly random key.
+func RandomKey(rng *rand.Rand, width int) Key {
+	k := NewKey(width)
+	for i := range k.bits {
+		k.bits[i] = rng.Uint64()
+	}
+	k.bits[len(k.bits)-1] &= tailMask(width)
+	return k
+}
+
+// RandomMatchingKey returns a key that matches w, with wildcard positions
+// filled uniformly at random. Useful for generating packet traces that
+// hit a given rule.
+func RandomMatchingKey(rng *rand.Rand, w Word) Key {
+	k := NewKey(w.width)
+	for i := 0; i < w.width; i++ {
+		switch w.BitAt(i) {
+		case One:
+			k.SetKeyBit(i, true)
+		case Zero:
+			k.SetKeyBit(i, false)
+		default:
+			k.SetKeyBit(i, rng.Intn(2) == 1)
+		}
+	}
+	return k
+}

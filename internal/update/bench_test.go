@@ -1,0 +1,59 @@
+package update
+
+import (
+	"testing"
+
+	"catcam/internal/classbench"
+	"catcam/internal/rules"
+)
+
+// benchChurn measures steady-state update cost (one delete + one fresh
+// insert per iteration) for an engine preloaded with a 1K ACL set.
+func benchChurn(b *testing.B, mk func() Algorithm) {
+	rs := classbench.Generate(classbench.Config{Family: classbench.ACL, Size: 1000, Seed: 1})
+	for i := range rs.Rules {
+		rs.Rules[i].SrcPort = rules.FullPortRange()
+		rs.Rules[i].DstPort = rules.FullPortRange()
+	}
+	a := mk()
+	if err := a.(Preloader).Preload(rs.Rules); err != nil {
+		b.Fatal(err)
+	}
+	nextID := 100000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victim := rs.Rules[i%len(rs.Rules)]
+		if _, err := a.Delete(victim.ID); err != nil {
+			b.Fatal(err)
+		}
+		fresh := victim
+		fresh.ID = nextID
+		nextID++
+		fresh.Priority = 1 + (i*2654435761)%65535
+		if _, err := a.Insert(fresh); err != nil {
+			b.Fatal(err)
+		}
+		rs.Rules[i%len(rs.Rules)] = fresh
+	}
+}
+
+func BenchmarkChurnNaive(b *testing.B) {
+	benchChurn(b, func() Algorithm { return NewNaive(2048, rules.TupleBits) })
+}
+
+func BenchmarkChurnFastRule(b *testing.B) {
+	benchChurn(b, func() Algorithm { return NewFastRule(2048, rules.TupleBits) })
+}
+
+func BenchmarkChurnRuleTris(b *testing.B) {
+	benchChurn(b, func() Algorithm { return NewRuleTris(2048, rules.TupleBits) })
+}
+
+func BenchmarkChurnPOT(b *testing.B) {
+	benchChurn(b, func() Algorithm { return NewPOT(2048, rules.TupleBits) })
+}
+
+func BenchmarkChurnTreeCAM(b *testing.B) {
+	benchChurn(b, func() Algorithm { return NewTreeCAM(16384, rules.TupleBits) })
+}

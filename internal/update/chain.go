@@ -1,0 +1,99 @@
+package update
+
+import (
+	"catcam/internal/rules"
+)
+
+// chainAlgorithm is the shared skeleton of the dependency-graph-based
+// updaters (FastRule, RuleTris, POT). They differ in target-selection
+// strategy and in the extra firmware work they perform per update.
+type chainAlgorithm struct {
+	name string
+	tb   *table
+	st   strategy
+	// extraOps lets subtypes add algorithm-specific firmware work
+	// (e.g. RuleTris' minimum-DAG maintenance) after each insert.
+	extraOps func(handle int) uint64
+}
+
+// Name implements Algorithm.
+func (c *chainAlgorithm) Name() string { return c.name }
+
+// Len implements Algorithm.
+func (c *chainAlgorithm) Len() int { return c.tb.len() }
+
+// Insert implements Algorithm.
+func (c *chainAlgorithm) Insert(r rules.Rule) (Result, error) {
+	var res Result
+	for _, e := range encodeRule(r) {
+		moves, ops, h, err := c.tb.insertEntry(e, c.st)
+		res.Moves += moves
+		res.Ops += ops
+		if err != nil {
+			return res, err
+		}
+		res.Writes++
+		if c.extraOps != nil {
+			res.Ops += c.extraOps(h)
+		}
+	}
+	return res, nil
+}
+
+// Delete implements Algorithm.
+func (c *chainAlgorithm) Delete(ruleID int) (Result, error) {
+	return c.tb.deleteRule(ruleID)
+}
+
+// Lookup implements Algorithm.
+func (c *chainAlgorithm) Lookup(h rules.Header) (int, bool) { return c.tb.lookup(h) }
+
+// CheckInvariant implements Algorithm.
+func (c *chainAlgorithm) CheckInvariant() error { return c.tb.checkInvariant() }
+
+// FastRule models FR (Qiu et al., JSAC 2019): per insert it walks the
+// dependency graph to derive the feasible window (an O(n) pass) and
+// resolves conflicts with the cheaper of the two boundary move chains.
+type FastRule struct{ chainAlgorithm }
+
+// NewFastRule returns a FastRule updater.
+func NewFastRule(capacity, width int) *FastRule {
+	f := &FastRule{chainAlgorithm{name: "FastRule", st: strategyBestOfBoth}}
+	f.tb = newTable(capacity, width)
+	return f
+}
+
+// POT models Partial Order Theory updates (He et al., ToN 2017): the
+// partial order is maintained incrementally and conflicts are resolved
+// by a single-direction chain along the order, which yields slightly
+// longer chains than FR's bidirectional search on wildcard-heavy sets.
+type POT struct{ chainAlgorithm }
+
+// NewPOT returns a POT updater.
+func NewPOT(capacity, width int) *POT {
+	p := &POT{chainAlgorithm{name: "POT", st: strategyDownOnly}}
+	p.tb = newTable(capacity, width)
+	return p
+}
+
+// RuleTris models RT (Wen et al., ICDCS 2016): updates are scheduled
+// against the *minimum* dependency graph, giving near-optimal movement
+// counts, but maintaining that graph — transitive reduction of the new
+// entry's edges via reachability queries — dominates firmware time and
+// grows steeply with ruleset size and density. The reduction work is
+// performed for real and counted through the graph's traversal counter.
+type RuleTris struct{ chainAlgorithm }
+
+// NewRuleTris returns a RuleTris updater.
+func NewRuleTris(capacity, width int) *RuleTris {
+	r := &RuleTris{chainAlgorithm{name: "RuleTris", st: strategyOptimal}}
+	r.tb = newTable(capacity, width)
+	r.extraOps = func(h int) uint64 {
+		g := r.tb.g
+		t0 := g.Traversals()
+		g.ReducedUppers(h)
+		g.ReducedLowers(h)
+		return g.Traversals() - t0
+	}
+	return r
+}

@@ -1,0 +1,139 @@
+package update
+
+import (
+	"fmt"
+	"sort"
+
+	"catcam/internal/rules"
+	"catcam/internal/tcam"
+)
+
+// Naive is the strawman updater of §II-B: entries are kept in one
+// contiguous block sorted by decreasing rule order (the strongest
+// sufficient condition for encoder correctness), and an insertion
+// shifts every entry below the insertion point down by one slot. Update
+// cost therefore grows linearly with occupancy, reproducing Fig 1(b).
+//
+// Deletion compacts the block (shifting the tail up), which is how the
+// sorted-block discipline is preserved; both halves of a balanced
+// insert/delete trace average n/2 moves.
+type Naive struct {
+	t      *tcam.TCAM
+	n      int // entries live in [0, n)
+	byRule map[int][]int
+}
+
+// NewNaive returns a naive updater with the given capacity and entry
+// width.
+func NewNaive(capacity, width int) *Naive {
+	return &Naive{t: tcam.New(capacity, width), byRule: make(map[int][]int)}
+}
+
+// Name implements Algorithm.
+func (na *Naive) Name() string { return "Naive" }
+
+// Len implements Algorithm.
+func (na *Naive) Len() int { return na.n }
+
+// Insert implements Algorithm. Each expansion entry is inserted at its
+// sorted position; the tail below shifts down one slot per move.
+func (na *Naive) Insert(r rules.Rule) (Result, error) {
+	var res Result
+	for _, e := range encodeRule(r) {
+		if na.n == na.t.Capacity() {
+			return res, ErrFull
+		}
+		// Binary search for the first position whose entry loses to e.
+		pos := sort.Search(na.n, func(i int) bool {
+			cur, _ := na.t.At(i)
+			return cur.Before(e)
+		})
+		res.Ops += uint64(logCeil(na.n) + 1)
+		// Shift [pos, n) down by one, from the bottom up.
+		for i := na.n; i > pos; i-- {
+			na.t.Move(i-1, i)
+			res.Moves++
+		}
+		na.t.Write(pos, e)
+		res.Writes++
+		na.n++
+		na.reindex()
+	}
+	return res, nil
+}
+
+// Delete implements Algorithm. The tail shifts up to keep the block
+// contiguous.
+func (na *Naive) Delete(ruleID int) (Result, error) {
+	addrs, ok := na.byRule[ruleID]
+	if !ok {
+		return Result{}, fmt.Errorf("update: rule %d not present", ruleID)
+	}
+	var res Result
+	for len(na.byRule[ruleID]) > 0 {
+		addr := na.byRule[ruleID][0]
+		na.t.Invalidate(addr)
+		res.Writes++
+		for i := addr + 1; i < na.n; i++ {
+			na.t.Move(i, i-1)
+			res.Moves++
+		}
+		na.n--
+		na.reindex()
+	}
+	_ = addrs
+	return res, nil
+}
+
+// reindex rebuilds the rule-to-address index after shifts. The real
+// firmware pays this bookkeeping too, but it is not a TCAM operation.
+func (na *Naive) reindex() {
+	na.byRule = make(map[int][]int, len(na.byRule))
+	na.t.ForEach(func(addr int, e tcam.Entry) bool {
+		na.byRule[e.RuleID] = append(na.byRule[e.RuleID], addr)
+		return true
+	})
+}
+
+// Lookup implements Algorithm.
+func (na *Naive) Lookup(h rules.Header) (int, bool) {
+	e, _, ok := na.t.Lookup(rules.EncodeHeader(h))
+	if !ok {
+		return 0, false
+	}
+	return e.Action, true
+}
+
+// CheckInvariant implements Algorithm: the block must be contiguous and
+// globally sorted, which implies encoder correctness.
+func (na *Naive) CheckInvariant() error {
+	for i := 0; i < na.n; i++ {
+		if _, ok := na.t.At(i); !ok {
+			return fmt.Errorf("naive: hole at %d inside block of %d", i, na.n)
+		}
+		if i > 0 {
+			prev, _ := na.t.At(i - 1)
+			cur, _ := na.t.At(i)
+			if prev.Before(cur) {
+				return fmt.Errorf("naive: entries %d,%d out of order", i-1, i)
+			}
+		}
+	}
+	for i := na.n; i < na.t.Capacity(); i++ {
+		if _, ok := na.t.At(i); ok {
+			return fmt.Errorf("naive: stray entry at %d beyond block", i)
+		}
+	}
+	return na.t.CheckOrder()
+}
+
+// Stats exposes the underlying TCAM statistics.
+func (na *Naive) Stats() tcam.Stats { return na.t.Stats() }
+
+func logCeil(n int) int {
+	b := 0
+	for v := 1; v < n; v <<= 1 {
+		b++
+	}
+	return b
+}

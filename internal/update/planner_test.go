@@ -1,0 +1,142 @@
+package update
+
+import (
+	"testing"
+
+	"catcam/internal/rules"
+	"catcam/internal/tcam"
+	"catcam/internal/ternary"
+)
+
+func plannerFixture(t *testing.T) *table {
+	t.Helper()
+	tb := newTable(8, 4)
+	put := func(h int, word string, prio, addr int) {
+		e := tcam.Entry{Word: ternary.MustParse(word), Priority: prio, RuleID: h}
+		tb.g.Add(h, e)
+		tb.place(h, e, addr)
+	}
+	put(0, "1010", 9, 0)
+	put(1, "10**", 5, 1)
+	put(2, "0101", 7, 2)
+	return tb
+}
+
+// rollbackTo must restore both the scratch slot array and the address
+// overlay exactly, including multi-step move chains of one handle.
+func TestPlannerRollback(t *testing.T) {
+	tb := plannerFixture(t)
+	p := tb.newPlanner()
+
+	snapshot := append([]int(nil), p.atAddr...)
+	mark := p.snapshotLen()
+
+	p.recordMove(1, 4) // handle 1 moves 1 -> 4
+	p.recordMove(4, 6) // ... then 4 -> 6
+	p.recordMove(2, 5) // handle 2 moves 2 -> 5
+	if a, ok := p.addr(1); !ok || a != 6 {
+		t.Fatalf("handle 1 overlay = %d,%v want 6", a, ok)
+	}
+
+	p.rollbackTo(mark)
+	for i, want := range snapshot {
+		if p.atAddr[i] != want {
+			t.Fatalf("slot %d = %d after rollback, want %d", i, p.atAddr[i], want)
+		}
+	}
+	for h, wantAddr := range map[int]int{0: 0, 1: 1, 2: 2} {
+		if a, ok := p.addr(h); !ok || a != wantAddr {
+			t.Fatalf("handle %d resolves to %d,%v after rollback, want %d", h, a, ok, wantAddr)
+		}
+	}
+	if len(p.moves) != 0 {
+		t.Fatalf("moves not truncated: %v", p.moves)
+	}
+}
+
+// Partial rollback keeps the earlier prefix of the plan intact.
+func TestPlannerPartialRollback(t *testing.T) {
+	tb := plannerFixture(t)
+	p := tb.newPlanner()
+	p.recordMove(0, 3)
+	mark := p.snapshotLen()
+	p.recordMove(1, 4)
+	p.rollbackTo(mark)
+	if a, _ := p.addr(0); a != 3 {
+		t.Fatalf("pre-mark move undone: handle 0 at %d", a)
+	}
+	if a, _ := p.addr(1); a != 1 {
+		t.Fatalf("post-mark move kept: handle 1 at %d", a)
+	}
+	if len(p.moves) != 1 {
+		t.Fatalf("moves = %v", p.moves)
+	}
+}
+
+// freeDown/freeUp on an already-free slot are no-ops.
+func TestFreeOnEmptySlot(t *testing.T) {
+	tb := plannerFixture(t)
+	p := tb.newPlanner()
+	if !p.freeDown(5, 4) || !p.freeUp(5, 4) {
+		t.Fatal("free slot reported unfreeable")
+	}
+	if len(p.moves) != 0 {
+		t.Fatal("no-op free recorded moves")
+	}
+}
+
+// The occupant fallback: when pushing down is impossible, planTarget
+// rolls back and pushes up instead.
+func TestPlanTargetFallsBackUpward(t *testing.T) {
+	tb := newTable(4, 4)
+	put := func(h int, word string, prio, addr int) {
+		e := tcam.Entry{Word: ternary.MustParse(word), Priority: prio, RuleID: h}
+		tb.g.Add(h, e)
+		tb.place(h, e, addr)
+	}
+	// Occupant X at addr 2 with its lower right below at addr 3 (end of
+	// table): X cannot move down. Slots 0,1 free above.
+	put(0, "11**", 9, 2) // X
+	put(1, "1111", 3, 3) // lower of X, boxed at the bottom
+
+	// New entry h overlapping nothing: target addr 2 forces the
+	// occupant out; the only direction is up.
+	tb.nextH = 10
+	h := tb.nextH
+	tb.nextH++
+	tb.g.Add(h, tcam.Entry{Word: ternary.MustParse("0000"), Priority: 5, RuleID: h})
+	p := tb.newPlanner()
+	if !p.planTarget(h, 2) {
+		t.Fatal("planTarget failed despite free slots above")
+	}
+	if p.atAddr[2] != -1 {
+		t.Fatal("target slot not freed")
+	}
+	if a, _ := p.addr(0); a >= 2 {
+		t.Fatalf("occupant moved to %d, want above 2", a)
+	}
+	moves := tb.apply(p)
+	if moves == 0 {
+		t.Fatal("no moves applied")
+	}
+	tb.place(h, tcam.Entry{Word: ternary.MustParse("0000"), Priority: 5, RuleID: h}, 2)
+	if err := tb.checkInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNaiveStatsAccessor(t *testing.T) {
+	na := NewNaive(8, rules.TupleBits)
+	if _, err := na.Insert(simpleRule(1, 1, rules.Prefix{Len: 0})); err != nil {
+		t.Fatal(err)
+	}
+	if na.Stats().Writes == 0 {
+		t.Fatal("no writes recorded")
+	}
+}
+
+func TestMax1(t *testing.T) {
+	if max1(0) != 1 || max1(3) != 3 || max1(-2) != 1 {
+		t.Fatal("max1 wrong")
+	}
+}

@@ -1,0 +1,92 @@
+package update
+
+import (
+	"fmt"
+	"sort"
+
+	"catcam/internal/rules"
+	"catcam/internal/tcam"
+)
+
+// Preloader is implemented by algorithms that support bulk initial
+// provisioning: writing a full ruleset in one pass, the way switch
+// firmware installs a table image at boot. Preload is NOT an update —
+// no movement costs are reported — and must leave the engine in a state
+// equivalent to having inserted every rule.
+type Preloader interface {
+	Preload(rs []rules.Rule) error
+}
+
+// Preload implements Preloader for Naive: entries are sorted by rank
+// and written contiguously from the top.
+func (na *Naive) Preload(rs []rules.Rule) error {
+	entries := expandAll(rs)
+	if len(entries) > na.t.Capacity() {
+		return ErrFull
+	}
+	sortByRankDesc(entries)
+	for i, e := range entries {
+		na.t.Write(i, e)
+	}
+	na.n = len(entries)
+	na.reindex()
+	return nil
+}
+
+// Preload implements Preloader for the chain algorithms: entries are
+// written in descending rank order at consecutive addresses (a globally
+// sorted image trivially satisfies the encoder invariant) and the
+// dependency graph is built incrementally. Graph construction is the
+// O(n²) comparison pass the respective firmware performs when compiling
+// a table image; it is not charged to any update.
+func (c *chainAlgorithm) Preload(rs []rules.Rule) error {
+	entries := expandAll(rs)
+	if len(entries) > c.tb.capacity() {
+		return ErrFull
+	}
+	sortByRankDesc(entries)
+	for i, e := range entries {
+		h := c.tb.nextH
+		c.tb.nextH++
+		c.tb.g.Add(h, e)
+		c.tb.place(h, e, i)
+	}
+	c.tb.g.ResetCounters()
+	return nil
+}
+
+// Preload implements Preloader for TreeCAM: the decision tree is built
+// by inserting each rule without charging results, mirroring TreeCAM's
+// offline tree construction.
+func (tc *TreeCAM) Preload(rs []rules.Rule) error {
+	for _, r := range rs {
+		if _, err := tc.Insert(r); err != nil {
+			return fmt.Errorf("update: treecam preload: %w", err)
+		}
+	}
+	return nil
+}
+
+func expandAll(rs []rules.Rule) []tcam.Entry {
+	var out []tcam.Entry
+	for _, r := range rs {
+		out = append(out, encodeRule(r)...)
+	}
+	return out
+}
+
+func sortByRankDesc(entries []tcam.Entry) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		return entries[j].Before(entries[i]) // descending
+	})
+}
+
+// ExpansionEntries returns how many TCAM entries a ruleset occupies
+// after range expansion — used by harnesses to size tables.
+func ExpansionEntries(rs []rules.Rule) int {
+	n := 0
+	for _, r := range rs {
+		n += r.ExpansionCount()
+	}
+	return n
+}

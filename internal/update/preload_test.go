@@ -1,0 +1,91 @@
+package update
+
+import (
+	"testing"
+
+	"catcam/internal/classbench"
+	"catcam/internal/rules"
+)
+
+func TestPreloadEquivalentToInserts(t *testing.T) {
+	rs := classbench.Generate(classbench.Config{Family: classbench.ACL, Size: 80, Seed: 61})
+	headers := classbench.PacketTrace(rs, 120, 0.8, 62)
+
+	for _, mk := range []func() Algorithm{
+		func() Algorithm { return NewNaive(4096, rules.TupleBits) },
+		func() Algorithm { return NewFastRule(4096, rules.TupleBits) },
+		func() Algorithm { return NewPOT(4096, rules.TupleBits) },
+		func() Algorithm { return NewRuleTris(4096, rules.TupleBits) },
+		func() Algorithm { return NewTreeCAM(4096, rules.TupleBits) },
+	} {
+		inserted := mk()
+		for _, r := range rs.Rules {
+			if _, err := inserted.Insert(r); err != nil {
+				t.Fatalf("%s insert: %v", inserted.Name(), err)
+			}
+		}
+		preloaded := mk()
+		if _, err := preloaded.Insert(rs.Rules[0]); err != nil {
+			t.Fatal(err)
+		}
+		// restart: Preload must start from empty engines in this test
+		preloaded = mk()
+		if err := preloaded.(Preloader).Preload(rs.Rules); err != nil {
+			t.Fatalf("%s preload: %v", preloaded.Name(), err)
+		}
+		if err := preloaded.CheckInvariant(); err != nil {
+			t.Fatalf("%s invariant after preload: %v", preloaded.Name(), err)
+		}
+		if preloaded.Len() != inserted.Len() {
+			t.Fatalf("%s: preload len %d != insert len %d",
+				preloaded.Name(), preloaded.Len(), inserted.Len())
+		}
+		for _, h := range headers {
+			a1, ok1 := inserted.Lookup(h)
+			a2, ok2 := preloaded.Lookup(h)
+			if ok1 != ok2 || (ok1 && a1 != a2) {
+				t.Fatalf("%s: preload/insert lookup diverge on %+v", preloaded.Name(), h)
+			}
+		}
+		// Updates after preload behave normally.
+		victim := rs.Rules[10].ID
+		if _, err := preloaded.Delete(victim); err != nil {
+			t.Fatalf("%s delete after preload: %v", preloaded.Name(), err)
+		}
+		extra := rs.Rules[10]
+		extra.ID = 9999
+		if _, err := preloaded.Insert(extra); err != nil {
+			t.Fatalf("%s insert after preload: %v", preloaded.Name(), err)
+		}
+		if err := preloaded.CheckInvariant(); err != nil {
+			t.Fatalf("%s invariant after post-preload updates: %v", preloaded.Name(), err)
+		}
+	}
+}
+
+func TestPreloadFullTable(t *testing.T) {
+	rs := classbench.Generate(classbench.Config{Family: classbench.ACL, Size: 50, Seed: 63})
+	na := NewNaive(10, rules.TupleBits)
+	if err := na.Preload(rs.Rules); err == nil {
+		t.Fatal("overfull preload accepted")
+	}
+	fr := NewFastRule(10, rules.TupleBits)
+	if err := fr.Preload(rs.Rules); err == nil {
+		t.Fatal("overfull chain preload accepted")
+	}
+}
+
+func TestExpansionEntries(t *testing.T) {
+	rs := classbench.Generate(classbench.Config{Family: classbench.FW, Size: 100, Seed: 64})
+	n := ExpansionEntries(rs.Rules)
+	if n < 100 {
+		t.Fatalf("expansion entries %d < rule count", n)
+	}
+	sum := 0
+	for _, r := range rs.Rules {
+		sum += r.ExpansionCount()
+	}
+	if n != sum {
+		t.Fatalf("ExpansionEntries = %d, sum = %d", n, sum)
+	}
+}

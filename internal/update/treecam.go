@@ -1,0 +1,500 @@
+package update
+
+import (
+	"fmt"
+	"sort"
+
+	"catcam/internal/rules"
+	"catcam/internal/tcam"
+	"catcam/internal/ternary"
+)
+
+// TreeCAM models Vamanan & Vijaykumar's TreeCAM (CoNEXT 2011): a
+// decision tree partitions the packet space into leaves, each leaf owns
+// a small block of TCAM slots, and a rule is stored (possibly
+// replicated) in every leaf whose subspace it intersects. Lookups walk
+// the tree and search only the selected leaf's block, so the encoder
+// invariant — and therefore insertion shifting — is confined to one
+// leaf: update cost is bounded by the leaf size instead of the table
+// size. The price is rule replication and leaf-split churn, which is
+// why its movement counts sit between the dependency-graph schemes and
+// the naive updater.
+//
+// The tree splits on whichever tuple bit (address, port or protocol)
+// best separates a full leaf; a leaf that cannot be separated (every
+// entry agrees or wildcards on all unpinned bits) grows by chaining an
+// extra region instead.
+type TreeCAM struct {
+	t          *tcam.TCAM
+	regionSize int
+	freeRegs   []int
+	root       *tnode
+	byRule     map[int][]*tleaf
+	leafSeq    int
+}
+
+// treeRegionSize is the number of TCAM slots per leaf region; shifts on
+// insertion are bounded by the leaf's region chain.
+const treeRegionSize = 32
+
+// treeMaxDepth bounds tree depth (at most one split per tuple bit).
+const treeMaxDepth = rules.TupleBits
+
+type tnode struct {
+	pos  int // ternary word position split on (0 = MSB of the tuple)
+	zero *tnode
+	one  *tnode
+	leaf *tleaf
+}
+
+// pinWords is the number of uint64 words covering TupleBits positions.
+const pinWords = (rules.TupleBits + 63) / 64
+
+type tleaf struct {
+	id      int
+	depth   int
+	regions []int
+	entries []tcam.Entry
+	// path constraints: which tuple bits are pinned for this subspace,
+	// and to what value. Bit p of the word lives at mask[p/64]>>(p%64).
+	mask [pinWords]uint64
+	val  [pinWords]uint64
+}
+
+func (lf *tleaf) pinned(p int) bool { return lf.mask[p/64]&(1<<uint(p%64)) != 0 }
+func (lf *tleaf) want(p int) bool   { return lf.val[p/64]&(1<<uint(p%64)) != 0 }
+func (lf *tleaf) pin(p int, v bool) {
+	lf.mask[p/64] |= 1 << uint(p%64)
+	if v {
+		lf.val[p/64] |= 1 << uint(p%64)
+	}
+}
+
+// NewTreeCAM returns a TreeCAM updater with the given total slot
+// capacity and entry width.
+func NewTreeCAM(capacity, width int) *TreeCAM {
+	nRegions := capacity / treeRegionSize
+	if nRegions < 1 {
+		nRegions = 1
+	}
+	tc := &TreeCAM{
+		t:          tcam.New(nRegions*treeRegionSize, width),
+		regionSize: treeRegionSize,
+		byRule:     make(map[int][]*tleaf),
+	}
+	for i := nRegions - 1; i >= 1; i-- {
+		tc.freeRegs = append(tc.freeRegs, i)
+	}
+	root := &tleaf{id: tc.leafSeq, regions: []int{0}}
+	tc.leafSeq++
+	tc.root = &tnode{leaf: root}
+	return tc
+}
+
+// Name implements Algorithm.
+func (tc *TreeCAM) Name() string { return "TreeCAM" }
+
+// Len implements Algorithm: total stored entries including replication.
+func (tc *TreeCAM) Len() int { return tc.t.Len() }
+
+func (tc *TreeCAM) allocRegion() (int, bool) {
+	if len(tc.freeRegs) == 0 {
+		return 0, false
+	}
+	r := tc.freeRegs[len(tc.freeRegs)-1]
+	tc.freeRegs = tc.freeRegs[:len(tc.freeRegs)-1]
+	return r, true
+}
+
+func (tc *TreeCAM) freeRegion(r int) { tc.freeRegs = append(tc.freeRegs, r) }
+
+// addrOf maps a logical position within a leaf to a TCAM address.
+func (lf *tleaf) addrOf(pos, regionSize int) int {
+	return lf.regions[pos/regionSize]*regionSize + pos%regionSize
+}
+
+func (lf *tleaf) capacity(regionSize int) int { return len(lf.regions) * regionSize }
+
+// ruleOverlapsLeaf reports whether the entry's word can match any packet
+// in the leaf's subspace (checking every pinned tuple bit).
+func ruleOverlapsLeaf(e tcam.Entry, lf *tleaf) bool {
+	for p := 0; p < rules.TupleBits; p++ {
+		if !lf.pinned(p) {
+			continue
+		}
+		switch e.Word.BitAt(p) {
+		case ternary.Star:
+		case ternary.One:
+			if !lf.want(p) {
+				return false
+			}
+		case ternary.Zero:
+			if lf.want(p) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// leavesFor collects every leaf whose subspace the entry intersects.
+func (tc *TreeCAM) leavesFor(e tcam.Entry, ops *uint64) []*tleaf {
+	var out []*tleaf
+	var walk func(n *tnode)
+	walk = func(n *tnode) {
+		*ops++
+		if n.leaf != nil {
+			if ruleOverlapsLeaf(e, n.leaf) {
+				out = append(out, n.leaf)
+			}
+			return
+		}
+		switch e.Word.BitAt(n.pos) {
+		case ternary.Zero:
+			walk(n.zero)
+		case ternary.One:
+			walk(n.one)
+		default:
+			walk(n.zero)
+			walk(n.one)
+		}
+	}
+	walk(tc.root)
+	return out
+}
+
+// leafForHeader walks the tree to the unique leaf covering the header.
+func (tc *TreeCAM) leafForHeader(h rules.Header) *tleaf {
+	key := rules.EncodeHeader(h)
+	n := tc.root
+	for n.leaf == nil {
+		if key.KeyBit(n.pos) {
+			n = n.one
+		} else {
+			n = n.zero
+		}
+	}
+	return n.leaf
+}
+
+// insertIntoLeaf places e at its sorted position inside lf, shifting the
+// tail down. The caller guarantees the leaf has room.
+func (tc *TreeCAM) insertIntoLeaf(lf *tleaf, e tcam.Entry, res *Result) {
+	pos := sort.Search(len(lf.entries), func(i int) bool {
+		return lf.entries[i].Before(e)
+	})
+	res.Ops += uint64(logCeil(len(lf.entries)) + 1)
+	// Shift tail down by one, bottom-up.
+	for i := len(lf.entries); i > pos; i-- {
+		tc.t.Move(lf.addrOf(i-1, tc.regionSize), lf.addrOf(i, tc.regionSize))
+		res.Moves++
+	}
+	tc.t.Write(lf.addrOf(pos, tc.regionSize), e)
+	res.Writes++
+	lf.entries = append(lf.entries, tcam.Entry{})
+	copy(lf.entries[pos+1:], lf.entries[pos:])
+	lf.entries[pos] = e
+	tc.byRule[e.RuleID] = appendLeaf(tc.byRule[e.RuleID], lf)
+}
+
+func appendLeaf(ls []*tleaf, lf *tleaf) []*tleaf {
+	for _, x := range ls {
+		if x == lf {
+			return ls
+		}
+	}
+	return append(ls, lf)
+}
+
+// growLeaf makes room in a full leaf: preferably by splitting it into
+// two children on the next address bit; if the split cannot separate
+// the entries, by chaining another region.
+func (tc *TreeCAM) growLeaf(lf *tleaf, res *Result) error {
+	if lf.depth < treeMaxDepth {
+		if err := tc.splitLeaf(lf, res); err == nil {
+			return nil
+		}
+	}
+	r, ok := tc.allocRegion()
+	if !ok {
+		return ErrFull
+	}
+	lf.regions = append(lf.regions, r)
+	return nil
+}
+
+// splitLeaf divides lf's subspace and redistributes its entries into two
+// fresh leaves; replicated (wildcard) entries go to both. The split bit
+// is chosen greedily — the unpinned source/destination address bit that
+// minimizes the larger child (TreeCAM's tree builder heuristic), so
+// wildcard-heavy leaves don't blow up through pointless replication.
+// Every rewritten entry counts as a move. Fails when no bit reduces the
+// leaf or no region is free.
+func (tc *TreeCAM) splitLeaf(lf *tleaf, res *Result) error {
+	pos := -1
+	bestMax, bestRepl := len(lf.entries)+1, len(lf.entries)+1
+	for _, cand := range splitCandidates(lf) {
+		nz, no, repl := 0, 0, 0
+		for _, e := range lf.entries {
+			res.Ops++
+			switch e.Word.BitAt(cand) {
+			case ternary.Zero:
+				nz++
+			case ternary.One:
+				no++
+			default:
+				nz++
+				no++
+				repl++
+			}
+		}
+		m := nz
+		if no > m {
+			m = no
+		}
+		// Penalize replication directly: a cut that separates entries
+		// but copies wildcards into both children wastes capacity.
+		score := m + repl
+		if m < len(lf.entries) && (score < bestMax || (score == bestMax && repl < bestRepl)) {
+			pos, bestMax, bestRepl = cand, score, repl
+		}
+	}
+	if pos < 0 {
+		return fmt.Errorf("update: no bit separates leaf %d", lf.id)
+	}
+	var zeroEntries, oneEntries []tcam.Entry
+	for _, e := range lf.entries {
+		switch e.Word.BitAt(pos) {
+		case ternary.Zero:
+			zeroEntries = append(zeroEntries, e)
+		case ternary.One:
+			oneEntries = append(oneEntries, e)
+		default:
+			zeroEntries = append(zeroEntries, e)
+			oneEntries = append(oneEntries, e)
+		}
+	}
+	need := max1(regionsFor(len(zeroEntries), tc.regionSize)) +
+		max1(regionsFor(len(oneEntries), tc.regionSize))
+	if need > len(lf.regions)+len(tc.freeRegs) {
+		return ErrFull
+	}
+
+	// Tear down the old leaf's physical entries.
+	for i := range lf.entries {
+		tc.t.Invalidate(lf.addrOf(i, tc.regionSize))
+	}
+	oldRegions := lf.regions
+	oldEntries := lf.entries
+	for _, r := range oldRegions {
+		tc.freeRegion(r)
+	}
+	for _, e := range oldEntries {
+		tc.dropLeafRef(e.RuleID, lf)
+	}
+
+	mkLeaf := func(entries []tcam.Entry, bitSet bool) (*tleaf, error) {
+		nl := &tleaf{id: tc.leafSeq, depth: lf.depth + 1, mask: lf.mask, val: lf.val}
+		tc.leafSeq++
+		nl.pin(pos, bitSet)
+		for i := 0; i < regionsFor(len(entries), tc.regionSize); i++ {
+			r, ok := tc.allocRegion()
+			if !ok {
+				return nil, ErrFull
+			}
+			nl.regions = append(nl.regions, r)
+		}
+		if len(nl.regions) == 0 {
+			r, ok := tc.allocRegion()
+			if !ok {
+				return nil, ErrFull
+			}
+			nl.regions = []int{r}
+		}
+		for i, e := range entries {
+			tc.t.Write(nl.addrOf(i, tc.regionSize), e)
+			res.Moves++
+			tc.byRule[e.RuleID] = appendLeaf(tc.byRule[e.RuleID], nl)
+		}
+		nl.entries = append(nl.entries, entries...)
+		return nl, nil
+	}
+
+	zl, err := mkLeaf(zeroEntries, false)
+	if err != nil {
+		return err
+	}
+	ol, err := mkLeaf(oneEntries, true)
+	if err != nil {
+		return err
+	}
+
+	// Turn lf's node into an internal node. Locate it by search.
+	node := tc.findNode(lf)
+	node.leaf = nil
+	node.pos = pos
+	node.zero = &tnode{leaf: zl}
+	node.one = &tnode{leaf: ol}
+	return nil
+}
+
+// splitCandidates lists the tuple bit positions not yet pinned by the
+// leaf's path — addresses, ports and protocol alike.
+func splitCandidates(lf *tleaf) []int {
+	out := make([]int, 0, rules.TupleBits)
+	for p := 0; p < rules.TupleBits; p++ {
+		if !lf.pinned(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func regionsFor(n, regionSize int) int {
+	return (n + regionSize - 1) / regionSize
+}
+
+func max1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+func (tc *TreeCAM) findNode(lf *tleaf) *tnode {
+	var found *tnode
+	var walk func(n *tnode)
+	walk = func(n *tnode) {
+		if found != nil {
+			return
+		}
+		if n.leaf == lf {
+			found = n
+			return
+		}
+		if n.leaf == nil {
+			walk(n.zero)
+			walk(n.one)
+		}
+	}
+	walk(tc.root)
+	if found == nil {
+		panic("update: leaf not found in tree")
+	}
+	return found
+}
+
+func (tc *TreeCAM) dropLeafRef(ruleID int, lf *tleaf) {
+	ls := tc.byRule[ruleID]
+	for i, x := range ls {
+		if x == lf {
+			ls[i] = ls[len(ls)-1]
+			tc.byRule[ruleID] = ls[:len(ls)-1]
+			return
+		}
+	}
+}
+
+// Insert implements Algorithm. Full leaves are grown (split or chained)
+// first; splits replace leaves, so the affected-leaf set is recomputed
+// until every target leaf has room.
+func (tc *TreeCAM) Insert(r rules.Rule) (Result, error) {
+	var res Result
+	for _, e := range encodeRule(r) {
+		for {
+			leaves := tc.leavesFor(e, &res.Ops)
+			var full *tleaf
+			for _, lf := range leaves {
+				if len(lf.entries) == lf.capacity(tc.regionSize) {
+					full = lf
+					break
+				}
+			}
+			if full == nil {
+				for _, lf := range leaves {
+					tc.insertIntoLeaf(lf, e, &res)
+				}
+				break
+			}
+			if err := tc.growLeaf(full, &res); err != nil {
+				return res, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// Delete implements Algorithm: the rule is removed from every leaf that
+// replicates it; tails shift up to keep leaf blocks compact.
+func (tc *TreeCAM) Delete(ruleID int) (Result, error) {
+	leaves, ok := tc.byRule[ruleID]
+	if !ok {
+		return Result{}, fmt.Errorf("update: rule %d not present", ruleID)
+	}
+	var res Result
+	for _, lf := range append([]*tleaf(nil), leaves...) {
+		for i := 0; i < len(lf.entries); {
+			if lf.entries[i].RuleID != ruleID {
+				i++
+				continue
+			}
+			tc.t.Invalidate(lf.addrOf(i, tc.regionSize))
+			res.Writes++
+			for j := i + 1; j < len(lf.entries); j++ {
+				tc.t.Move(lf.addrOf(j, tc.regionSize), lf.addrOf(j-1, tc.regionSize))
+				res.Moves++
+			}
+			lf.entries = append(lf.entries[:i], lf.entries[i+1:]...)
+		}
+		// Release trailing empty regions beyond the first.
+		for len(lf.regions) > 1 && len(lf.entries) <= (len(lf.regions)-1)*tc.regionSize {
+			tc.freeRegion(lf.regions[len(lf.regions)-1])
+			lf.regions = lf.regions[:len(lf.regions)-1]
+		}
+	}
+	delete(tc.byRule, ruleID)
+	return res, nil
+}
+
+// Lookup implements Algorithm: tree walk plus a search over the
+// selected leaf's block only.
+func (tc *TreeCAM) Lookup(h rules.Header) (int, bool) {
+	lf := tc.leafForHeader(h)
+	key := rules.EncodeHeader(h)
+	for _, e := range lf.entries {
+		if e.Word.Match(key) {
+			return e.Action, true
+		}
+	}
+	return 0, false
+}
+
+// CheckInvariant implements Algorithm: every leaf block is sorted and
+// physically consistent, and every stored entry intersects its leaf's
+// subspace.
+func (tc *TreeCAM) CheckInvariant() error {
+	var walk func(n *tnode) error
+	walk = func(n *tnode) error {
+		if n.leaf == nil {
+			if err := walk(n.zero); err != nil {
+				return err
+			}
+			return walk(n.one)
+		}
+		lf := n.leaf
+		for i, e := range lf.entries {
+			got, ok := tc.t.At(lf.addrOf(i, tc.regionSize))
+			if !ok || got.RuleID != e.RuleID || got.Priority != e.Priority {
+				return fmt.Errorf("treecam: leaf %d slot %d desync", lf.id, i)
+			}
+			if i > 0 && lf.entries[i-1].Before(e) {
+				return fmt.Errorf("treecam: leaf %d out of order at %d", lf.id, i)
+			}
+			if !ruleOverlapsLeaf(e, lf) {
+				return fmt.Errorf("treecam: leaf %d holds foreign rule %d", lf.id, e.RuleID)
+			}
+		}
+		return nil
+	}
+	return walk(tc.root)
+}

@@ -1,0 +1,582 @@
+// Package update implements the TCAM update algorithms the paper
+// compares CATCAM against: Naive shifting, FastRule (FR), RuleTris (RT),
+// Partial Order Theory (POT) and TreeCAM, all operating on the
+// conventional TCAM model of internal/tcam.
+//
+// Address convention: address 0 is the top of the table; the priority
+// encoder picks the matching entry with the LOWEST address. The
+// correctness invariant all algorithms must maintain is therefore: for
+// every pair of overlapping entries, the entry that wins under the rule
+// order sits at the lower address.
+//
+// Every algorithm reports two costs per request, matching the paper's
+// split between Table III and Table IV:
+//
+//   - Moves: the number of TCAM entry relocations (update cost);
+//   - Ops: the elementary firmware operations spent computing the
+//     schedule (dependency comparisons, graph traversals, scans), from
+//     which firmware time is derived via each algorithm's per-op cost.
+package update
+
+import (
+	"errors"
+	"fmt"
+
+	"catcam/internal/depgraph"
+	"catcam/internal/rules"
+	"catcam/internal/tcam"
+)
+
+// ErrFull is returned when an algorithm cannot place a new rule.
+var ErrFull = errors.New("update: table full")
+
+// Result reports the cost of one update request.
+type Result struct {
+	Moves  int    // TCAM entry relocations
+	Ops    uint64 // firmware elementary operations
+	Writes int    // slot writes excluding moves (the new entry itself)
+}
+
+// Algorithm is a TCAM rule-update engine.
+type Algorithm interface {
+	Name() string
+	// Insert adds rule r (all its range-expansion entries).
+	Insert(r rules.Rule) (Result, error)
+	// Delete removes the rule with the given ID.
+	Delete(ruleID int) (Result, error)
+	// Lookup classifies a header, returning the winning rule's action.
+	Lookup(h rules.Header) (int, bool)
+	// Len returns the number of stored TCAM entries (post expansion).
+	Len() int
+	// CheckInvariant verifies internal consistency (test support).
+	CheckInvariant() error
+}
+
+// maxChainDepth bounds recursive move planning; published worst cases
+// top out well below this.
+const maxChainDepth = 64
+
+// table couples a TCAM with the dependency graph and the address
+// bookkeeping the chain-based algorithms (FR, RT, POT) share.
+type table struct {
+	t      *tcam.TCAM
+	g      *depgraph.Graph
+	addrOf map[int]int // handle -> address
+	atAddr []int       // address -> handle, -1 when free
+	byRule map[int][]int
+	nextH  int
+	free   int
+}
+
+func newTable(capacity, width int) *table {
+	tb := &table{
+		t:      tcam.New(capacity, width),
+		g:      depgraph.New(),
+		addrOf: make(map[int]int),
+		atAddr: make([]int, capacity),
+		byRule: make(map[int][]int),
+		free:   capacity,
+	}
+	for i := range tb.atAddr {
+		tb.atAddr[i] = -1
+	}
+	return tb
+}
+
+func (tb *table) capacity() int { return len(tb.atAddr) }
+func (tb *table) len() int      { return tb.capacity() - tb.free }
+
+// place writes a brand-new entry at addr.
+func (tb *table) place(h int, e tcam.Entry, addr int) {
+	if tb.atAddr[addr] != -1 {
+		panic(fmt.Sprintf("update: placing into occupied slot %d", addr))
+	}
+	tb.t.Write(addr, e)
+	tb.atAddr[addr] = h
+	tb.addrOf[h] = addr
+	tb.byRule[e.RuleID] = append(tb.byRule[e.RuleID], h)
+	tb.free--
+}
+
+// move relocates handle h's entry between addresses.
+func (tb *table) move(from, to int) {
+	h := tb.atAddr[from]
+	if h == -1 {
+		panic(fmt.Sprintf("update: move from free slot %d", from))
+	}
+	tb.t.Move(from, to)
+	tb.atAddr[from] = -1
+	tb.atAddr[to] = h
+	tb.addrOf[h] = to
+}
+
+// remove invalidates handle h's slot and drops it from the graph.
+func (tb *table) remove(h int) {
+	addr := tb.addrOf[h]
+	e, _ := tb.t.At(addr)
+	tb.t.Invalidate(addr)
+	tb.atAddr[addr] = -1
+	delete(tb.addrOf, h)
+	tb.g.Remove(h)
+	hs := tb.byRule[e.RuleID]
+	for i, x := range hs {
+		if x == h {
+			hs[i] = hs[len(hs)-1]
+			tb.byRule[e.RuleID] = hs[:len(hs)-1]
+			break
+		}
+	}
+	if len(tb.byRule[e.RuleID]) == 0 {
+		delete(tb.byRule, e.RuleID)
+	}
+	tb.free++
+}
+
+// planner builds a move schedule against a scratch copy of the address
+// maps, so candidate targets can be compared without touching the live
+// table. Handle addresses resolve through an overlay map on top of the
+// table's live addrOf.
+type planner struct {
+	tb     *table
+	atAddr []int       // scratch copy
+	addrOf map[int]int // overlay: handle -> address for moved handles
+	moves  []planMove
+	ops    uint64
+}
+
+type planMove struct{ from, to int }
+
+func (tb *table) newPlanner() *planner {
+	p := &planner{
+		tb:     tb,
+		atAddr: make([]int, len(tb.atAddr)),
+		addrOf: make(map[int]int),
+	}
+	copy(p.atAddr, tb.atAddr)
+	return p
+}
+
+// addr resolves a handle's planned address; ok is false for a handle
+// that has no slot yet (the entry being inserted).
+func (p *planner) addr(h int) (int, bool) {
+	if a, ok := p.addrOf[h]; ok {
+		return a, true
+	}
+	a, ok := p.tb.addrOf[h]
+	return a, ok
+}
+
+// boundsOf computes handle h's feasible range under the plan so far.
+// Unplaced neighbours (the entry under insertion) impose no constraint.
+func (p *planner) boundsOf(h int) (lo, hi int) {
+	lo, hi = 0, len(p.atAddr)-1
+	for _, u := range p.tb.g.Uppers(h) {
+		p.ops++
+		if a, ok := p.addr(u); ok && a+1 > lo {
+			lo = a + 1
+		}
+	}
+	for _, l := range p.tb.g.Lowers(h) {
+		p.ops++
+		if a, ok := p.addr(l); ok && a-1 < hi {
+			hi = a - 1
+		}
+	}
+	return lo, hi
+}
+
+func (p *planner) recordMove(from, to int) {
+	h := p.atAddr[from]
+	p.atAddr[from] = -1
+	p.atAddr[to] = h
+	p.addrOf[h] = to
+	p.moves = append(p.moves, planMove{from, to})
+}
+
+// freeDown frees address a by pushing its occupant toward higher
+// addresses (deeper into the table), chaining as needed.
+func (p *planner) freeDown(a, depth int) bool {
+	if p.atAddr[a] == -1 {
+		return true
+	}
+	return p.relocateBeyond(p.atAddr[a], a, depth)
+}
+
+// freeUp frees address a by pushing its occupant toward lower addresses.
+func (p *planner) freeUp(a, depth int) bool {
+	if p.atAddr[a] == -1 {
+		return true
+	}
+	return p.relocateBefore(p.atAddr[a], a, depth)
+}
+
+// relocateBeyond moves handle x so that its address becomes strictly
+// greater than a (used to clear conflicting lowers of an inserted
+// entry), chaining downward as needed. When x is boxed in by its own
+// lowers, those are recursively pushed down first — this is exactly the
+// "reallocation chain" of dependent entries.
+func (p *planner) relocateBeyond(x, a, depth int) bool {
+	if cur, ok := p.addr(x); !ok || cur > a {
+		return true
+	}
+	if depth <= 0 {
+		return false
+	}
+	lo, hi := p.boundsOf(x)
+	if lo < a+1 {
+		lo = a + 1
+	}
+	if lo > hi {
+		// x's lowers sit at or above lo; push them deeper first.
+		for _, l := range p.tb.g.Lowers(x) {
+			p.ops++
+			if la, ok := p.addr(l); ok && la <= lo {
+				if !p.relocateBeyond(l, lo, depth-1) {
+					return false
+				}
+			}
+		}
+		_, hi = p.boundsOf(x)
+		if lo > hi {
+			return false
+		}
+	}
+	cur, _ := p.addr(x)
+	for f := lo; f <= hi; f++ {
+		p.ops++
+		if p.atAddr[f] == -1 {
+			p.recordMove(cur, f)
+			return true
+		}
+	}
+	if !p.freeDown(hi, depth-1) {
+		return false
+	}
+	p.recordMove(cur, hi)
+	return true
+}
+
+// relocateBefore moves handle x so its address becomes strictly less
+// than a (clearing conflicting uppers), chaining upward as needed, with
+// the symmetric cascade through x's uppers.
+func (p *planner) relocateBefore(x, a, depth int) bool {
+	if cur, ok := p.addr(x); !ok || cur < a {
+		return true
+	}
+	if depth <= 0 {
+		return false
+	}
+	lo, hi := p.boundsOf(x)
+	if hi > a-1 {
+		hi = a - 1
+	}
+	if lo > hi {
+		for _, u := range p.tb.g.Uppers(x) {
+			p.ops++
+			if ua, ok := p.addr(u); ok && ua >= hi {
+				if !p.relocateBefore(u, hi, depth-1) {
+					return false
+				}
+			}
+		}
+		lo, _ = p.boundsOf(x)
+		if lo > hi {
+			return false
+		}
+	}
+	cur, _ := p.addr(x)
+	for f := hi; f >= lo; f-- {
+		p.ops++
+		if p.atAddr[f] == -1 {
+			p.recordMove(cur, f)
+			return true
+		}
+	}
+	if !p.freeUp(lo, depth-1) {
+		return false
+	}
+	p.recordMove(cur, lo)
+	return true
+}
+
+// planTarget builds a complete plan that makes address a a legal home
+// for handle h: every lower of h ends below (greater than) a, every
+// upper above (less than) a, and a itself is free.
+func (p *planner) planTarget(h, a int) bool {
+	for _, l := range p.tb.g.Lowers(h) {
+		p.ops++
+		if la, ok := p.addr(l); ok && la <= a {
+			if !p.relocateBeyond(l, a, maxChainDepth) {
+				return false
+			}
+		}
+	}
+	for _, u := range p.tb.g.Uppers(h) {
+		p.ops++
+		if ua, ok := p.addr(u); ok && ua >= a {
+			if !p.relocateBefore(u, a, maxChainDepth) {
+				return false
+			}
+		}
+	}
+	if p.atAddr[a] != -1 {
+		// Occupant is unrelated (related ones were relocated above);
+		// push it whichever direction works.
+		save := p.snapshotLen()
+		if !p.freeDown(a, maxChainDepth) {
+			p.rollbackTo(save)
+			if !p.freeUp(a, maxChainDepth) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// snapshotLen/rollbackTo implement cheap undo within one planner by
+// replaying is impossible — instead planners are cloned per candidate
+// target. snapshotLen only guards the freeDown/freeUp fallback above,
+// where a failed freeDown may have recorded moves; we rebuild from the
+// move list.
+func (p *planner) snapshotLen() int { return len(p.moves) }
+
+func (p *planner) rollbackTo(n int) {
+	for i := len(p.moves) - 1; i >= n; i-- {
+		m := p.moves[i]
+		h := p.atAddr[m.to]
+		p.atAddr[m.to] = -1
+		p.atAddr[m.from] = h
+		if base, ok := p.tb.addrOf[h]; ok && base == m.from {
+			delete(p.addrOf, h)
+		} else {
+			p.addrOf[h] = m.from
+		}
+	}
+	p.moves = p.moves[:n]
+}
+
+// apply executes the plan's moves on the live table and returns the
+// move count.
+func (tb *table) apply(p *planner) int {
+	for _, m := range p.moves {
+		tb.move(m.from, m.to)
+	}
+	return len(p.moves)
+}
+
+// strategy selects how chain algorithms choose the target address.
+type strategy int
+
+const (
+	// strategyBestOfBoth tries the window boundaries in both directions
+	// and picks the cheaper plan (FastRule's behaviour).
+	strategyBestOfBoth strategy = iota
+	// strategyOptimal additionally tries every free slot as a target
+	// and picks the globally cheapest plan (RuleTris' minimum-movement
+	// schedule).
+	strategyOptimal
+	// strategyDownOnly always pushes toward higher addresses (POT's
+	// single-direction chain resolution).
+	strategyDownOnly
+)
+
+// insertEntry inserts one TCAM entry under a fresh handle using the
+// given strategy; it returns the executed move count, the planning ops,
+// and the handle.
+func (tb *table) insertEntry(e tcam.Entry, st strategy) (moves int, ops uint64, handle int, err error) {
+	if tb.free == 0 {
+		return 0, 0, -1, ErrFull
+	}
+	h := tb.nextH
+	tb.nextH++
+
+	c0 := tb.g.Comparisons()
+	tb.g.Add(h, e)
+	ops = tb.g.Comparisons() - c0
+
+	lo, hi := tb.liveBounds(h)
+
+	// Fast path: a free slot already inside the window.
+	if lo <= hi {
+		for f := lo; f <= hi; f++ {
+			ops++
+			if tb.atAddr[f] == -1 {
+				tb.place(h, e, f)
+				return 0, ops, h, nil
+			}
+		}
+	}
+
+	best := (*planner)(nil)
+	bestTarget := -1
+	consider := func(a int) {
+		if a < 0 || a >= tb.capacity() {
+			return
+		}
+		p := tb.newPlanner()
+		if p.planTarget(h, a) {
+			ops += p.ops
+			if best == nil || len(p.moves) < len(best.moves) {
+				best, bestTarget = p, a
+			}
+		} else {
+			ops += p.ops
+		}
+	}
+
+	switch st {
+	case strategyDownOnly:
+		if lo <= hi {
+			consider(hi)
+		} else {
+			consider(lo)
+		}
+	case strategyBestOfBoth:
+		if lo <= hi {
+			consider(hi)
+			consider(lo)
+		} else {
+			consider(lo)
+			consider(clamp(hi, 0, tb.capacity()-1))
+		}
+	case strategyOptimal:
+		consider(lo)
+		if hi != lo {
+			consider(clamp(hi, 0, tb.capacity()-1))
+		}
+		// Try free slots nearest the window on both sides.
+		tried := 0
+		for d := 1; d < tb.capacity() && tried < 16; d++ {
+			stop := true
+			if a := hi + d; a < tb.capacity() {
+				stop = false
+				if tb.atAddr[a] == -1 {
+					consider(a)
+					tried++
+				}
+			}
+			if a := lo - d; a >= 0 {
+				stop = false
+				if tb.atAddr[a] == -1 {
+					consider(a)
+					tried++
+				}
+			}
+			if stop {
+				break
+			}
+		}
+	}
+
+	if best == nil {
+		// Correctness fallback: no boundary plan worked, but free space
+		// may remain elsewhere — sweep free slots as targets before
+		// giving up. This keeps every strategy complete; the strategy
+		// only biases which plan is found first (and how many moves the
+		// common case costs).
+		tried := 0
+		for a := 0; a < tb.capacity() && tried < 64; a++ {
+			if tb.atAddr[a] == -1 {
+				consider(a)
+				tried++
+				if best != nil {
+					break
+				}
+			}
+		}
+	}
+
+	if best == nil {
+		tb.g.Remove(h)
+		return 0, ops, -1, ErrFull
+	}
+	moves = tb.apply(best)
+	tb.place(h, e, bestTarget)
+	return moves, ops, h, nil
+}
+
+// liveBounds is bounds() against the live table.
+func (tb *table) liveBounds(h int) (lo, hi int) {
+	lo, hi = 0, tb.capacity()-1
+	for _, u := range tb.g.Uppers(h) {
+		if a, ok := tb.addrOf[u]; ok && a+1 > lo {
+			lo = a + 1
+		}
+	}
+	for _, l := range tb.g.Lowers(h) {
+		if a, ok := tb.addrOf[l]; ok && a-1 < hi {
+			hi = a - 1
+		}
+	}
+	return lo, hi
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// deleteRule removes every expansion entry of ruleID. One op per entry
+// scan step.
+func (tb *table) deleteRule(ruleID int) (Result, error) {
+	hs, ok := tb.byRule[ruleID]
+	if !ok {
+		return Result{}, fmt.Errorf("update: rule %d not present", ruleID)
+	}
+	res := Result{Ops: uint64(len(hs))}
+	for len(tb.byRule[ruleID]) > 0 {
+		tb.remove(tb.byRule[ruleID][0])
+		res.Writes++
+	}
+	return res, nil
+}
+
+// lookup classifies a header through the underlying TCAM.
+func (tb *table) lookup(h rules.Header) (int, bool) {
+	e, _, ok := tb.t.Lookup(rules.EncodeHeader(h))
+	if !ok {
+		return 0, false
+	}
+	return e.Action, true
+}
+
+// checkInvariant validates order and bookkeeping consistency.
+func (tb *table) checkInvariant() error {
+	if err := tb.t.CheckOrder(); err != nil {
+		return err
+	}
+	for h, a := range tb.addrOf {
+		if tb.atAddr[a] != h {
+			return fmt.Errorf("update: addr map desync at handle %d", h)
+		}
+		if _, ok := tb.t.At(a); !ok {
+			return fmt.Errorf("update: handle %d maps to empty slot %d", h, a)
+		}
+	}
+	n := 0
+	for _, h := range tb.atAddr {
+		if h != -1 {
+			n++
+		}
+	}
+	if n != len(tb.addrOf) || n != tb.t.Len() || n != tb.capacity()-tb.free {
+		return fmt.Errorf("update: occupancy desync (%d map, %d tcam, %d free-count)",
+			len(tb.addrOf), tb.t.Len(), tb.capacity()-tb.free)
+	}
+	return nil
+}
+
+// encodeRule expands a rule into TCAM entries.
+func encodeRule(r rules.Rule) []tcam.Entry {
+	words := r.Encode()
+	out := make([]tcam.Entry, len(words))
+	for i, w := range words {
+		out[i] = tcam.Entry{Word: w, Priority: r.Priority, RuleID: r.ID, Action: r.Action}
+	}
+	return out
+}
