@@ -6,6 +6,12 @@
 //
 //	catcam-bench [-quick] [-experiment all|fig1a|fig1b|table1|table2|
 //	              table3|table4|table5|fig15|fig16|cpr|occupancy|ablation]
+//	             [-telemetry]
+//
+// -telemetry additionally runs an instrumented ClassBench churn pass
+// with the runtime telemetry registry attached and prints the latency
+// quantile summary plus the full Prometheus text exposition — the same
+// data cmd/catcam-serve exports live.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"catcam/internal/core"
 	"catcam/internal/metrics"
 	"catcam/internal/rram"
+	"catcam/internal/telemetry"
 )
 
 func main() {
@@ -26,15 +33,16 @@ func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run")
 	updates := flag.Int("updates", 1000, "updates per Table III/IV cell")
 	rtUpdates := flag.Int("rt-updates", 200, "RuleTris sample size on rulesets >= 10K (its per-update firmware work is the quantity under test; averages are reported over this shorter trace)")
+	withTelemetry := flag.Bool("telemetry", false, "run an instrumented churn pass and print quantiles + Prometheus text")
 	flag.Parse()
 
-	if err := run(*experiment, *quick, *updates, *rtUpdates); err != nil {
+	if err := run(*experiment, *quick, *updates, *rtUpdates, *withTelemetry); err != nil {
 		fmt.Fprintln(os.Stderr, "catcam-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, quick bool, updates, rtUpdates int) error {
+func run(experiment string, quick bool, updates, rtUpdates int, withTelemetry bool) error {
 	matrixCfg := bench.DefaultMatrixConfig()
 	matrixCfg.Updates = updates
 	matrixCfg.RuleTrisUpdates = rtUpdates
@@ -142,6 +150,25 @@ func run(experiment string, quick bool, updates, rtUpdates int) error {
 			return err
 		}
 		fmt.Print(bench.FormatEnergyReport(w.Label(), rep))
+	}
+	if withTelemetry || want("telemetry") {
+		section("Telemetry (runtime observability)")
+		w := bench.NewWorkload(classbench.ACL, fig15Size,
+			bench.WorkloadOptions{Updates: matrixCfg.Updates, Headers: 1000, FlatPorts: true})
+		reg := telemetry.NewRegistry()
+		ring := telemetry.NewEventRing(256)
+		dev, err := bench.RunTelemetryChurn(w, core.Compact(), reg, ring)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("workload %s: %d updates, occupancy %.0f%%\n",
+			w.Label(), len(w.Trace), dev.Occupancy()*100)
+		fmt.Print(bench.FormatTelemetrySummary(reg))
+		fmt.Printf("(trace ring retains %d of %d events)\n", len(ring.Snapshot()), ring.Total())
+		fmt.Println("\n--- Prometheus exposition (/metrics) ---")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
 	}
 	if want("rram") {
 		section("RRAM endurance projection (§IX future work)")

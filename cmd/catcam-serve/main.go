@@ -1,0 +1,201 @@
+// Command catcam-serve runs a CATCAM device under a continuous
+// ClassBench churn workload and exposes its runtime telemetry over
+// HTTP — the long-lived serving mode of the simulator, shaped like a
+// real SDN switch agent's admin plane.
+//
+// Endpoints:
+//
+//	/metrics       Prometheus text exposition (counters, gauges,
+//	               catcam_update_cycles histograms with p50/p99/p999)
+//	/metrics.json  JSON snapshot of the same registry
+//	/events        recent structured update events from the trace ring
+//	/healthz       liveness plus device occupancy summary
+//	/debug/vars    expvar (includes the telemetry snapshot)
+//	/debug/pprof/  net/http/pprof profiles
+//
+// Usage:
+//
+//	catcam-serve [-addr :9090] [-family ACL] [-size 1000] [-rate 10000]
+//	             [-subtables 256] [-slots 256] [-ring 4096] [-seed 1]
+//
+// The churn loop mirrors the paper's update methodology: inserts and
+// deletes split evenly so the table stays near its provisioned
+// occupancy, reinsertions draw fresh priorities (policy churn), and
+// one lookup is issued per update. -rate throttles updates per second
+// (0 means unthrottled).
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"strings"
+	"time"
+
+	"catcam/internal/classbench"
+	"catcam/internal/core"
+	"catcam/internal/rules"
+	"catcam/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", ":9090", "HTTP listen address")
+	family := flag.String("family", "ACL", "ruleset family: ACL, FW or IPC")
+	size := flag.Int("size", 1000, "number of rules kept live")
+	seed := flag.Int64("seed", 1, "generator seed")
+	rate := flag.Int("rate", 10000, "updates per second (0 = unthrottled)")
+	subtables := flag.Int("subtables", 256, "subtable count")
+	slots := flag.Int("slots", 256, "entries per subtable")
+	ringCap := flag.Int("ring", 4096, "event trace ring capacity")
+	flag.Parse()
+
+	if err := run(*addr, *family, *size, *seed, *rate, *subtables, *slots, *ringCap); err != nil {
+		fmt.Fprintln(os.Stderr, "catcam-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, family string, size int, seed int64, rate, subtables, slots, ringCap int) error {
+	var fam classbench.Family
+	switch strings.ToUpper(family) {
+	case "ACL":
+		fam = classbench.ACL
+	case "FW":
+		fam = classbench.FW
+	case "IPC":
+		fam = classbench.IPC
+	default:
+		return fmt.Errorf("unknown family %q", family)
+	}
+
+	reg := telemetry.NewRegistry()
+	ring := telemetry.NewEventRing(ringCap)
+	dev := core.NewDevice(core.Config{
+		Subtables: subtables, SubtableCapacity: slots,
+		KeyWidth: 160, FrequencyMHz: 500,
+	})
+	dev.AttachTelemetry(reg, ring, nil)
+
+	c, err := newChurner(dev, fam, size, seed)
+	if err != nil {
+		return err
+	}
+	// The bulk load is warmup; serve steady-state quantiles only.
+	dev.ResetStats()
+	go c.loop(rate)
+
+	start := time.Now()
+	http.Handle("/metrics", reg.MetricsHandler())
+	http.Handle("/metrics.json", reg.JSONHandler())
+	http.Handle("/events", ring.Handler())
+	http.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":           "ok",
+			"uptime_seconds":   time.Since(start).Seconds(),
+			"workload":         fmt.Sprintf("%s %d", fam, size),
+			"entries":          reg.Gauge("catcam_entries", "", nil).Value(),
+			"active_subtables": reg.Gauge("catcam_active_subtables", "", nil).Value(),
+			"events_emitted":   ring.Total(),
+		})
+	})
+	// expvar's /debug/vars handler registers itself on the default mux;
+	// publish the telemetry snapshot there too.
+	expvar.Publish("catcam", expvar.Func(func() any { return reg.Snapshot() }))
+
+	fmt.Printf("catcam-serve: %s %d rules on %dx%d device, churn %d updates/s\n",
+		fam, size, subtables, slots, rate)
+	fmt.Printf("catcam-serve: listening on %s (/metrics /metrics.json /events /healthz /debug/vars /debug/pprof)\n", addr)
+	return http.ListenAndServe(addr, nil)
+}
+
+// churner drives a self-sustaining update stream: each step deletes a
+// random live rule or reinserts a previously deleted one at a fresh
+// priority (classbench.UpdateTraceFresh semantics, generated online so
+// the stream never ends), plus one lookup.
+type churner struct {
+	dev     *core.Device
+	rng     *rand.Rand
+	live    []rules.Rule
+	deleted []rules.Rule
+	headers []rules.Header
+	nextID  int
+	hdr     int
+}
+
+func newChurner(dev *core.Device, fam classbench.Family, size int, seed int64) (*churner, error) {
+	rs := classbench.Generate(classbench.Config{Family: fam, Size: size, Seed: seed})
+	c := &churner{
+		dev:     dev,
+		rng:     rand.New(rand.NewSource(seed + 1)),
+		headers: classbench.PacketTrace(rs, 4096, 0.9, seed+2),
+	}
+	for _, r := range rs.Rules {
+		if _, err := dev.InsertRule(r); err != nil {
+			return nil, fmt.Errorf("bulk load: %w", err)
+		}
+		c.live = append(c.live, r)
+		if r.ID >= c.nextID {
+			c.nextID = r.ID + 1
+		}
+	}
+	return c, nil
+}
+
+// step performs one update plus one lookup.
+func (c *churner) step() {
+	doInsert := c.rng.Intn(2) == 0
+	if doInsert && len(c.deleted) > 0 {
+		i := c.rng.Intn(len(c.deleted))
+		r := c.deleted[i]
+		c.deleted[i] = c.deleted[len(c.deleted)-1]
+		c.deleted = c.deleted[:len(c.deleted)-1]
+		r.ID = c.nextID
+		c.nextID++
+		r.Priority = 1 + c.rng.Intn(65535)
+		if _, err := c.dev.InsertRule(r); err == nil {
+			c.live = append(c.live, r)
+		} else {
+			c.deleted = append(c.deleted, r)
+		}
+	} else if len(c.live) > 0 {
+		i := c.rng.Intn(len(c.live))
+		r := c.live[i]
+		c.live[i] = c.live[len(c.live)-1]
+		c.live = c.live[:len(c.live)-1]
+		c.deleted = append(c.deleted, r)
+		_, _ = c.dev.DeleteRule(r.ID)
+	}
+	if len(c.headers) > 0 {
+		c.dev.Lookup(c.headers[c.hdr%len(c.headers)])
+		c.hdr++
+	}
+}
+
+// loop paces the churn at the requested rate in 10ms batches. The
+// device is single-threaded by design; only this goroutine touches it,
+// while HTTP handlers read the atomic telemetry.
+func (c *churner) loop(rate int) {
+	if rate <= 0 {
+		for {
+			c.step()
+		}
+	}
+	const tick = 10 * time.Millisecond
+	batch := rate / 100
+	if batch < 1 {
+		batch = 1
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for range t.C {
+		for i := 0; i < batch; i++ {
+			c.step()
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"catcam/internal/bitvec"
 	"catcam/internal/rules"
 	"catcam/internal/sram"
+	"catcam/internal/telemetry"
 	"catcam/internal/ternary"
 )
 
@@ -119,6 +120,8 @@ type Device struct {
 	seqCounter int
 
 	stats Stats
+	// tel is the attached runtime telemetry; nil until AttachTelemetry.
+	tel *deviceTelemetry
 }
 
 type entryKey struct {
@@ -174,8 +177,12 @@ func (d *Device) Config() Config { return d.cfg }
 func (d *Device) Stats() Stats { return d.stats }
 
 // ResetStats zeroes device statistics (array stats are separate; see
-// ArrayStats).
-func (d *Device) ResetStats() { d.stats = Stats{} }
+// ArrayStats) and any attached telemetry, so a benchmark warmup phase
+// does not pollute reported quantiles.
+func (d *Device) ResetStats() {
+	d.stats = Stats{}
+	d.resetTelemetry()
+}
 
 // Len returns the number of stored entries (post range expansion).
 func (d *Device) Len() int { return len(d.locs) }
@@ -228,6 +235,9 @@ func (d *Device) LookupKey(k ternary.Key) (Entry, bool) {
 	k = d.padKey(k)
 	d.stats.Lookups++
 	d.stats.LookupCycles++
+	if t := d.tel; t != nil {
+		t.lookups.Inc()
+	}
 
 	globalMatch := bitvec.New(d.cfg.Subtables)
 	locals := make(map[int]*bitvec.Vector, 4)
@@ -265,6 +275,7 @@ type UpdateResult struct {
 	Cycles       uint64
 	Reallocated  int // entries moved between subtables (0 or 1 per entry)
 	FreshTables  int // subtables assigned during this update
+	Subtable     int // subtable the (last) entry landed in; -1 for deletes
 	StoreCompare uint64
 }
 
@@ -272,6 +283,12 @@ type UpdateResult struct {
 // already-inserted entries of this rule are rolled back and ErrFull is
 // returned.
 func (d *Device) InsertRule(r rules.Rule) (UpdateResult, error) {
+	res, err := d.insertRule(r)
+	d.observeOp(telemetry.EvInsert, r.ID, res, err)
+	return res, err
+}
+
+func (d *Device) insertRule(r rules.Rule) (UpdateResult, error) {
 	var total UpdateResult
 	words := r.Encode()
 	inserted := make([]entryKey, 0, len(words))
@@ -291,6 +308,7 @@ func (d *Device) InsertRule(r rules.Rule) (UpdateResult, error) {
 		total.Reallocated += res.Reallocated
 		total.FreshTables += res.FreshTables
 		total.Class = res.Class // class of the last entry; callers use Cycles
+		total.Subtable = res.Subtable
 	}
 	return total, nil
 }
@@ -304,11 +322,19 @@ func (d *Device) InsertWord(w ternary.Word, priority, ruleID, action int) (Updat
 	seq := d.seqCounter
 	d.seqCounter++
 	e := Entry{Word: d.padWord(w), Rank: Rank{Priority: priority, RuleID: ruleID, Seq: seq}, Action: action}
-	return d.insertEntry(e)
+	res, err := d.insertEntry(e)
+	d.observeOp(telemetry.EvInsert, ruleID, res, err)
+	return res, err
 }
 
 // DeleteRule removes every entry of the rule.
 func (d *Device) DeleteRule(ruleID int) (UpdateResult, error) {
+	res, err := d.deleteRule(ruleID)
+	d.observeOp(telemetry.EvDelete, ruleID, res, err)
+	return res, err
+}
+
+func (d *Device) deleteRule(ruleID int) (UpdateResult, error) {
 	var keys []entryKey
 	for k := range d.locs {
 		if k.ruleID == ruleID {
@@ -321,6 +347,7 @@ func (d *Device) DeleteRule(ruleID int) (UpdateResult, error) {
 	sort.Slice(keys, func(i, j int) bool { return keys[i].seq < keys[j].seq })
 	var total UpdateResult
 	total.Class = ClassDelete
+	total.Subtable = -1
 	for _, k := range keys {
 		d.deleteEntry(k)
 		total.Cycles += ClassDelete.Cycles()
@@ -336,12 +363,14 @@ func (d *Device) ModifyRule(ruleID int, newRule rules.Rule) (UpdateResult, error
 	if newRule.ID != ruleID {
 		return UpdateResult{}, fmt.Errorf("core: modify must keep rule ID %d, got %d", ruleID, newRule.ID)
 	}
-	del, err := d.DeleteRule(ruleID)
+	del, err := d.deleteRule(ruleID)
 	if err != nil {
+		d.observeOp(telemetry.EvModify, ruleID, UpdateResult{}, err)
 		return UpdateResult{}, err
 	}
-	ins, err := d.InsertRule(newRule)
+	ins, err := d.insertRule(newRule)
 	ins.Cycles += del.Cycles
+	d.observeOp(telemetry.EvModify, ruleID, ins, err)
 	return ins, err
 }
 
@@ -369,6 +398,7 @@ func (d *Device) insertEntry(e Entry) (UpdateResult, error) {
 				d.placeEntry(top, e)
 				d.setMax(top, e.Rank)
 				res.Class = ClassInsertDirect
+				res.Subtable = top
 				d.account(&res)
 				return res, nil
 			}
@@ -380,6 +410,7 @@ func (d *Device) insertEntry(e Entry) (UpdateResult, error) {
 		d.placeEntry(id, e)
 		res.Class = ClassInsertDirect
 		res.FreshTables = 1
+		res.Subtable = id
 		d.account(&res)
 		return res, nil
 	}
@@ -388,6 +419,7 @@ func (d *Device) insertEntry(e Entry) (UpdateResult, error) {
 	if !d.subs[target].Full() {
 		d.placeEntry(target, e)
 		res.Class = ClassInsertDirect
+		res.Subtable = target
 		d.account(&res)
 		return res, nil
 	}
@@ -413,9 +445,15 @@ func (d *Device) insertEntry(e Entry) (UpdateResult, error) {
 	evicted := st.ReadEntry(maxSlot)
 	st.Delete(maxSlot)
 	d.forgetLoc(evicted)
+	if t := d.tel; t != nil {
+		t.reallocs.Inc()
+		t.event(telemetry.Event{Kind: telemetry.EvRealloc, Subtable: target,
+			RuleID: evicted.Rank.RuleID, Cycles: ClassInsertRealloc.Cycles(), Depth: 1})
+	}
 
 	// New rule takes the evicted slot (3 cycles, parallel matrices).
 	d.placeEntryAt(target, maxSlot, e)
+	res.Subtable = target
 	// The target's max shrinks to its new maximum (1 cycle, all-true
 	// trick); the interval boundary moves but the order is unchanged.
 	d.refreshMax(target)
@@ -458,6 +496,10 @@ func (d *Device) insertEntry(e Entry) (UpdateResult, error) {
 		// device counter.
 		res.Cycles += extra
 		d.stats.UpdateCycles += extra
+		if t := d.tel; t != nil {
+			t.event(telemetry.Event{Kind: telemetry.EvChain, Subtable: target,
+				RuleID: e.Rank.RuleID, Cycles: res.Cycles, Depth: res.Reallocated})
+		}
 		return res, nil
 	}
 
@@ -547,6 +589,11 @@ func (d *Device) assignSubtable(max Rank, pos int) (int, bool) {
 	d.order[pos] = id
 
 	d.writeGlobalRelations(id)
+	if t := d.tel; t != nil {
+		t.fresh.Inc()
+		t.event(telemetry.Event{Kind: telemetry.EvFreshSubtable, Subtable: id,
+			RuleID: -1, Depth: pos})
+	}
 	return id, true
 }
 
@@ -639,12 +686,14 @@ func (d *Device) ArrayStats() (match, prio, global sram.Stats) {
 	return match, prio, global
 }
 
-// ResetArrayStats zeroes every array's counters.
+// ResetArrayStats zeroes every array's counters and any attached
+// telemetry.
 func (d *Device) ResetArrayStats() {
 	for _, st := range d.subs {
 		st.ResetStats()
 	}
 	d.global.ResetStats()
+	d.resetTelemetry()
 }
 
 // Occupancy returns stored entries / total slots.

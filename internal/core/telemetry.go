@@ -1,0 +1,165 @@
+package core
+
+import (
+	"strconv"
+
+	"catcam/internal/telemetry"
+)
+
+// deviceTelemetry holds the metric instances a device reports into
+// when telemetry is attached. All fields may be nil-backed no-ops;
+// every hot-path hook is a single nil test plus a few atomics.
+type deviceTelemetry struct {
+	insertCycles *telemetry.Histogram
+	deleteCycles *telemetry.Histogram
+	modifyCycles *telemetry.Histogram
+	lookups      *telemetry.Counter
+	updateErrors [3]*telemetry.Counter // indexed by opIndex
+	reallocs     *telemetry.Counter
+	fresh        *telemetry.Counter
+	chainDepth   *telemetry.Histogram
+	activeSubs   *telemetry.Gauge
+	entries      *telemetry.Gauge
+	ring         *telemetry.EventRing
+	table        int // flowtable ID carried on events; -1 standalone
+}
+
+// opIndex maps a top-level operation kind to its error-counter slot.
+func opIndex(kind telemetry.EventKind) int {
+	switch kind {
+	case telemetry.EvDelete:
+		return 1
+	case telemetry.EvModify:
+		return 2
+	}
+	return 0
+}
+
+// AttachTelemetry registers this device's metrics on reg and starts
+// reporting into them. The optional ring receives structured update
+// events (insert/delete/modify, reallocations, fresh-subtable
+// assignments, eviction chains). Labels are attached to every series —
+// a flowtable passes {"table": "<id>"} so per-table series stay
+// distinct on a shared registry; when a numeric "table" label is
+// present it is also carried on ring events.
+//
+// Attach before driving traffic; the device is not safe for concurrent
+// use, and attaching replaces any previous attachment. Passing a nil
+// registry detaches.
+func (d *Device) AttachTelemetry(reg *telemetry.Registry, ring *telemetry.EventRing, labels telemetry.Labels) {
+	if reg == nil {
+		d.tel = nil
+		return
+	}
+	table := -1
+	if s, ok := labels["table"]; ok {
+		if n, err := strconv.Atoi(s); err == nil {
+			table = n
+		}
+	}
+	t := &deviceTelemetry{
+		lookups:  reg.Counter("catcam_lookups_total", "lookups performed", labels),
+		reallocs: reg.Counter("catcam_reallocations_total", "rules evicted between subtables", labels),
+		fresh:    reg.Counter("catcam_fresh_subtables_total", "subtables assigned at runtime", labels),
+		chainDepth: reg.Histogram("catcam_eviction_chain_depth",
+			"rules moved per reallocating insert (1 in the paper's design; >1 only under the chained-reallocation ablation)",
+			telemetry.DefaultDepthBuckets, labels),
+		activeSubs: reg.Gauge("catcam_active_subtables", "subtables currently in use", labels),
+		entries:    reg.Gauge("catcam_entries", "stored entries post range expansion", labels),
+		ring:       ring,
+		table:      table,
+	}
+	const cyclesHelp = "cycle cost per update request"
+	t.insertCycles = reg.Histogram("catcam_update_cycles", cyclesHelp,
+		telemetry.DefaultCycleBuckets, labels.Merged(telemetry.Labels{"op": "insert"}))
+	t.deleteCycles = reg.Histogram("catcam_update_cycles", cyclesHelp,
+		nil, labels.Merged(telemetry.Labels{"op": "delete"}))
+	t.modifyCycles = reg.Histogram("catcam_update_cycles", cyclesHelp,
+		nil, labels.Merged(telemetry.Labels{"op": "modify"}))
+	for _, op := range []string{"insert", "delete", "modify"} {
+		kind := telemetry.EvInsert
+		switch op {
+		case "delete":
+			kind = telemetry.EvDelete
+		case "modify":
+			kind = telemetry.EvModify
+		}
+		t.updateErrors[opIndex(kind)] = reg.Counter("catcam_update_errors_total",
+			"updates rejected (device full / rule not present)",
+			labels.Merged(telemetry.Labels{"op": op}))
+	}
+	d.tel = t
+	t.syncGauges(d)
+}
+
+// event forwards an event to the ring with the device's table ID.
+func (t *deviceTelemetry) event(e telemetry.Event) {
+	if t == nil || t.ring == nil {
+		return
+	}
+	e.Table = t.table
+	t.ring.Emit(e)
+}
+
+// syncGauges publishes the device's instantaneous occupancy state.
+func (t *deviceTelemetry) syncGauges(d *Device) {
+	if t == nil {
+		return
+	}
+	t.activeSubs.Set(int64(len(d.order)))
+	t.entries.Set(int64(len(d.locs)))
+}
+
+// observeOp records a completed (or rejected) top-level update.
+func (d *Device) observeOp(kind telemetry.EventKind, ruleID int, res UpdateResult, err error) {
+	t := d.tel
+	if t == nil {
+		return
+	}
+	if err != nil {
+		t.updateErrors[opIndex(kind)].Inc()
+		return
+	}
+	switch kind {
+	case telemetry.EvInsert:
+		t.insertCycles.Observe(res.Cycles)
+	case telemetry.EvDelete:
+		t.deleteCycles.Observe(res.Cycles)
+	case telemetry.EvModify:
+		t.modifyCycles.Observe(res.Cycles)
+	}
+	if res.Reallocated > 0 {
+		t.chainDepth.Observe(uint64(res.Reallocated))
+	}
+	t.event(telemetry.Event{
+		Kind:     kind,
+		Subtable: res.Subtable,
+		RuleID:   ruleID,
+		Cycles:   res.Cycles,
+		Depth:    res.Reallocated,
+	})
+	t.syncGauges(d)
+}
+
+// resetTelemetry zeroes the device's attached metrics and drops
+// retained events, so warmup traffic does not pollute reported
+// quantiles. Gauges are re-synced (they describe current state, not
+// history). No-op when telemetry is not attached.
+func (d *Device) resetTelemetry() {
+	t := d.tel
+	if t == nil {
+		return
+	}
+	t.insertCycles.Reset()
+	t.deleteCycles.Reset()
+	t.modifyCycles.Reset()
+	t.lookups.Reset()
+	t.reallocs.Reset()
+	t.fresh.Reset()
+	t.chainDepth.Reset()
+	for _, c := range t.updateErrors {
+		c.Reset()
+	}
+	t.ring.Reset()
+	t.syncGauges(d)
+}

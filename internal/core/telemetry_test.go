@@ -1,0 +1,188 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"catcam/internal/rules"
+	"catcam/internal/telemetry"
+)
+
+func telDevice(t *testing.T) (*Device, *telemetry.Registry, *telemetry.EventRing) {
+	t.Helper()
+	d := NewDevice(Config{Subtables: 4, SubtableCapacity: 4, KeyWidth: 160, FrequencyMHz: 500})
+	reg := telemetry.NewRegistry()
+	ring := telemetry.NewEventRing(128)
+	d.AttachTelemetry(reg, ring, nil)
+	return d, reg, ring
+}
+
+func telRule(id, prio int) rules.Rule {
+	r := rules.Rule{ID: id, Priority: prio, Action: id}
+	r.SrcPort = rules.FullPortRange()
+	r.DstPort = rules.FullPortRange()
+	return r
+}
+
+func TestDeviceTelemetryHistograms(t *testing.T) {
+	d, reg, ring := telDevice(t)
+	for i := 0; i < 12; i++ {
+		if _, err := d.InsertRule(telRule(i, i+1)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if _, err := d.DeleteRule(3); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	ins, ok := snap.Histograms[`catcam_update_cycles{op="insert"}`]
+	if !ok {
+		t.Fatalf("missing insert histogram; have %v", snap.Histograms)
+	}
+	if ins.Count != 12 {
+		t.Errorf("insert count = %d, want 12", ins.Count)
+	}
+	if ins.P99 == 0 {
+		t.Error("insert p99 = 0, want non-zero")
+	}
+	del := snap.Histograms[`catcam_update_cycles{op="delete"}`]
+	if del.Count != 1 || del.Sum != 1 {
+		t.Errorf("delete histogram = %+v, want one 1-cycle observation", del)
+	}
+	// The device stats and telemetry must agree on totals.
+	if got := snap.Counters["catcam_fresh_subtables_total"]; got != d.Stats().FreshSubtables {
+		t.Errorf("fresh counter = %d, stats say %d", got, d.Stats().FreshSubtables)
+	}
+	if got := snap.Counters["catcam_reallocations_total"]; got != d.Stats().Reallocations {
+		t.Errorf("realloc counter = %d, stats say %d", got, d.Stats().Reallocations)
+	}
+	if got := snap.Gauges["catcam_entries"]; got != int64(d.Len()) {
+		t.Errorf("entries gauge = %d, device has %d", got, d.Len())
+	}
+	if ring.Total() == 0 {
+		t.Error("no trace events emitted")
+	}
+	// /metrics output must contain non-zero cycle buckets and a p99.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"catcam_update_cycles_bucket", "catcam_update_cycles_p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeviceTelemetryReallocEvents(t *testing.T) {
+	d, reg, ring := telDevice(t)
+	// Fill to force reallocations (4x4 device, 16 slots; interleaved
+	// priorities force mid-interval inserts into full subtables).
+	prios := []int{100, 200, 300, 400, 150, 250, 350, 50, 120, 130, 140, 160}
+	for i, p := range prios {
+		if _, err := d.InsertRule(telRule(i, p)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if d.Stats().Reallocations == 0 {
+		t.Skip("workload produced no reallocations; geometry changed?")
+	}
+	var reallocEvents, freshEvents int
+	for _, e := range ring.Snapshot() {
+		switch e.Kind {
+		case telemetry.EvRealloc:
+			reallocEvents++
+			if e.Subtable < 0 {
+				t.Error("realloc event missing subtable")
+			}
+		case telemetry.EvFreshSubtable:
+			freshEvents++
+		}
+	}
+	if reallocEvents == 0 {
+		t.Error("no realloc events despite reallocations in stats")
+	}
+	if freshEvents == 0 {
+		t.Error("no fresh-subtable events")
+	}
+	if got := reg.Snapshot().Counters["catcam_reallocations_total"]; got != d.Stats().Reallocations {
+		t.Errorf("realloc counter = %d, stats = %d", got, d.Stats().Reallocations)
+	}
+}
+
+func TestDeviceTelemetryModify(t *testing.T) {
+	d, reg, _ := telDevice(t)
+	if _, err := d.InsertRule(telRule(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ModifyRule(1, telRule(1, 20)); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	// Modify observes once in the modify histogram; the inner
+	// delete+insert do not double-report.
+	if got := snap.Histograms[`catcam_update_cycles{op="modify"}`].Count; got != 1 {
+		t.Errorf("modify count = %d, want 1", got)
+	}
+	if got := snap.Histograms[`catcam_update_cycles{op="insert"}`].Count; got != 1 {
+		t.Errorf("insert count = %d, want 1 (modify must not double-count)", got)
+	}
+	if got := snap.Histograms[`catcam_update_cycles{op="delete"}`].Count; got != 0 {
+		t.Errorf("delete count = %d, want 0 (modify must not double-count)", got)
+	}
+}
+
+func TestDeviceTelemetryErrors(t *testing.T) {
+	d, reg, _ := telDevice(t)
+	if _, err := d.DeleteRule(99); err == nil {
+		t.Fatal("expected ErrNotFound")
+	}
+	if got := reg.Snapshot().Counters[`catcam_update_errors_total{op="delete"}`]; got != 1 {
+		t.Errorf("delete error counter = %d, want 1", got)
+	}
+}
+
+func TestResetStatsResetsTelemetry(t *testing.T) {
+	d, reg, ring := telDevice(t)
+	for i := 0; i < 6; i++ {
+		if _, err := d.InsertRule(telRule(i, i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Lookup(rules.Header{})
+	d.ResetStats()
+	snap := reg.Snapshot()
+	if got := snap.Histograms[`catcam_update_cycles{op="insert"}`].Count; got != 0 {
+		t.Errorf("insert histogram count after ResetStats = %d, want 0", got)
+	}
+	if got := snap.Counters["catcam_lookups_total"]; got != 0 {
+		t.Errorf("lookup counter after ResetStats = %d, want 0", got)
+	}
+	if got := len(ring.Snapshot()); got != 0 {
+		t.Errorf("ring retains %d events after ResetStats", got)
+	}
+	// Gauges describe current state and must survive the reset.
+	if got := snap.Gauges["catcam_entries"]; got != int64(d.Len()) {
+		t.Errorf("entries gauge after reset = %d, want %d", got, d.Len())
+	}
+	// ResetArrayStats resets telemetry too.
+	if _, err := d.InsertRule(telRule(100, 7)); err != nil {
+		t.Fatal(err)
+	}
+	d.ResetArrayStats()
+	if got := reg.Snapshot().Histograms[`catcam_update_cycles{op="insert"}`].Count; got != 0 {
+		t.Errorf("insert histogram count after ResetArrayStats = %d, want 0", got)
+	}
+}
+
+func TestDetachTelemetry(t *testing.T) {
+	d, _, ring := telDevice(t)
+	d.AttachTelemetry(nil, nil, nil)
+	if _, err := d.InsertRule(telRule(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if ring.Total() != 0 {
+		t.Error("detached device still emits events")
+	}
+}

@@ -18,9 +18,11 @@ package flowtable
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"catcam/internal/core"
 	"catcam/internal/rules"
+	"catcam/internal/telemetry"
 )
 
 // Drop is the conventional "no output" action value.
@@ -69,11 +71,54 @@ type Pipeline struct {
 	order  []int
 	// instr maps (tableID, ruleID) to the rule's instruction.
 	instr map[[2]int]Instruction
+	// tel is the attached runtime telemetry; nil until AttachTelemetry.
+	tel *pipelineTelemetry
 }
 
 type table struct {
 	cfg TableConfig
 	dev *core.Device
+	// classify counters when telemetry is attached.
+	hits, misses *telemetry.Counter
+}
+
+// pipelineTelemetry holds the pipeline-level metric instances.
+type pipelineTelemetry struct {
+	gotoDepth *telemetry.Histogram
+	drops     *telemetry.Counter
+	ring      *telemetry.EventRing
+}
+
+// AttachTelemetry registers classification metrics on reg — per-table
+// hit/miss counters and a goto-chain depth histogram — and attaches
+// every table's backing device with a {"table": "<id>"} label so
+// per-table update histograms and trace events land on the same
+// registry and ring.
+func (p *Pipeline) AttachTelemetry(reg *telemetry.Registry, ring *telemetry.EventRing, labels telemetry.Labels) {
+	if reg == nil {
+		p.tel = nil
+		for _, t := range p.tables {
+			t.hits, t.misses = nil, nil
+			t.dev.AttachTelemetry(nil, nil, nil)
+		}
+		return
+	}
+	p.tel = &pipelineTelemetry{
+		gotoDepth: reg.Histogram("catcam_flowtable_goto_depth",
+			"tables visited per classification", telemetry.DefaultDepthBuckets, labels),
+		drops: reg.Counter("catcam_flowtable_drops_total",
+			"classifications ending in a drop", labels),
+		ring: ring,
+	}
+	for _, id := range p.order {
+		t := p.tables[id]
+		tl := labels.Merged(telemetry.Labels{"table": strconv.Itoa(id)})
+		t.hits = reg.Counter("catcam_flowtable_classify_total",
+			"per-table classification outcomes", tl.Merged(telemetry.Labels{"result": "hit"}))
+		t.misses = reg.Counter("catcam_flowtable_classify_total",
+			"per-table classification outcomes", tl.Merged(telemetry.Labels{"result": "miss"}))
+		t.dev.AttachTelemetry(reg, ring, tl)
+	}
 }
 
 // Errors returned by pipeline operations.
@@ -168,6 +213,24 @@ type Trace struct {
 // Classify walks the pipeline for a header and returns the final action
 // plus the per-table trace.
 func (p *Pipeline) Classify(h rules.Header) (int, []Trace, error) {
+	action, traces, err := p.classify(h)
+	if t := p.tel; t != nil {
+		t.gotoDepth.Observe(uint64(len(traces)))
+		if action == Drop {
+			t.drops.Inc()
+		}
+		ev := telemetry.Event{Kind: telemetry.EvClassify, Table: -1, Subtable: -1,
+			RuleID: -1, Depth: len(traces)}
+		if n := len(traces); n > 0 {
+			ev.Table = traces[n-1].TableID
+			ev.RuleID = traces[n-1].RuleID
+		}
+		t.ring.Emit(ev)
+	}
+	return action, traces, err
+}
+
+func (p *Pipeline) classify(h rules.Header) (int, []Trace, error) {
 	var traces []Trace
 	idx := 0 // position in p.order
 	for steps := 0; steps <= len(p.order); steps++ {
@@ -179,6 +242,7 @@ func (p *Pipeline) Classify(h rules.Header) (int, []Trace, error) {
 		t := p.tables[id]
 		ent, ok := t.dev.LookupKey(rules.EncodeHeader(h))
 		if !ok {
+			t.misses.Inc()
 			traces = append(traces, Trace{TableID: id, RuleID: -1, Action: t.cfg.Miss.MissAction})
 			if t.cfg.Miss.Continue {
 				idx++
@@ -186,6 +250,7 @@ func (p *Pipeline) Classify(h rules.Header) (int, []Trace, error) {
 			}
 			return t.cfg.Miss.MissAction, traces, nil
 		}
+		t.hits.Inc()
 		ruleID := ent.Rank.RuleID
 		ins := p.instr[[2]int{id, ruleID}]
 		traces = append(traces, Trace{TableID: id, RuleID: ruleID, Action: ins.Action})

@@ -18,6 +18,7 @@ import (
 
 	"catcam/internal/core"
 	"catcam/internal/rules"
+	"catcam/internal/telemetry"
 )
 
 // ErrQueueFull is returned when the request FIFO is at capacity.
@@ -95,6 +96,53 @@ type Engine struct {
 
 	stats     Stats
 	responses []Response
+	// tel is the attached runtime telemetry; nil until AttachTelemetry.
+	tel *engineTelemetry
+}
+
+// engineTelemetry holds the engine's attached metric instances.
+type engineTelemetry struct {
+	queueDepth    *telemetry.Gauge
+	queueDepthMax *telemetry.Gauge
+	latency       [3]*telemetry.Histogram // indexed by Kind
+	requests      [3]*telemetry.Counter   // indexed by Kind
+	stallCycles   *telemetry.Counter
+	idleCycles    *telemetry.Counter
+}
+
+// AttachTelemetry registers the engine's metrics on reg: a request
+// queue depth gauge (plus high-watermark), per-kind end-to-end latency
+// histograms fed from Response cycle timestamps, and stall/idle cycle
+// counters. Labels are attached to every series. Note this instruments
+// the *engine*; attach the underlying device separately for update
+// cycle histograms and trace events.
+func (e *Engine) AttachTelemetry(reg *telemetry.Registry, labels telemetry.Labels) {
+	if reg == nil {
+		e.tel = nil
+		return
+	}
+	t := &engineTelemetry{
+		queueDepth:    reg.Gauge("catcam_pipeline_queue_depth", "requests waiting in the FIFO", labels),
+		queueDepthMax: reg.Gauge("catcam_pipeline_queue_depth_max", "FIFO depth high-watermark", labels),
+		stallCycles:   reg.Counter("catcam_pipeline_stall_cycles_total", "cycles the issue slot was blocked", labels),
+		idleCycles:    reg.Counter("catcam_pipeline_idle_cycles_total", "cycles with nothing to do", labels),
+	}
+	for k := Lookup; k <= Delete; k++ {
+		kl := labels.Merged(telemetry.Labels{"kind": k.String()})
+		t.latency[k] = reg.Histogram("catcam_pipeline_latency_cycles",
+			"issue-to-completion latency per request", telemetry.DefaultCycleBuckets, kl)
+		t.requests[k] = reg.Counter("catcam_pipeline_requests_total", "requests completed", kl)
+	}
+	e.tel = t
+}
+
+// observeResponse records a completed request's latency.
+func (t *engineTelemetry) observeResponse(r Response) {
+	if t == nil {
+		return
+	}
+	t.latency[r.Kind].Observe(r.Latency())
+	t.requests[r.Kind].Inc()
 }
 
 type pendingLookup struct {
@@ -134,6 +182,10 @@ func (e *Engine) Enqueue(r Request) error {
 	if len(e.queue) > e.stats.MaxQueueLen {
 		e.stats.MaxQueueLen = len(e.queue)
 	}
+	if t := e.tel; t != nil {
+		t.queueDepth.Set(int64(len(e.queue)))
+		t.queueDepthMax.SetMax(int64(len(e.queue)))
+	}
 	return nil
 }
 
@@ -144,6 +196,7 @@ func (e *Engine) Tick() {
 
 	// Retire lookups whose results are ready this cycle.
 	for len(e.inflight) > 0 && e.inflight[0].resp.DoneCycle <= e.cycle {
+		e.tel.observeResponse(e.inflight[0].resp)
 		e.responses = append(e.responses, e.inflight[0].resp)
 		e.inflight = e.inflight[1:]
 	}
@@ -151,11 +204,17 @@ func (e *Engine) Tick() {
 	if len(e.queue) == 0 {
 		if len(e.inflight) == 0 {
 			e.stats.IdleCycles++
+			if t := e.tel; t != nil {
+				t.idleCycles.Inc()
+			}
 		}
 		return
 	}
 	if e.cycle < e.busyUntil {
 		e.stats.StallCycles++
+		if t := e.tel; t != nil {
+			t.stallCycles.Inc()
+		}
 		return
 	}
 
@@ -163,6 +222,9 @@ func (e *Engine) Tick() {
 	switch req.Kind {
 	case Lookup:
 		e.queue = e.queue[1:]
+		if t := e.tel; t != nil {
+			t.queueDepth.Set(int64(len(e.queue)))
+		}
 		action, ok := e.dev.Lookup(req.Header)
 		e.inflight = append(e.inflight, pendingLookup{resp: Response{
 			Tag: req.Tag, Kind: Lookup, Action: action, OK: ok,
@@ -176,9 +238,15 @@ func (e *Engine) Tick() {
 		// the update's cycle class.
 		if len(e.inflight) > 0 {
 			e.stats.StallCycles++
+			if t := e.tel; t != nil {
+				t.stallCycles.Inc()
+			}
 			return
 		}
 		e.queue = e.queue[1:]
+		if t := e.tel; t != nil {
+			t.queueDepth.Set(int64(len(e.queue)))
+		}
 		resp := Response{Tag: req.Tag, Kind: req.Kind, IssueCycle: e.cycle}
 		var cycles uint64
 		if req.Kind == Insert {
@@ -195,6 +263,7 @@ func (e *Engine) Tick() {
 		}
 		resp.DoneCycle = e.cycle + cycles
 		e.busyUntil = e.cycle + cycles
+		e.tel.observeResponse(resp)
 		e.responses = append(e.responses, resp)
 		e.stats.Updates++
 	}

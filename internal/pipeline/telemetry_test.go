@@ -1,0 +1,91 @@
+package pipeline
+
+import (
+	"testing"
+
+	"catcam/internal/core"
+	"catcam/internal/rules"
+	"catcam/internal/telemetry"
+)
+
+func TestEngineTelemetry(t *testing.T) {
+	dev := core.NewDevice(core.Config{Subtables: 4, SubtableCapacity: 16, KeyWidth: 160})
+	e := New(dev, 8)
+	reg := telemetry.NewRegistry()
+	e.AttachTelemetry(reg, nil)
+	dev.AttachTelemetry(reg, nil, nil)
+
+	var reqs []Request
+	for i := 0; i < 4; i++ {
+		r := rules.Rule{ID: i, Priority: i + 1, Action: i,
+			SrcPort: rules.FullPortRange(), DstPort: rules.FullPortRange()}
+		reqs = append(reqs, Request{Kind: Insert, Rule: r, Tag: i})
+	}
+	for i := 0; i < 10; i++ {
+		reqs = append(reqs, Request{Kind: Lookup, Header: rules.Header{}, Tag: 100 + i})
+	}
+	reqs = append(reqs, Request{Kind: Delete, RuleID: 0, Tag: 200})
+	resps, err := e.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	lookupLat, ok := snap.Histograms[`catcam_pipeline_latency_cycles{kind="lookup"}`]
+	if !ok {
+		t.Fatalf("missing lookup latency histogram; have %v", snap.Histograms)
+	}
+	if lookupLat.Count != 10 {
+		t.Errorf("lookup latency count = %d, want 10", lookupLat.Count)
+	}
+	// The lookup pipeline is 3 deep; every lookup latency is exactly 3.
+	if lookupLat.Min != 3 || lookupLat.Max != 3 {
+		t.Errorf("lookup latency min/max = %d/%d, want 3/3", lookupLat.Min, lookupLat.Max)
+	}
+	insLat := snap.Histograms[`catcam_pipeline_latency_cycles{kind="insert"}`]
+	if insLat.Count != 4 {
+		t.Errorf("insert latency count = %d, want 4", insLat.Count)
+	}
+	delLat := snap.Histograms[`catcam_pipeline_latency_cycles{kind="delete"}`]
+	if delLat.Count != 1 {
+		t.Errorf("delete latency count = %d, want 1", delLat.Count)
+	}
+	// Latencies mirror the Response timing the caller saw.
+	var wantIns uint64
+	for _, r := range resps {
+		if r.Kind == Insert {
+			wantIns += r.Latency()
+		}
+	}
+	if insLat.Sum != wantIns {
+		t.Errorf("insert latency sum = %d, responses say %d", insLat.Sum, wantIns)
+	}
+	if got := snap.Counters[`catcam_pipeline_requests_total{kind="lookup"}`]; got != 10 {
+		t.Errorf("lookup requests counter = %d, want 10", got)
+	}
+	// Queue fully drained.
+	if got := snap.Gauges["catcam_pipeline_queue_depth"]; got != 0 {
+		t.Errorf("queue depth gauge = %d, want 0 after drain", got)
+	}
+	if got := snap.Gauges["catcam_pipeline_queue_depth_max"]; got <= 0 {
+		t.Errorf("queue depth max = %d, want > 0", got)
+	}
+	// Updates drain in-flight lookups first: stalls must be recorded.
+	if e.Stats().StallCycles > 0 && snap.Counters["catcam_pipeline_stall_cycles_total"] != e.Stats().StallCycles {
+		t.Errorf("stall counter = %d, stats = %d",
+			snap.Counters["catcam_pipeline_stall_cycles_total"], e.Stats().StallCycles)
+	}
+}
+
+func TestEngineTelemetryDetached(t *testing.T) {
+	dev := core.NewDevice(core.Config{Subtables: 2, SubtableCapacity: 4, KeyWidth: 160})
+	e := New(dev, 4)
+	// No attach: the engine must work identically.
+	if _, err := e.Run([]Request{{Kind: Lookup, Header: rules.Header{}}}); err != nil {
+		t.Fatal(err)
+	}
+	e.AttachTelemetry(nil, nil) // explicit detach is also a no-op
+	if _, err := e.Run([]Request{{Kind: Lookup, Header: rules.Header{}}}); err != nil {
+		t.Fatal(err)
+	}
+}

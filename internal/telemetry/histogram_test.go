@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]uint64{1, 3, 5})
+	// le semantics: v <= bound lands in that bucket.
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 0}, // le="1"
+		{2, 1}, {3, 1}, // le="3"
+		{4, 2}, {5, 2}, // le="5"
+		{6, 3}, {1000, 3}, // +Inf
+	}
+	for _, c := range cases {
+		h.Reset()
+		h.Observe(c.v)
+		counts := h.BucketCounts()
+		for i, n := range counts {
+			want := uint64(0)
+			if i == c.bucket {
+				want = 1
+			}
+			if n != want {
+				t.Errorf("Observe(%d): bucket[%d] = %d, want %d", c.v, i, n, want)
+			}
+		}
+	}
+}
+
+func TestHistogramAggregates(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100})
+	for _, v := range []uint64{5, 7, 50, 200} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 4 {
+		t.Errorf("Count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 262 {
+		t.Errorf("Sum = %d, want 262", got)
+	}
+	if got := h.Min(); got != 5 {
+		t.Errorf("Min = %d, want 5", got)
+	}
+	if got := h.Max(); got != 200 {
+		t.Errorf("Max = %d, want 200", got)
+	}
+	if got := h.Mean(); math.Abs(got-65.5) > 1e-9 {
+		t.Errorf("Mean = %g, want 65.5", got)
+	}
+}
+
+func TestHistogramQuantileUniform(t *testing.T) {
+	// Uniform 1..1000 against 10 equal buckets: interpolation should
+	// land within one bucket width of the exact quantile.
+	bounds := []uint64{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
+	h := NewHistogram(bounds)
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	for _, c := range []struct {
+		q    float64
+		want float64
+	}{
+		{0.50, 500}, {0.99, 990}, {0.999, 999}, {0.10, 100}, {1.0, 1000},
+	} {
+		got := h.Quantile(c.q)
+		if math.Abs(got-c.want) > 100 {
+			t.Errorf("Quantile(%g) = %g, want ~%g (±100)", c.q, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantilePointMass(t *testing.T) {
+	// All mass at one cycle class: every quantile reports that bucket.
+	h := NewHistogram(DefaultCycleBuckets)
+	for i := 0; i < 1000; i++ {
+		h.Observe(3)
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		got := h.Quantile(q)
+		if got < 2 || got > 3 {
+			t.Errorf("Quantile(%g) = %g, want within bucket (2,3]", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileOverflowBucket(t *testing.T) {
+	h := NewHistogram([]uint64{10})
+	h.Observe(500)
+	h.Observe(700)
+	// Both observations overflow: the estimator reports the observed max.
+	if got := h.Quantile(0.99); got != 700 {
+		t.Errorf("Quantile(0.99) = %g, want 700 (observed max)", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram([]uint64{1})
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(DefaultCycleBuckets)
+	h.Observe(5)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Error("Reset did not zero aggregates")
+	}
+	for i, c := range h.BucketCounts() {
+		if c != 0 {
+			t.Errorf("Reset left bucket %d = %d", i, c)
+		}
+	}
+	// Min tracking works again after reset.
+	h.Observe(7)
+	if h.Min() != 7 {
+		t.Errorf("Min after reset = %d, want 7", h.Min())
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-increasing bounds should panic")
+		}
+	}()
+	NewHistogram([]uint64{5, 5})
+}
+
+func TestNilHistogramSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(1) // must not panic
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil histogram should report zeros")
+	}
+	h.Reset()
+}

@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// EventKind tags a structured trace event.
+type EventKind uint8
+
+// Event kinds emitted by the instrumented layers.
+const (
+	// EvInsert: a rule insert completed (all expansion entries).
+	EvInsert EventKind = iota
+	// EvDelete: a rule delete completed.
+	EvDelete
+	// EvModify: a modify (delete+insert) completed.
+	EvModify
+	// EvRealloc: an insert evicted a subtable's maximum into a
+	// neighbor (the paper's 5-cycle class).
+	EvRealloc
+	// EvFreshSubtable: a subtable was assigned at runtime.
+	EvFreshSubtable
+	// EvChain: a chained reallocation cascaded past one eviction
+	// (ablation mode only — in the paper's design this never fires).
+	EvChain
+	// EvClassify: a flowtable classification completed.
+	EvClassify
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvInsert:
+		return "insert"
+	case EvDelete:
+		return "delete"
+	case EvModify:
+		return "modify"
+	case EvRealloc:
+		return "realloc"
+	case EvFreshSubtable:
+		return "fresh_subtable"
+	case EvChain:
+		return "chain"
+	case EvClassify:
+		return "classify"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// MarshalText renders the kind symbolically in JSON snapshots.
+func (k EventKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses a symbolic kind name.
+func (k *EventKind) UnmarshalText(b []byte) error {
+	for c := EvInsert; c <= EvClassify; c++ {
+		if c.String() == string(b) {
+			*k = c
+			return nil
+		}
+	}
+	return fmt.Errorf("telemetry: unknown event kind %q", b)
+}
+
+// Event is one structured trace record. Field meaning varies by kind:
+// Subtable is the subtable chosen/assigned (-1 when not applicable),
+// Table the flowtable ID (-1 outside a flowtable), Depth the
+// eviction-chain length or goto-chain depth, Cycles the operation's
+// cycle cost.
+type Event struct {
+	Seq      uint64    `json:"seq"`
+	Kind     EventKind `json:"kind"`
+	Table    int       `json:"table"`
+	Subtable int       `json:"subtable"`
+	RuleID   int       `json:"rule_id"`
+	Cycles   uint64    `json:"cycles"`
+	Depth    int       `json:"depth"`
+}
+
+// EventRing is a bounded ring buffer of trace events. Writers claim a
+// slot with one atomic increment and publish the event with one atomic
+// pointer store; readers take a consistent snapshot without blocking
+// writers (and vice versa) — no locks anywhere. When the ring is full
+// the oldest events are overwritten; Total() minus Cap() tells a
+// reader how many it can no longer see.
+type EventRing struct {
+	slots []atomic.Pointer[Event]
+	seq   atomic.Uint64 // total events ever emitted
+}
+
+// NewEventRing builds a ring holding up to capacity events.
+func NewEventRing(capacity int) *EventRing {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("telemetry: invalid ring capacity %d", capacity))
+	}
+	return &EventRing{slots: make([]atomic.Pointer[Event], capacity)}
+}
+
+// Emit records an event, overwriting the oldest when full. The ring
+// assigns Seq (1-based). Nil-receiver safe.
+func (r *EventRing) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	s := r.seq.Add(1)
+	e.Seq = s
+	r.slots[(s-1)%uint64(len(r.slots))].Store(&e)
+}
+
+// Cap returns the ring capacity.
+func (r *EventRing) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Total returns the number of events ever emitted (including
+// overwritten ones).
+func (r *EventRing) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq.Load()
+}
+
+// Snapshot returns the retained events oldest-first. Concurrent
+// writers may overwrite slots mid-read; stale or in-flight slots are
+// filtered by sequence number, so the result is always a consistent
+// (if slightly trimmed) suffix of the emission order.
+func (r *EventRing) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	hi := r.seq.Load()
+	if hi == 0 {
+		return nil
+	}
+	lo := uint64(1)
+	if c := uint64(len(r.slots)); hi > c {
+		lo = hi - c + 1
+	}
+	out := make([]Event, 0, hi-lo+1)
+	for i := range r.slots {
+		p := r.slots[i].Load()
+		if p == nil {
+			continue
+		}
+		if p.Seq >= lo && p.Seq <= hi {
+			out = append(out, *p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Reset drops all retained events. Seq keeps counting from where it
+// was so readers never see sequence numbers go backwards.
+func (r *EventRing) Reset() {
+	if r == nil {
+		return
+	}
+	for i := range r.slots {
+		r.slots[i].Store(nil)
+	}
+}

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewEventRing(8)
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Errorf("empty ring snapshot has %d events", len(got))
+	}
+	r.Emit(Event{Kind: EvInsert, RuleID: 1, Cycles: 3})
+	r.Emit(Event{Kind: EvDelete, RuleID: 2, Cycles: 1})
+	got := r.Snapshot()
+	if len(got) != 2 {
+		t.Fatalf("snapshot has %d events, want 2", len(got))
+	}
+	if got[0].Seq != 1 || got[0].Kind != EvInsert || got[1].Seq != 2 || got[1].Kind != EvDelete {
+		t.Errorf("snapshot order/content wrong: %+v", got)
+	}
+	if r.Total() != 2 || r.Cap() != 8 {
+		t.Errorf("Total=%d Cap=%d, want 2, 8", r.Total(), r.Cap())
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	const capacity = 4
+	r := NewEventRing(capacity)
+	for i := 1; i <= 10; i++ {
+		r.Emit(Event{Kind: EvInsert, RuleID: i})
+	}
+	got := r.Snapshot()
+	if len(got) != capacity {
+		t.Fatalf("snapshot has %d events, want %d (oldest overwritten)", len(got), capacity)
+	}
+	// The retained window is the last `capacity` emissions, oldest first.
+	for i, e := range got {
+		wantSeq := uint64(10 - capacity + 1 + i)
+		if e.Seq != wantSeq {
+			t.Errorf("event %d has seq %d, want %d", i, e.Seq, wantSeq)
+		}
+		if e.RuleID != int(wantSeq) {
+			t.Errorf("event %d has rule %d, want %d", i, e.RuleID, wantSeq)
+		}
+	}
+	// Truncation accounting: 10 emitted, 4 visible.
+	if r.Total() != 10 {
+		t.Errorf("Total = %d, want 10", r.Total())
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	r := NewEventRing(4)
+	for i := 0; i < 6; i++ {
+		r.Emit(Event{Kind: EvInsert})
+	}
+	r.Reset()
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Errorf("snapshot after reset has %d events", len(got))
+	}
+	// Sequence numbers keep advancing across a reset.
+	r.Emit(Event{Kind: EvDelete})
+	got := r.Snapshot()
+	if len(got) != 1 || got[0].Seq != 7 {
+		t.Errorf("post-reset snapshot = %+v, want one event with seq 7", got)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	// Run with -race: writers and a reader race on the ring; every
+	// snapshot must be sorted, in the live window, and duplicate-free.
+	r := NewEventRing(64)
+	const workers, perWorker = 4, 2_000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var snapErr error
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := r.Snapshot()
+			for i := 1; i < len(snap); i++ {
+				if snap[i].Seq <= snap[i-1].Seq {
+					snapErr = &seqError{snap[i-1].Seq, snap[i].Seq}
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Emit(Event{Kind: EvInsert, Cycles: 3})
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	reader.Wait()
+	if snapErr != nil {
+		t.Fatalf("inconsistent snapshot: %v", snapErr)
+	}
+	if r.Total() != workers*perWorker {
+		t.Errorf("Total = %d, want %d", r.Total(), workers*perWorker)
+	}
+}
+
+type seqError struct{ a, b uint64 }
+
+func (e *seqError) Error() string { return "non-increasing seq" }
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EvInsert, EvDelete, EvModify, EvRealloc, EvFreshSubtable, EvChain, EvClassify}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has empty or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+}
