@@ -1,0 +1,39 @@
+GO ?= go
+
+# Benchmarks tracked in BENCH_lookup.json: the host-side lookup/update
+# speed of the functional simulator (not modelled hardware time).
+BENCHES ?= BenchmarkDeviceLookup$$|BenchmarkDeviceLookupBatch$$|BenchmarkDeviceInsertDelete$$
+BENCH_JSON ?= BENCH_lookup.json
+
+.PHONY: all build test race vet fmt bench bench-compare
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# bench refreshes the committed benchmark baseline: runs the tracked
+# benchmarks with allocation reporting and rewrites $(BENCH_JSON).
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime=1s -count 1 . \
+		| $(GO) run ./cmd/bench-json -out $(BENCH_JSON)
+	@cat $(BENCH_JSON)
+
+# bench-compare runs the same benchmarks and prints benchstat-style
+# deltas against the committed baseline. Informational only (host
+# numbers are machine-dependent); it never fails the build.
+bench-compare:
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime=1s -count 1 . \
+		| $(GO) run ./cmd/bench-json -baseline $(BENCH_JSON)

@@ -61,6 +61,9 @@ type (
 	Stats = core.Stats
 	// UpdateResult reports the cycle class of one update.
 	UpdateResult = core.UpdateResult
+	// LookupResult is one outcome of a batched lookup
+	// (Device.LookupBatch / Device.LookupHeaderBatch).
+	LookupResult = core.LookupResult
 )
 
 // Errors returned by Device updates.

@@ -1,0 +1,159 @@
+// Command bench-json converts `go test -bench -benchmem` output into a
+// stable JSON summary (benchmark name → ns/op, B/op, allocs/op) and
+// optionally compares a fresh run against a committed baseline.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | bench-json -out BENCH_lookup.json
+//	go test -run '^$' -bench . -benchmem . | bench-json -baseline BENCH_lookup.json
+//
+// The comparison is informational (benchstat-style deltas, always exit
+// 0): host benchmark numbers vary across machines, so regressions are
+// flagged for a human, not gated in CI.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measured figures.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Summary is the JSON document: a name→result map plus provenance.
+type Summary struct {
+	Note       string            `json:"note"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// parse extracts benchmark lines from `go test -bench` output. A line
+// looks like:
+//
+//	BenchmarkDeviceLookup-8   179982   7263 ns/op   0 B/op   0 allocs/op
+func parse(r *bufio.Scanner) (map[string]Result, error) {
+	out := make(map[string]Result)
+	for r.Scan() {
+		fields := strings.Fields(r.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i] // strip the GOMAXPROCS suffix
+		}
+		var res Result
+		seen := false
+		for i := 2; i < len(fields)-1; i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp, seen = v, true
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		if seen {
+			out[name] = res
+		}
+	}
+	return out, r.Err()
+}
+
+func compare(baselinePath string, fresh map[string]Result) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Summary
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+	}
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-34s %14s %14s %9s %11s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op")
+	for _, name := range names {
+		cur := fresh[name]
+		old, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Printf("%-34s %14s %14.0f %9s %11.0f\n", name, "(new)", cur.NsPerOp, "", cur.AllocsPerOp)
+			continue
+		}
+		delta := 0.0
+		if old.NsPerOp > 0 {
+			delta = (cur.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
+		}
+		marker := ""
+		if cur.AllocsPerOp > old.AllocsPerOp {
+			marker = "  ← allocs regressed"
+		}
+		fmt.Printf("%-34s %14.0f %14.0f %+8.1f%% %11.0f%s\n",
+			name, old.NsPerOp, cur.NsPerOp, delta, cur.AllocsPerOp, marker)
+	}
+	for name := range base.Benchmarks {
+		if _, ok := fresh[name]; !ok {
+			fmt.Printf("%-34s (missing from this run)\n", name)
+		}
+	}
+	return nil
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON summary to this file")
+	baseline := flag.String("baseline", "", "compare against this baseline JSON instead of writing")
+	flag.Parse()
+
+	results, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-json:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "bench-json: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	if *baseline != "" {
+		if err := compare(*baseline, results); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-json:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	doc := Summary{
+		Note:       "host benchmark figures (go test -bench -benchmem); machine-dependent, for trend comparison via `make bench-compare`, not gating",
+		Benchmarks: results,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-json:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench-json:", err)
+		os.Exit(1)
+	}
+}

@@ -126,6 +126,10 @@ type churner struct {
 	headers []rules.Header
 	nextID  int
 	hdr     int
+	// batched-lookup scratch, reused so the churn loop's classify
+	// traffic allocates nothing at steady state.
+	hdrBatch []rules.Header
+	results  []core.LookupResult
 }
 
 func newChurner(dev *core.Device, fam classbench.Family, size int, seed int64) (*churner, error) {
@@ -147,7 +151,9 @@ func newChurner(dev *core.Device, fam classbench.Family, size int, seed int64) (
 	return c, nil
 }
 
-// step performs one update plus one lookup.
+// step performs one update. Lookup traffic is issued separately in
+// batches (see lookups) so the device lock and classify scratch are
+// amortized the way a real ingress pipeline amortizes per-packet cost.
 func (c *churner) step() {
 	doInsert := c.rng.Intn(2) == 0
 	if doInsert && len(c.deleted) > 0 {
@@ -171,19 +177,33 @@ func (c *churner) step() {
 		c.deleted = append(c.deleted, r)
 		_, _ = c.dev.DeleteRule(r.ID)
 	}
-	if len(c.headers) > 0 {
-		c.dev.Lookup(c.headers[c.hdr%len(c.headers)])
-		c.hdr++
-	}
 }
 
-// loop paces the churn at the requested rate in 10ms batches. The
-// device is single-threaded by design; only this goroutine touches it,
-// while HTTP handlers read the atomic telemetry.
+// lookups classifies the next n trace headers in one batched device
+// call (one update : one lookup overall, same as before batching).
+func (c *churner) lookups(n int) {
+	if len(c.headers) == 0 {
+		return
+	}
+	c.hdrBatch = c.hdrBatch[:0]
+	for i := 0; i < n; i++ {
+		c.hdrBatch = append(c.hdrBatch, c.headers[c.hdr%len(c.headers)])
+		c.hdr++
+	}
+	c.results = c.dev.LookupHeaderBatch(c.hdrBatch, c.results[:0])
+}
+
+// loop paces the churn at the requested rate in 10ms batches: a burst
+// of updates, then the matching burst of lookups as one batched call.
+// Only this goroutine drives traffic; HTTP handlers read the atomic
+// telemetry (and the device itself is safe for concurrent use).
 func (c *churner) loop(rate int) {
 	if rate <= 0 {
 		for {
-			c.step()
+			for i := 0; i < 64; i++ {
+				c.step()
+			}
+			c.lookups(64)
 		}
 	}
 	const tick = 10 * time.Millisecond
@@ -197,5 +217,6 @@ func (c *churner) loop(rate int) {
 		for i := 0; i < batch; i++ {
 			c.step()
 		}
+		c.lookups(batch)
 	}
 }

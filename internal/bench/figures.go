@@ -124,9 +124,7 @@ func Fig15(w *Workload) ([]Fig15Row, error) {
 		loaded++
 	}
 	// Validate the pipeline claim functionally: every header resolves.
-	for _, h := range w.Headers[:min(len(w.Headers), 200)] {
-		d.Lookup(h)
-	}
+	d.LookupHeaderBatch(w.Headers[:min(len(w.Headers), 200)], nil)
 	s := d.Stats()
 	catcamNs := d.CyclesToNanos(s.LookupCycles) / float64(maxU(s.Lookups, 1))
 	rows = append(rows, Fig15Row{
@@ -300,9 +298,7 @@ func MeasuredEnergy(w *Workload) (EnergyReport, error) {
 	}
 	d.ResetStats()
 	d.ResetArrayStats()
-	for _, h := range w.Headers {
-		d.Lookup(h)
-	}
+	d.LookupHeaderBatch(w.Headers, nil)
 	match, prio, global := d.ArrayStats()
 	s := d.Stats()
 	rep := EnergyReport{

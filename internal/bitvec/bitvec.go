@@ -48,6 +48,20 @@ func (v *Vector) Len() int { return v.n }
 // is masked to the vector length. Callers must not mutate the slice.
 func (v *Vector) Words() []uint64 { return v.words }
 
+// LoadWords overwrites v's bits from a raw word slice of exactly the
+// backing length, re-establishing the canonical form (tail bits beyond
+// Len are cleared). This is the hand-off point from the bit-sliced
+// match kernel, which accumulates into a scratch []uint64 and deposits
+// the result into a caller-owned vector without allocating.
+func (v *Vector) LoadWords(ws []uint64) *Vector {
+	if len(ws) != len(v.words) {
+		panic(fmt.Sprintf("bitvec: word count %d != %d", len(ws), len(v.words)))
+	}
+	copy(v.words, ws)
+	v.trim()
+	return v
+}
+
 func (v *Vector) check(i int) {
 	if i < 0 || i >= v.n {
 		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
@@ -211,6 +225,23 @@ func (v *Vector) First() int {
 	for i, w := range v.words {
 		if w != 0 {
 			return i*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// FirstZero returns the index of the lowest clear bit, or -1 when all
+// Len bits are set. It scans word-wise — one complement and one
+// trailing-zero count per 64 bits — which is what makes free-slot scans
+// over near-full arrays cheap.
+func (v *Vector) FirstZero() int {
+	for i, w := range v.words {
+		if w != ^uint64(0) {
+			idx := i*wordBits + bits.TrailingZeros64(^w)
+			if idx < v.n {
+				return idx
+			}
+			return -1
 		}
 	}
 	return -1

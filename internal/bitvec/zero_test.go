@@ -1,0 +1,74 @@
+package bitvec
+
+import "testing"
+
+func TestFirstZero(t *testing.T) {
+	v := New(130)
+	if got := v.FirstZero(); got != 0 {
+		t.Fatalf("FirstZero on empty = %d", got)
+	}
+	for i := 0; i < 130; i++ {
+		v.Set(i)
+	}
+	if got := v.FirstZero(); got != -1 {
+		t.Fatalf("FirstZero on full = %d", got)
+	}
+	for _, i := range []int{129, 128, 64, 63, 0} {
+		v.Clear(i)
+		if got := v.FirstZero(); got != i {
+			t.Fatalf("FirstZero = %d, want %d", got, i)
+		}
+		v.Set(i)
+	}
+	// Agreement with the scalar scan on mixed patterns.
+	for seed := 0; seed < 64; seed++ {
+		w := New(100)
+		for i := 0; i < 100; i++ {
+			if (i*seed+i*i)%3 != 0 {
+				w.Set(i)
+			}
+		}
+		want := -1
+		for i := 0; i < 100; i++ {
+			if !w.Get(i) {
+				want = i
+				break
+			}
+		}
+		if got := w.FirstZero(); got != want {
+			t.Fatalf("seed %d: FirstZero = %d, want %d", seed, got, want)
+		}
+	}
+}
+
+func TestFirstZeroTailBits(t *testing.T) {
+	// Bits beyond Len live as zeros in the tail word; they must not be
+	// reported as free slots.
+	for _, n := range []int{1, 63, 64, 65, 127, 128} {
+		v := New(n)
+		for i := 0; i < n; i++ {
+			v.Set(i)
+		}
+		if got := v.FirstZero(); got != -1 {
+			t.Fatalf("len %d: FirstZero = %d on full vector", n, got)
+		}
+	}
+}
+
+func TestLoadWords(t *testing.T) {
+	v := New(70)
+	v.LoadWords([]uint64{^uint64(0), ^uint64(0)})
+	if got := v.Count(); got != 70 {
+		t.Fatalf("count after LoadWords = %d, want 70 (tail must be trimmed)", got)
+	}
+	v.LoadWords([]uint64{1 << 5, 1})
+	if !v.Get(5) || !v.Get(64) || v.Count() != 2 {
+		t.Fatalf("LoadWords bits wrong: %s", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LoadWords with wrong word count did not panic")
+		}
+	}()
+	v.LoadWords([]uint64{0})
+}

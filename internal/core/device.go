@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"catcam/internal/bitvec"
 	"catcam/internal/rules"
@@ -100,10 +101,20 @@ type location struct {
 }
 
 // Device is a complete CATCAM instance.
+//
+// All exported methods are safe for concurrent use: one mutex guards
+// the device, so goroutines serialize rather than corrupt state. The
+// hot classify path holds the lock only for the duration of the lookup
+// and performs no allocation at steady state — per-lookup working
+// vectors live in the device's scratch area and are reused.
 type Device struct {
+	mu     sync.Mutex
 	cfg    Config
 	subs   []*Subtable
 	global *sram.Array
+
+	// scratch holds the reusable lookup buffers; guarded by mu.
+	scratch lookupScratch
 
 	// meta is the metadata cache (§VI): per-subtable activity, maximum
 	// rank, and the rule locator.
@@ -127,6 +138,18 @@ type Device struct {
 type entryKey struct {
 	ruleID int
 	seq    int
+}
+
+// lookupScratch is the device's reusable per-lookup working set. The
+// paper's lookup allocates nothing — it drives fixed wires — and the
+// simulator's steady-state path mirrors that: every vector and key
+// buffer below is sized once at construction and reused per lookup.
+type lookupScratch struct {
+	encKey      ternary.Key      // header-encode buffer (rules.TupleBits wide)
+	padKey      ternary.Key      // key padded to the device width
+	globalMatch *bitvec.Vector   // one bit per subtable with any local match
+	report      *bitvec.Vector   // global priority report vector
+	locals      []*bitvec.Vector // per-subtable local match vectors, indexed by id
 }
 
 // NewDevice builds a CATCAM device from the configuration, using the
@@ -167,6 +190,13 @@ func NewDevice(cfg Config) *Device {
 	for i := cfg.Subtables - 1; i >= 0; i-- {
 		d.freeSubs = append(d.freeSubs, i)
 	}
+	d.scratch = lookupScratch{
+		encKey:      ternary.NewKey(rules.TupleBits),
+		padKey:      ternary.NewKey(cfg.KeyWidth),
+		globalMatch: bitvec.New(cfg.Subtables),
+		report:      bitvec.New(cfg.Subtables),
+		locals:      make([]*bitvec.Vector, cfg.Subtables),
+	}
 	return d
 }
 
@@ -174,24 +204,39 @@ func NewDevice(cfg Config) *Device {
 func (d *Device) Config() Config { return d.cfg }
 
 // Stats returns a copy of the accumulated statistics.
-func (d *Device) Stats() Stats { return d.stats }
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
 
 // ResetStats zeroes device statistics (array stats are separate; see
 // ArrayStats) and any attached telemetry, so a benchmark warmup phase
-// does not pollute reported quantiles.
+// does not pollute reported quantiles. Safe to call while lookups are
+// in flight on other goroutines; the reset lands between lookups.
 func (d *Device) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.stats = Stats{}
 	d.resetTelemetry()
 }
 
 // Len returns the number of stored entries (post range expansion).
-func (d *Device) Len() int { return len(d.locs) }
+func (d *Device) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.locs)
+}
 
 // CapacityEntries returns total entry slots.
 func (d *Device) CapacityEntries() int { return d.cfg.Subtables * d.cfg.SubtableCapacity }
 
 // ActiveSubtables returns the number of subtables in use.
-func (d *Device) ActiveSubtables() int { return len(d.order) }
+func (d *Device) ActiveSubtables() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.order)
+}
 
 // CyclesToNanos converts cycles to nanoseconds at the configured clock.
 func (d *Device) CyclesToNanos(cycles uint64) float64 {
@@ -212,17 +257,19 @@ func (d *Device) padWord(w ternary.Word) ternary.Word {
 	return out
 }
 
-// padKey widens a search key with trailing zeros.
-func (d *Device) padKey(k ternary.Key) ternary.Key {
+// padKeyScratch widens a search key with trailing zeros into the
+// device's reusable pad buffer (no copy when the key is already
+// device-wide). Callers hold d.mu; the returned key is only valid
+// until the next lookup.
+func (d *Device) padKeyScratch(k ternary.Key) ternary.Key {
 	if k.Width() == d.cfg.KeyWidth {
 		return k
 	}
 	if k.Width() > d.cfg.KeyWidth {
 		panic(fmt.Sprintf("core: key width %d exceeds device width %d", k.Width(), d.cfg.KeyWidth))
 	}
-	out := ternary.NewKey(d.cfg.KeyWidth)
-	out.SlotKey(0, k)
-	return out
+	d.scratch.padKey.LoadPadded(k)
+	return d.scratch.padKey
 }
 
 // LookupKey performs one pipelined lookup (§VI): (1) the key is
@@ -232,37 +279,87 @@ func (d *Device) padKey(k ternary.Key) ternary.Key {
 // matrix reduces its match vector to the report vector. Amortized one
 // cycle per lookup at full pipeline.
 func (d *Device) LookupKey(k ternary.Key) (Entry, bool) {
-	k = d.padKey(k)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lookupLocked(d.padKeyScratch(k))
+}
+
+// lookupLocked is the allocation-free lookup core; callers hold d.mu
+// and pass a key already padded to the device width.
+func (d *Device) lookupLocked(k ternary.Key) (Entry, bool) {
 	d.stats.Lookups++
 	d.stats.LookupCycles++
 	if t := d.tel; t != nil {
 		t.lookups.Inc()
 	}
 
-	globalMatch := bitvec.New(d.cfg.Subtables)
-	locals := make(map[int]*bitvec.Vector, 4)
+	globalMatch := d.scratch.globalMatch
+	globalMatch.Reset()
 	for _, id := range d.order {
-		mv := d.subs[id].Search(k)
+		mv := d.scratch.locals[id]
+		if mv == nil {
+			mv = bitvec.New(d.cfg.SubtableCapacity)
+			d.scratch.locals[id] = mv
+		}
+		d.subs[id].SearchInto(mv, k)
 		if mv.Any() {
 			globalMatch.Set(id)
-			locals[id] = mv
 		}
 	}
 	if !globalMatch.Any() {
 		return Entry{}, false
 	}
-	report := d.global.ColumnNOR(globalMatch)
+	report := d.global.ColumnNORInto(d.scratch.report, globalMatch)
 	if !report.IsOneHot() {
 		panic(fmt.Sprintf("core: global report not one-hot: %s", report))
 	}
 	winner := report.First()
-	slot := d.subs[winner].Decide(locals[winner])
+	slot := d.subs[winner].Decide(d.scratch.locals[winner])
 	return d.subs[winner].ReadEntryMeta(slot), true
+}
+
+// LookupResult is one LookupBatch outcome.
+type LookupResult struct {
+	Entry Entry
+	OK    bool
+}
+
+// LookupBatch classifies keys in order, appending one result per key
+// to dst and returning it. Passing a reused dst[:0] keeps the whole
+// call allocation-free at steady state; the device lock is taken once
+// for the batch, which amortizes synchronization across high-rate
+// traffic the way the hardware pipeline amortizes its fill latency.
+func (d *Device) LookupBatch(keys []ternary.Key, dst []LookupResult) []LookupResult {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, k := range keys {
+		e, ok := d.lookupLocked(d.padKeyScratch(k))
+		dst = append(dst, LookupResult{Entry: e, OK: ok})
+	}
+	return dst
+}
+
+// LookupHeaderBatch is LookupBatch over packet headers: each header is
+// encoded into the device's scratch key and classified, with one result
+// appended to dst per header. Like LookupBatch it holds the lock once
+// and allocates nothing when dst has capacity.
+func (d *Device) LookupHeaderBatch(hs []rules.Header, dst []LookupResult) []LookupResult {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, h := range hs {
+		rules.EncodeHeaderInto(&d.scratch.encKey, h)
+		e, ok := d.lookupLocked(d.padKeyScratch(d.scratch.encKey))
+		dst = append(dst, LookupResult{Entry: e, OK: ok})
+	}
+	return dst
 }
 
 // Lookup classifies a packet header and returns the winning action.
 func (d *Device) Lookup(h rules.Header) (int, bool) {
-	e, ok := d.LookupKey(rules.EncodeHeader(h))
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rules.EncodeHeaderInto(&d.scratch.encKey, h)
+	e, ok := d.lookupLocked(d.padKeyScratch(d.scratch.encKey))
 	if !ok {
 		return 0, false
 	}
@@ -283,6 +380,8 @@ type UpdateResult struct {
 // already-inserted entries of this rule are rolled back and ErrFull is
 // returned.
 func (d *Device) InsertRule(r rules.Rule) (UpdateResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	res, err := d.insertRule(r)
 	d.observeOp(telemetry.EvInsert, r.ID, res, err)
 	return res, err
@@ -319,6 +418,8 @@ func (d *Device) insertRule(r rules.Rule) (UpdateResult, error) {
 // 5-tuples. The word is padded to the device key width; ruleID is the
 // handle for DeleteRule.
 func (d *Device) InsertWord(w ternary.Word, priority, ruleID, action int) (UpdateResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	seq := d.seqCounter
 	d.seqCounter++
 	e := Entry{Word: d.padWord(w), Rank: Rank{Priority: priority, RuleID: ruleID, Seq: seq}, Action: action}
@@ -329,6 +430,8 @@ func (d *Device) InsertWord(w ternary.Word, priority, ruleID, action int) (Updat
 
 // DeleteRule removes every entry of the rule.
 func (d *Device) DeleteRule(ruleID int) (UpdateResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	res, err := d.deleteRule(ruleID)
 	d.observeOp(telemetry.EvDelete, ruleID, res, err)
 	return res, err
@@ -360,6 +463,8 @@ func (d *Device) deleteRule(ruleID int) (UpdateResult, error) {
 // inserting its new version." The new rule keeps the given ID; cycle
 // costs of both phases are reported together.
 func (d *Device) ModifyRule(ruleID int, newRule rules.Rule) (UpdateResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if newRule.ID != ruleID {
 		return UpdateResult{}, fmt.Errorf("core: modify must keep rule ID %d, got %d", ruleID, newRule.ID)
 	}
@@ -677,6 +782,8 @@ func (d *Device) deleteEntry(k entryKey) {
 // priority matrix — the measured counterpart of the Fig 16 energy
 // model.
 func (d *Device) ArrayStats() (match, prio, global sram.Stats) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for _, st := range d.subs {
 		m, p := st.Stats()
 		match.Add(m)
@@ -689,6 +796,8 @@ func (d *Device) ArrayStats() (match, prio, global sram.Stats) {
 // ResetArrayStats zeroes every array's counters and any attached
 // telemetry.
 func (d *Device) ResetArrayStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for _, st := range d.subs {
 		st.ResetStats()
 	}
@@ -698,7 +807,9 @@ func (d *Device) ResetArrayStats() {
 
 // Occupancy returns stored entries / total slots.
 func (d *Device) Occupancy() float64 {
-	return float64(d.Len()) / float64(d.CapacityEntries())
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return float64(len(d.locs)) / float64(d.CapacityEntries())
 }
 
 // CheckInvariant verifies the scheduler's structural invariants: the
@@ -706,6 +817,8 @@ func (d *Device) Occupancy() float64 {
 // subtable's interval, subtable maxes match their contents, and the
 // global priority matrix encodes the order. Test support.
 func (d *Device) CheckInvariant() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for i := 1; i < len(d.order); i++ {
 		if !d.maxOf[d.order[i-1]].Less(d.maxOf[d.order[i]]) {
 			return fmt.Errorf("core: order not strictly increasing at %d", i)

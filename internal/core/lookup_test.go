@@ -1,0 +1,126 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"catcam/internal/classbench"
+	"catcam/internal/rules"
+	"catcam/internal/ternary"
+)
+
+// loadedDevice returns a device bulk-loaded with a ClassBench ruleset
+// plus a matching packet trace.
+func loadedDevice(t testing.TB, size int) (*Device, []rules.Header) {
+	t.Helper()
+	rs := classbench.Generate(classbench.Config{Family: classbench.ACL, Size: size, Seed: 77})
+	d := NewDevice(Config{Subtables: 64, SubtableCapacity: 64, KeyWidth: 160})
+	for _, r := range rs.Rules {
+		if _, err := d.InsertRule(r); err != nil {
+			t.Fatalf("load: %v", err)
+		}
+	}
+	return d, classbench.PacketTrace(rs, 256, 0.9, 78)
+}
+
+func TestLookupBatchMatchesSingles(t *testing.T) {
+	d, headers := loadedDevice(t, 100)
+
+	keys := make([]ternary.Key, len(headers))
+	for i, h := range headers {
+		keys[i] = rules.EncodeHeader(h)
+	}
+	batch := d.LookupBatch(keys, nil)
+	hdrBatch := d.LookupHeaderBatch(headers, nil)
+	if len(batch) != len(headers) || len(hdrBatch) != len(headers) {
+		t.Fatalf("batch lengths %d/%d != %d", len(batch), len(hdrBatch), len(headers))
+	}
+	for i, h := range headers {
+		e, ok := d.LookupKey(keys[i])
+		if batch[i].OK != ok || batch[i].Entry.Rank != e.Rank || batch[i].Entry.Action != e.Action {
+			t.Fatalf("header %d: LookupBatch %+v/%v != LookupKey %+v/%v", i, batch[i].Entry, batch[i].OK, e, ok)
+		}
+		if hdrBatch[i].OK != ok || hdrBatch[i].Entry.Rank != e.Rank || hdrBatch[i].Entry.Action != e.Action {
+			t.Fatalf("header %d: LookupHeaderBatch %+v/%v != LookupKey %+v/%v", i, hdrBatch[i].Entry, hdrBatch[i].OK, e, ok)
+		}
+		action, aok := d.Lookup(h)
+		if aok != ok || (ok && action != e.Action) {
+			t.Fatalf("header %d: Lookup %d/%v != %d/%v", i, action, aok, e.Action, ok)
+		}
+	}
+}
+
+// TestLookupAllocFree pins the steady-state zero-allocation guarantee
+// of every classify entry point.
+func TestLookupAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation counts")
+	}
+	d, headers := loadedDevice(t, 100)
+	keys := make([]ternary.Key, len(headers))
+	for i, h := range headers {
+		keys[i] = rules.EncodeHeader(h)
+	}
+	results := make([]LookupResult, 0, len(headers))
+
+	// Warm up: the scratch local vectors are created on first touch.
+	d.LookupBatch(keys, results[:0])
+
+	if n := testing.AllocsPerRun(20, func() {
+		results = d.LookupBatch(keys, results[:0])
+	}); n != 0 {
+		t.Errorf("LookupBatch allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		results = d.LookupHeaderBatch(headers, results[:0])
+	}); n != 0 {
+		t.Errorf("LookupHeaderBatch allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		d.LookupKey(keys[0])
+	}); n != 0 {
+		t.Errorf("LookupKey allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		d.Lookup(headers[0])
+	}); n != 0 {
+		t.Errorf("Lookup allocates %.1f/op", n)
+	}
+}
+
+// TestLookupBatchConcurrentResetStats drives batched lookups from
+// several goroutines while stats are read and reset concurrently — the
+// contract that every exported Device method is safe for concurrent
+// use. Run with -race to make it meaningful.
+func TestLookupBatchConcurrentResetStats(t *testing.T) {
+	d, headers := loadedDevice(t, 100)
+	keys := make([]ternary.Key, len(headers))
+	for i, h := range headers {
+		keys[i] = rules.EncodeHeader(h)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var results []LookupResult
+			for iter := 0; iter < 50; iter++ {
+				results = d.LookupBatch(keys[:32], results[:0])
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for iter := 0; iter < 100; iter++ {
+			d.ResetStats()
+			_ = d.Stats()
+			_, _, _ = d.ArrayStats()
+		}
+	}()
+	wg.Wait()
+	if err := d.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}

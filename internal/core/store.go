@@ -58,6 +58,10 @@ func (s *PriorityStore) Rank(slot int) (Rank, bool) {
 // Valid returns a copy of the valid mask.
 func (s *PriorityStore) Valid() *bitvec.Vector { return s.valid.Copy() }
 
+// ValidRef returns the live valid mask without copying. Callers must
+// treat it as read-only; it backs the allocation-free decision paths.
+func (s *PriorityStore) ValidRef() *bitvec.Vector { return s.valid }
+
 // CompareAll broadcasts the new rank against every valid slot and
 // returns the two vectors to write into the priority matrix for the new
 // rule's slot: row[j] = new beats slot j, col[i] = slot i beats new.

@@ -27,6 +27,9 @@ type Subtable struct {
 	store *PriorityStore
 	// actions is reporter metadata (what the switch does on a match).
 	actions []int
+	// report is the reusable priority-decision output buffer, so
+	// Decide and RecomputeMax allocate nothing at steady state.
+	report *bitvec.Vector
 }
 
 // NewSubtable builds a subtable with the given slot capacity and key
@@ -46,6 +49,7 @@ func NewSubtable(id, capacity, width int, matchParams, prioParams sram.Params) *
 		prio:    sram.NewArray(prioParams),
 		store:   NewPriorityStore(capacity),
 		actions: make([]int, capacity),
+		report:  bitvec.New(capacity),
 	}
 }
 
@@ -71,15 +75,23 @@ func (st *Subtable) FreeSlot() int { return st.match.FirstFree() }
 // (1 cycle in the match matrix).
 func (st *Subtable) Search(k ternary.Key) *bitvec.Vector { return st.match.Search(k) }
 
+// SearchInto is Search writing the match vector into a caller-provided
+// buffer of Capacity bits — the allocation-free path the device's
+// lookup scratch uses.
+func (st *Subtable) SearchInto(dst *bitvec.Vector, k ternary.Key) *bitvec.Vector {
+	return st.match.SearchInto(dst, k)
+}
+
 // Decide runs the in-memory priority decision over the given match
 // vector and returns the winning slot, or -1 when the vector is empty.
 // The report vector is checked to be one-hot — the hardware guarantee
-// the encoding scheme provides.
+// the encoding scheme provides. The decision lands in the subtable's
+// reusable report buffer; no allocation.
 func (st *Subtable) Decide(matchVec *bitvec.Vector) int {
 	if !matchVec.Any() {
 		return -1
 	}
-	report := st.prio.ColumnNOR(matchVec)
+	report := st.prio.ColumnNORInto(st.report, matchVec)
 	if !report.IsOneHot() {
 		panic(fmt.Sprintf("core: subtable %d report vector not one-hot: %s", st.id, report))
 	}
@@ -144,11 +156,11 @@ func (st *Subtable) Action(slot int) int { return st.actions[slot] }
 // holding the subtable's maximum priority in one cycle, with no sorted
 // structure. Returns -1 when empty.
 func (st *Subtable) RecomputeMax() int {
-	valid := st.store.Valid()
+	valid := st.store.ValidRef()
 	if !valid.Any() {
 		return -1
 	}
-	report := st.prio.ColumnNOR(valid)
+	report := st.prio.ColumnNORInto(st.report, valid)
 	if !report.IsOneHot() {
 		panic(fmt.Sprintf("core: subtable %d max-trace report not one-hot: %s", st.id, report))
 	}

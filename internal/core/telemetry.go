@@ -43,10 +43,11 @@ func opIndex(kind telemetry.EventKind) int {
 // distinct on a shared registry; when a numeric "table" label is
 // present it is also carried on ring events.
 //
-// Attach before driving traffic; the device is not safe for concurrent
-// use, and attaching replaces any previous attachment. Passing a nil
-// registry detaches.
+// Attaching replaces any previous attachment. Passing a nil registry
+// detaches.
 func (d *Device) AttachTelemetry(reg *telemetry.Registry, ring *telemetry.EventRing, labels telemetry.Labels) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if reg == nil {
 		d.tel = nil
 		return

@@ -66,6 +66,11 @@ type TableConfig struct {
 }
 
 // Pipeline is an ordered set of flow tables.
+//
+// Pipeline methods are not safe for concurrent use: the classify paths
+// share per-pipeline scratch buffers so steady-state classification
+// allocates nothing. (The backing devices individually remain safe for
+// concurrent use.)
 type Pipeline struct {
 	tables map[int]*table
 	order  []int
@@ -73,6 +78,18 @@ type Pipeline struct {
 	instr map[[2]int]Instruction
 	// tel is the attached runtime telemetry; nil until AttachTelemetry.
 	tel *pipelineTelemetry
+	// scratch backs the allocation-free classify paths.
+	scratch classifyScratch
+}
+
+// classifyScratch is the reusable working set of Classify/ClassifyBatch.
+type classifyScratch struct {
+	hdr1    [1]rules.Header
+	cur     []int // per-packet position in order; -1 = terminated
+	depth   []int // per-packet table visits, for telemetry
+	hdrs    []rules.Header
+	idxs    []int // packet index behind each batch entry
+	results []core.LookupResult
 }
 
 type table struct {
@@ -240,7 +257,9 @@ func (p *Pipeline) classify(h rules.Header) (int, []Trace, error) {
 		}
 		id := p.order[idx]
 		t := p.tables[id]
-		ent, ok := t.dev.LookupKey(rules.EncodeHeader(h))
+		p.scratch.hdr1[0] = h
+		p.scratch.results = t.dev.LookupHeaderBatch(p.scratch.hdr1[:], p.scratch.results[:0])
+		ent, ok := p.scratch.results[0].Entry, p.scratch.results[0].OK
 		if !ok {
 			t.misses.Inc()
 			traces = append(traces, Trace{TableID: id, RuleID: -1, Action: t.cfg.Miss.MissAction})
@@ -266,6 +285,76 @@ func (p *Pipeline) classify(h rules.Header) (int, []Trace, error) {
 		}
 	}
 	return Drop, traces, ErrLoopBound
+}
+
+// ClassifyBatch classifies a batch of headers and appends one final
+// action per header to dst (in input order), returning it. Because
+// goto-table is strictly forward, the whole batch is processed in one
+// ascending sweep over the tables: at each table, every packet
+// currently parked there is looked up in a single batched device call,
+// and survivors move strictly forward. Each table's device lock is
+// taken once per wave rather than once per packet, and with a reused
+// dst the call allocates nothing at steady state. Traces are not
+// collected; use Classify for per-packet diagnostics.
+func (p *Pipeline) ClassifyBatch(hs []rules.Header, dst []int) []int {
+	base := len(dst)
+	s := &p.scratch
+	s.cur, s.depth = s.cur[:0], s.depth[:0]
+	for range hs {
+		dst = append(dst, Drop) // packets that fall off the end drop
+		s.cur = append(s.cur, 0)
+		s.depth = append(s.depth, 0)
+	}
+	for pos := 0; pos < len(p.order); pos++ {
+		id := p.order[pos]
+		t := p.tables[id]
+		s.hdrs, s.idxs = s.hdrs[:0], s.idxs[:0]
+		for i, c := range s.cur {
+			if c == pos {
+				s.hdrs = append(s.hdrs, hs[i])
+				s.idxs = append(s.idxs, i)
+			}
+		}
+		if len(s.hdrs) == 0 {
+			continue
+		}
+		s.results = t.dev.LookupHeaderBatch(s.hdrs, s.results[:0])
+		for j, r := range s.results {
+			i := s.idxs[j]
+			s.depth[i]++
+			if !r.OK {
+				t.misses.Inc()
+				if t.cfg.Miss.Continue {
+					s.cur[i] = pos + 1
+				} else {
+					s.cur[i] = -1
+					dst[base+i] = t.cfg.Miss.MissAction
+				}
+				continue
+			}
+			t.hits.Inc()
+			ins := p.instr[[2]int{id, r.Entry.Rank.RuleID}]
+			if ins.GotoTable < 0 {
+				s.cur[i] = -1
+				dst[base+i] = ins.Action
+				continue
+			}
+			np := pos + 1
+			for np < len(p.order) && p.order[np] != ins.GotoTable {
+				np++
+			}
+			s.cur[i] = np // len(order) (= drop) only if the target vanished
+		}
+	}
+	if t := p.tel; t != nil {
+		for i := range hs {
+			t.gotoDepth.Observe(uint64(s.depth[i]))
+			if dst[base+i] == Drop {
+				t.drops.Inc()
+			}
+		}
+	}
+	return dst
 }
 
 // UpdateStats sums update statistics across every table.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package flowtable
+
+const raceEnabled = false

@@ -98,6 +98,16 @@ type Engine struct {
 	responses []Response
 	// tel is the attached runtime telemetry; nil until AttachTelemetry.
 	tel *engineTelemetry
+
+	// Lookup batching scratch: consecutive lookups at the FIFO head are
+	// classified in one batched device call (one lock, no allocation),
+	// then their results are issued one per cycle so the timing model is
+	// unchanged. Correct because only FIFO-ordered updates mutate the
+	// device between those cycles; mutate the device through the FIFO,
+	// not directly, while requests are queued.
+	hdrBatch  []rules.Header
+	results   []core.LookupResult
+	batchNext int
 }
 
 // engineTelemetry holds the engine's attached metric instances.
@@ -225,9 +235,24 @@ func (e *Engine) Tick() {
 		if t := e.tel; t != nil {
 			t.queueDepth.Set(int64(len(e.queue)))
 		}
-		action, ok := e.dev.Lookup(req.Header)
+		if e.batchNext >= len(e.results) {
+			// Refill: classify the whole run of consecutive lookups at
+			// the FIFO head in one batched device call.
+			e.hdrBatch = e.hdrBatch[:0]
+			e.hdrBatch = append(e.hdrBatch, req.Header)
+			for _, r := range e.queue {
+				if r.Kind != Lookup {
+					break
+				}
+				e.hdrBatch = append(e.hdrBatch, r.Header)
+			}
+			e.results = e.dev.LookupHeaderBatch(e.hdrBatch, e.results[:0])
+			e.batchNext = 0
+		}
+		res := e.results[e.batchNext]
+		e.batchNext++
 		e.inflight = append(e.inflight, pendingLookup{resp: Response{
-			Tag: req.Tag, Kind: Lookup, Action: action, OK: ok,
+			Tag: req.Tag, Kind: Lookup, Action: res.Entry.Action, OK: res.OK,
 			IssueCycle: e.cycle, DoneCycle: e.cycle + lookupLatency,
 		}})
 		e.stats.Lookups++

@@ -273,12 +273,23 @@ func (r Rule) ExpansionCount() int {
 // as Encode.
 func EncodeHeader(h Header) ternary.Key {
 	k := ternary.NewKey(TupleBits)
-	k.SlotKey(srcIPOff, ternary.KeyFromUint(uint64(h.SrcIP), SrcIPBits))
-	k.SlotKey(dstIPOff, ternary.KeyFromUint(uint64(h.DstIP), DstIPBits))
-	k.SlotKey(srcPortOff, ternary.KeyFromUint(uint64(h.SrcPort), SrcPortBits))
-	k.SlotKey(dstPortOff, ternary.KeyFromUint(uint64(h.DstPort), DstPortBits))
-	k.SlotKey(protoOff, ternary.KeyFromUint(uint64(h.Proto), ProtoBits))
+	EncodeHeaderInto(&k, h)
 	return k
+}
+
+// EncodeHeaderInto encodes a header into a caller-owned TupleBits-wide
+// key without allocating — the hot classify path reuses one buffer per
+// device/engine. Every position is overwritten (the five fields tile
+// the full width), so no prior zeroing is needed.
+func EncodeHeaderInto(k *ternary.Key, h Header) {
+	if k.Width() != TupleBits {
+		panic(fmt.Sprintf("rules: encode buffer width %d != %d", k.Width(), TupleBits))
+	}
+	k.SetUint(srcIPOff, SrcIPBits, uint64(h.SrcIP))
+	k.SetUint(dstIPOff, DstIPBits, uint64(h.DstIP))
+	k.SetUint(srcPortOff, SrcPortBits, uint64(h.SrcPort))
+	k.SetUint(dstPortOff, DstPortBits, uint64(h.DstPort))
+	k.SetUint(protoOff, ProtoBits, uint64(h.Proto))
 }
 
 // Ruleset is an ordered collection of rules with unique IDs.

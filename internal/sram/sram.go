@@ -25,6 +25,7 @@ package sram
 
 import (
 	"fmt"
+	"math/bits"
 
 	"catcam/internal/bitvec"
 	"catcam/internal/ternary"
@@ -225,6 +226,16 @@ func (a *Array) Bit(r, c int) bool {
 // Returned vector: bit c is 1 iff c ∈ active and no activated row has a
 // 1 in column c. It requires Rows == Cols (square priority matrix).
 func (a *Array) ColumnNOR(active *bitvec.Vector) *bitvec.Vector {
+	dst := bitvec.New(a.params.Rows)
+	a.ColumnNORInto(dst, active)
+	return dst
+}
+
+// ColumnNORInto is ColumnNOR writing the report into a caller-provided
+// destination vector (same length as active, which it must not alias),
+// so the steady-state lookup path performs no allocation. Cycle and
+// energy accounting are identical to ColumnNOR.
+func (a *Array) ColumnNORInto(dst, active *bitvec.Vector) *bitvec.Vector {
 	if a.params.Rows != a.params.Cols {
 		panic("sram: ColumnNOR requires a square array")
 	}
@@ -235,16 +246,28 @@ func (a *Array) ColumnNOR(active *bitvec.Vector) *bitvec.Vector {
 	a.stats.NOROps++
 	a.stats.EnergyFJ += a.params.ComputeEnergyFJ(active.Count())
 
-	result := active.Copy()
-	active.ForEach(func(r int) bool {
-		result.AndNot(a.rows[r])
-		return true
-	})
-	return result
+	dst.CopyFrom(active)
+	for wi, w := range active.Words() {
+		for w != 0 {
+			r := wi*64 + bits.TrailingZeros64(w)
+			dst.AndNot(a.rows[r])
+			w &= w - 1
+		}
+	}
+	return dst
 }
 
 // TernaryArray is the transposed-8T match matrix: Rows ternary entries
 // of Cols ternary bits each, searched in parallel.
+//
+// Host-side it keeps two representations of the same contents. The
+// row-major entries slice is the write/readback view. The bit-sliced
+// planes are the search view: for every ternary position there is one
+// value plane and one care plane, each one bit per entry packed into
+// uint64 words, so a search evaluates 64 entries per word operation —
+// the same bulk bit-parallelism the silicon's match lines provide,
+// applied to simulator throughput. Cycle and energy accounting are
+// independent of which representation the host touches.
 type TernaryArray struct {
 	params  Params
 	entries []ternary.Word
@@ -254,6 +277,25 @@ type TernaryArray struct {
 	// (the prototype splits a 640-bit key over 4 160-bit subarrays); it
 	// scales search energy accounting.
 	subarrays int
+
+	// Bit-sliced planes. rowWords is the uint64 count per plane
+	// (ceil(Rows/64)); plane p for ternary position pos occupies
+	// [pos*rowWords, (pos+1)*rowWords). Positions follow the storage
+	// order of ternary.Word.PlaneWords: position 0 is the least
+	// significant (right-most) ternary bit.
+	rowWords   int
+	planeValue []uint64
+	planeCare  []uint64
+	// careAny marks positions where at least one entry has ever cared —
+	// all-wildcard columns (padding, flat port fields) are skipped by
+	// the kernel. Bits are set on write and conservatively never
+	// cleared on invalidate, which only costs a skipped optimization.
+	careAny []uint64
+	// acc is the kernel's match accumulator scratch.
+	acc []uint64
+	// validCount caches valid.Count() so per-search energy accounting
+	// does not re-popcount the mask.
+	validCount int
 }
 
 // NewTernaryArray returns an empty match matrix of rows entries, each
@@ -264,11 +306,17 @@ func NewTernaryArray(p Params, width int) *TernaryArray {
 	if width <= 0 || width%p.Cols != 0 {
 		panic(fmt.Sprintf("sram: width %d not a multiple of subarray cols %d", width, p.Cols))
 	}
+	rowWords := (p.Rows + 63) / 64
 	return &TernaryArray{
-		params:    p,
-		entries:   make([]ternary.Word, p.Rows),
-		valid:     bitvec.New(p.Rows),
-		subarrays: width / p.Cols,
+		params:     p,
+		entries:    make([]ternary.Word, p.Rows),
+		valid:      bitvec.New(p.Rows),
+		subarrays:  width / p.Cols,
+		rowWords:   rowWords,
+		planeValue: make([]uint64, width*rowWords),
+		planeCare:  make([]uint64, width*rowWords),
+		careAny:    make([]uint64, (width+63)/64),
+		acc:        make([]uint64, rowWords),
 	}
 }
 
@@ -291,7 +339,7 @@ func (t *TernaryArray) Stats() Stats { return t.stats }
 func (t *TernaryArray) ResetStats() { t.stats = Stats{} }
 
 // ValidCount returns the number of valid entries.
-func (t *TernaryArray) ValidCount() int { return t.valid.Count() }
+func (t *TernaryArray) ValidCount() int { return t.validCount }
 
 // ValidMask returns a copy of the valid-entry mask.
 func (t *TernaryArray) ValidMask() *bitvec.Vector { return t.valid.Copy() }
@@ -299,14 +347,10 @@ func (t *TernaryArray) ValidMask() *bitvec.Vector { return t.valid.Copy() }
 // IsValid reports whether entry r holds a rule.
 func (t *TernaryArray) IsValid(r int) bool { return t.valid.Get(r) }
 
-// FirstFree returns the lowest invalid row, or -1 if full.
+// FirstFree returns the lowest invalid row, or -1 if full. Word-wise
+// first-zero scan: 64 rows per step instead of one Get per row.
 func (t *TernaryArray) FirstFree() int {
-	for r := 0; r < t.params.Rows; r++ {
-		if !t.valid.Get(r) {
-			return r
-		}
-	}
-	return -1
+	return t.valid.FirstZero()
 }
 
 func (t *TernaryArray) checkRow(r int) {
@@ -318,6 +362,11 @@ func (t *TernaryArray) checkRow(r int) {
 // WriteEntry stores a ternary word in row r and marks it valid. One
 // cycle (the paper's match-matrix update cost), write energy per
 // spanned subarray.
+//
+// The array aliases w rather than copying it: words are immutable by
+// convention once built (every constructor in ternary returns a fresh
+// word), and the bit-sliced planes are derived from w at write time, so
+// a caller mutating w afterwards would desynchronize the two views.
 func (t *TernaryArray) WriteEntry(r int, w ternary.Word) {
 	t.checkRow(r)
 	if w.Width() != t.Width() {
@@ -326,12 +375,41 @@ func (t *TernaryArray) WriteEntry(r int, w ternary.Word) {
 	t.stats.Cycles++
 	t.stats.RowWrites++
 	t.stats.EnergyFJ += float64(t.subarrays) * t.params.WriteEnergyPJ * 1000
-	t.entries[r] = w.Copy()
+	t.entries[r] = w
+	if !t.valid.Get(r) {
+		t.validCount++
+	}
 	t.valid.Set(r)
+	t.sliceEntry(r, w)
+}
+
+// sliceEntry scatters w's (value, care) bit pairs into the transposed
+// planes at entry column r. Every position is written — set or cleared
+// — so stale planes from a previous occupant cannot survive.
+func (t *TernaryArray) sliceEntry(r int, w ternary.Word) {
+	value, care := w.PlaneWords()
+	wi, bit := r/64, uint64(1)<<(r%64)
+	width := t.Width()
+	for pos := 0; pos < width; pos++ {
+		pw, pb := pos/64, uint(pos%64)
+		i := pos*t.rowWords + wi
+		if value[pw]&(1<<pb) != 0 {
+			t.planeValue[i] |= bit
+		} else {
+			t.planeValue[i] &^= bit
+		}
+		if care[pw]&(1<<pb) != 0 {
+			t.planeCare[i] |= bit
+			t.careAny[pw] |= 1 << pb
+		} else {
+			t.planeCare[i] &^= bit
+		}
+	}
 }
 
 // ReadEntry reads back entry r (used when a rule is reallocated between
-// subtables). One cycle, read energy per subarray.
+// subtables). One cycle, read energy per subarray. The returned word
+// aliases the stored one and must be treated as immutable.
 func (t *TernaryArray) ReadEntry(r int) (ternary.Word, bool) {
 	t.checkRow(r)
 	t.stats.Cycles++
@@ -340,15 +418,21 @@ func (t *TernaryArray) ReadEntry(r int) (ternary.Word, bool) {
 	if !t.valid.Get(r) {
 		return ternary.Word{}, false
 	}
-	return t.entries[r].Copy(), true
+	return t.entries[r], true
 }
 
-// Invalidate clears entry r (rule deletion: one cycle).
+// Invalidate clears entry r (rule deletion: one cycle). The planes are
+// left stale on purpose: the kernel starts its accumulator from the
+// valid mask, so plane bits of invalid entries can never surface, and
+// the next WriteEntry into the row rewrites every position.
 func (t *TernaryArray) Invalidate(r int) {
 	t.checkRow(r)
 	t.stats.Cycles++
 	t.stats.RowWrites++
 	t.stats.EnergyFJ += t.params.WriteEnergyPJ * 1000 // single valid-bit write
+	if t.valid.Get(r) {
+		t.validCount--
+	}
 	t.valid.Clear(r)
 	t.entries[r] = ternary.Word{}
 }
@@ -358,6 +442,106 @@ func (t *TernaryArray) Invalidate(r int) {
 // incremental per valid entry) per subarray, since every valid entry's
 // match line is pre-charged regardless of outcome.
 func (t *TernaryArray) Search(k ternary.Key) *bitvec.Vector {
+	m := bitvec.New(t.params.Rows)
+	t.SearchInto(m, k)
+	return m
+}
+
+// SearchInto is Search depositing the match vector into a
+// caller-provided vector of Rows bits, allocation-free. Accounting is
+// identical to Search.
+func (t *TernaryArray) SearchInto(dst *bitvec.Vector, k ternary.Key) *bitvec.Vector {
+	if k.Width() != t.Width() {
+		panic(fmt.Sprintf("sram: key width %d != %d", k.Width(), t.Width()))
+	}
+	t.stats.Cycles++
+	t.stats.Searches++
+	t.stats.EnergyFJ += float64(t.subarrays) * t.params.ComputeEnergyFJ(t.validCount)
+
+	// Bit-sliced kernel: acc starts as the valid mask; each cared-for
+	// position knocks out the entries whose stored value disagrees with
+	// the broadcast key bit. 64 entries per word op. Positions are
+	// walked most significant first: the discriminating bits (IP
+	// prefixes) sit at the top of the encoded key, so the accumulator
+	// usually empties within a few planes; careAny words skip
+	// all-wildcard columns (padding, flat port fields) outright.
+	acc := t.acc
+	copy(acc, t.valid.Words())
+	if t.rowWords == 4 {
+		t.kernel4(k.Words())
+	} else {
+		t.kernelN(k.Words())
+	}
+	return dst.LoadWords(acc)
+}
+
+// kernel4 is the match kernel specialized for 256-entry subtables
+// (four accumulator words, the paper's geometry): the accumulator
+// stays in registers across the whole search.
+func (t *TernaryArray) kernel4(kw []uint64) {
+	acc, pv, pc := t.acc, t.planeValue, t.planeCare
+	a0, a1, a2, a3 := acc[0], acc[1], acc[2], acc[3]
+	for pw := len(t.careAny) - 1; pw >= 0; pw-- {
+		ca := t.careAny[pw]
+		if ca == 0 {
+			continue
+		}
+		kword := kw[pw]
+		for ca != 0 {
+			pb := 63 - bits.LeadingZeros64(ca)
+			ca &^= 1 << uint(pb)
+			bcast := uint64(0)
+			if kword&(1<<uint(pb)) != 0 {
+				bcast = ^uint64(0)
+			}
+			base := (pw*64 + pb) * 4
+			a0 &^= (pv[base] ^ bcast) & pc[base]
+			a1 &^= (pv[base+1] ^ bcast) & pc[base+1]
+			a2 &^= (pv[base+2] ^ bcast) & pc[base+2]
+			a3 &^= (pv[base+3] ^ bcast) & pc[base+3]
+			if a0|a1|a2|a3 == 0 {
+				acc[0], acc[1], acc[2], acc[3] = 0, 0, 0, 0
+				return
+			}
+		}
+	}
+	acc[0], acc[1], acc[2], acc[3] = a0, a1, a2, a3
+}
+
+// kernelN is the generic-width match kernel.
+func (t *TernaryArray) kernelN(kw []uint64) {
+	acc, pv, pc, rw := t.acc, t.planeValue, t.planeCare, t.rowWords
+	for pw := len(t.careAny) - 1; pw >= 0; pw-- {
+		ca := t.careAny[pw]
+		if ca == 0 {
+			continue
+		}
+		kword := kw[pw]
+		for ca != 0 {
+			pb := 63 - bits.LeadingZeros64(ca)
+			ca &^= 1 << uint(pb)
+			bcast := uint64(0)
+			if kword&(1<<uint(pb)) != 0 {
+				bcast = ^uint64(0)
+			}
+			base := (pw*64 + pb) * rw
+			live := uint64(0)
+			for i := 0; i < rw; i++ {
+				acc[i] &^= (pv[base+i] ^ bcast) & pc[base+i]
+				live |= acc[i]
+			}
+			if live == 0 {
+				return
+			}
+		}
+	}
+}
+
+// SearchReference is the scalar reference kernel: one Word.Match per
+// valid entry, exactly the pre-bit-sliced implementation, with
+// identical cycle/energy accounting. Tests assert SearchInto ≡
+// SearchReference on both the match vector and the statistics.
+func (t *TernaryArray) SearchReference(k ternary.Key) *bitvec.Vector {
 	if k.Width() != t.Width() {
 		panic(fmt.Sprintf("sram: key width %d != %d", k.Width(), t.Width()))
 	}

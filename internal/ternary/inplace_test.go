@@ -1,0 +1,67 @@
+package ternary
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSetUint pins the word-wise field writer against the bit-by-bit
+// path across word-boundary-straddling offsets.
+func TestSetUint(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		width := 1 + rng.Intn(140)
+		k := RandomKey(rng, width)
+		fw := 1 + rng.Intn(64)
+		if fw > width {
+			fw = width
+		}
+		off := rng.Intn(width - fw + 1)
+		v := rng.Uint64()
+
+		want := MustParseKey(k.String())
+		for i := 0; i < fw; i++ {
+			want.SetKeyBit(off+i, v&(1<<uint(fw-1-i)) != 0)
+		}
+		k.SetUint(off, fw, v)
+		if k.String() != want.String() {
+			t.Fatalf("SetUint(%d,%d,%#x) = %s, want %s", off, fw, v, k, want)
+		}
+	}
+}
+
+func TestSetUintFullTuple(t *testing.T) {
+	// The header encoder's exact tiling: 32+32+16+16+8 = 104 bits.
+	k := NewKey(104)
+	k.SetUint(0, 32, 0x0A0B0C0D)
+	k.SetUint(32, 32, 0xC0A80001)
+	k.SetUint(64, 16, 0x1234)
+	k.SetUint(80, 16, 0x0050)
+	k.SetUint(96, 8, 0x11)
+	want := KeyFromUint(0x0A0B0C0D, 32).String() +
+		KeyFromUint(0xC0A80001, 32).String() +
+		KeyFromUint(0x1234, 16).String() +
+		KeyFromUint(0x0050, 16).String() +
+		KeyFromUint(0x11, 8).String()
+	if k.String() != want {
+		t.Fatalf("tuple encode mismatch:\n got %s\nwant %s", k, want)
+	}
+}
+
+// TestLoadPadded pins the word-shift padding against SlotKey.
+func TestLoadPadded(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 500; trial++ {
+		narrow := 1 + rng.Intn(160)
+		wide := narrow + rng.Intn(200)
+		o := RandomKey(rng, narrow)
+
+		want := NewKey(wide)
+		want.SlotKey(0, o)
+		got := RandomKey(rng, wide) // pre-filled with garbage to overwrite
+		got.LoadPadded(o)
+		if got.String() != want.String() {
+			t.Fatalf("LoadPadded %d->%d:\n got %s\nwant %s", narrow, wide, got, want)
+		}
+	}
+}

@@ -65,6 +65,17 @@ func (w Word) Width() int { return w.width }
 // Width returns the number of bits in the key.
 func (k Key) Width() int { return k.width }
 
+// PlaneWords exposes the word's two backing bit planes, indexed by
+// storage position (bit 0 of value[0]/care[0] is the word's least
+// significant, i.e. right-most, ternary position). Callers must not
+// mutate the slices; the bit-sliced match kernel reads them to
+// maintain its transposed planes.
+func (w Word) PlaneWords() (value, care []uint64) { return w.value, w.care }
+
+// Words exposes the key's backing words in the same storage order as
+// PlaneWords. Callers must not mutate the slice.
+func (k Key) Words() []uint64 { return k.bits }
+
 // Bit describes one ternary position.
 type Bit uint8
 
@@ -331,6 +342,52 @@ func (k *Key) SlotKey(off int, o Key) {
 	}
 	for i := 0; i < o.width; i++ {
 		k.SetKeyBit(off+i, o.KeyBit(i))
+	}
+}
+
+// LoadPadded overwrites k with o placed at position 0 (most
+// significant) and the remaining low positions zeroed — the same
+// result as zeroing k and calling SlotKey(0, o), but word-wise and
+// without allocating, so a device can keep one padded search-key
+// buffer across lookups. It panics if o is wider than k.
+func (k *Key) LoadPadded(o Key) {
+	if o.width > k.width {
+		panic(fmt.Sprintf("ternary: pad source width %d exceeds %d", o.width, k.width))
+	}
+	shift := uint(k.width - o.width)
+	wordShift, bitShift := int(shift/wordBits), shift%wordBits
+	for i := range k.bits {
+		k.bits[i] = 0
+	}
+	for i, w := range o.bits {
+		if w == 0 {
+			continue
+		}
+		k.bits[i+wordShift] |= w << bitShift
+		if bitShift != 0 && i+wordShift+1 < len(k.bits) {
+			k.bits[i+wordShift+1] |= w >> (wordBits - bitShift)
+		}
+	}
+	k.bits[len(k.bits)-1] &= tailMask(k.width)
+}
+
+// SetUint writes v's low width bits into key positions
+// [off, off+width), most significant first — SlotKey of KeyFromUint
+// without the intermediate allocation, used by the allocation-free
+// header encoder.
+func (k *Key) SetUint(off, width int, v uint64) {
+	if off < 0 || width <= 0 || width > 64 || off+width > k.width {
+		panic(fmt.Sprintf("ternary: set-uint [%d,%d) outside width %d", off, off+width, k.width))
+	}
+	mask := ^uint64(0) >> uint(64-width)
+	v &= mask
+	// Storage position of the field's least significant bit.
+	lo := k.width - off - width
+	wi, sh := lo/wordBits, uint(lo%wordBits)
+	k.bits[wi] = k.bits[wi]&^(mask<<sh) | v<<sh
+	if spill := uint(width) + sh; spill > wordBits {
+		drop := uint(wordBits) - sh
+		k.bits[wi+1] = k.bits[wi+1]&^(mask>>drop) | v>>drop
 	}
 }
 
