@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -31,9 +33,29 @@ type Result struct {
 }
 
 // Summary is the JSON document: a name→result map plus provenance.
+// GitSHA/GoVersion/GOMAXPROCS pin down which tree and toolchain
+// produced a committed baseline, so a drifted comparison is
+// recognizable as such.
 type Summary struct {
 	Note       string            `json:"note"`
+	GitSHA     string            `json:"git_sha,omitempty"`
+	GoVersion  string            `json:"go_version,omitempty"`
+	GOMAXPROCS int               `json:"gomaxprocs,omitempty"`
 	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// gitSHA returns the working tree's HEAD commit (with a -dirty suffix
+// when the tree has local modifications), or "" outside a repo.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	sha := strings.TrimSpace(string(out))
+	if err := exec.Command("git", "diff", "--quiet", "HEAD").Run(); err != nil {
+		sha += "-dirty"
+	}
+	return sha
 }
 
 // parse extracts benchmark lines from `go test -bench` output. A line
@@ -82,6 +104,10 @@ func compare(baselinePath string, fresh map[string]Result) error {
 	var base Summary
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+	}
+	if base.GitSHA != "" || base.GoVersion != "" {
+		fmt.Printf("baseline: commit %s, %s, GOMAXPROCS=%d\n",
+			base.GitSHA, base.GoVersion, base.GOMAXPROCS)
 	}
 	names := make([]string, 0, len(fresh))
 	for name := range fresh {
@@ -140,6 +166,9 @@ func main() {
 
 	doc := Summary{
 		Note:       "host benchmark figures (go test -bench -benchmem); machine-dependent, for trend comparison via `make bench-compare`, not gating",
+		GitSHA:     gitSHA(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Benchmarks: results,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")

@@ -8,8 +8,10 @@
 //	/metrics       Prometheus text exposition (counters, gauges,
 //	               catcam_update_cycles histograms with p50/p99/p999)
 //	/metrics.json  JSON snapshot of the same registry
-//	/events        recent structured update events from the trace ring
-//	/healthz       liveness plus device occupancy summary
+//	/events        recent structured update events (?kind= ?n= filters)
+//	/healthz       liveness plus device occupancy and audit summary
+//	/debug/trace   sampled causal update traces (?op= ?n= filters)
+//	/debug/audit   invariant auditor report (checks, violations, sweeps)
 //	/debug/vars    expvar (includes the telemetry snapshot)
 //	/debug/pprof/  net/http/pprof profiles
 //
@@ -17,12 +19,24 @@
 //
 //	catcam-serve [-addr :9090] [-family ACL] [-size 1000] [-rate 10000]
 //	             [-subtables 256] [-slots 256] [-ring 4096] [-seed 1]
+//	             [-trace-every 0] [-trace-ring 1024] [-audit-every 0]
+//	             [-audit-interval 0] [-shadow-every 0] [-duration 0]
 //
 // The churn loop mirrors the paper's update methodology: inserts and
 // deletes split evenly so the table stays near its provisioned
 // occupancy, reinsertions draw fresh priorities (policy churn), and
 // one lookup is issued per update. -rate throttles updates per second
 // (0 means unthrottled).
+//
+// The flight-recorder flags turn on the observability layer:
+// -trace-every N samples every Nth update into the /debug/trace ring;
+// -audit-every N audits every Nth lookup's report vector and winner;
+// -audit-interval D runs a background invariant sweep every D;
+// -shadow-every N re-classifies every Nth lookup through the software
+// reference classifier. All default to off and cost nothing when off.
+// -duration D runs the churn for D, then performs a final sweep and
+// exits — nonzero if any invariant violation was detected. That is the
+// CI soak mode.
 package main
 
 import (
@@ -39,30 +53,58 @@ import (
 
 	"catcam/internal/classbench"
 	"catcam/internal/core"
+	"catcam/internal/flightrec"
 	"catcam/internal/rules"
+	"catcam/internal/swclass"
 	"catcam/internal/telemetry"
 )
 
+// options collects the parsed command line.
+type options struct {
+	addr      string
+	family    string
+	size      int
+	seed      int64
+	rate      int
+	subtables int
+	slots     int
+	ringCap   int
+
+	traceEvery    uint64
+	traceRing     int
+	auditEvery    uint64
+	auditInterval time.Duration
+	shadowEvery   uint64
+	duration      time.Duration
+}
+
 func main() {
-	addr := flag.String("addr", ":9090", "HTTP listen address")
-	family := flag.String("family", "ACL", "ruleset family: ACL, FW or IPC")
-	size := flag.Int("size", 1000, "number of rules kept live")
-	seed := flag.Int64("seed", 1, "generator seed")
-	rate := flag.Int("rate", 10000, "updates per second (0 = unthrottled)")
-	subtables := flag.Int("subtables", 256, "subtable count")
-	slots := flag.Int("slots", 256, "entries per subtable")
-	ringCap := flag.Int("ring", 4096, "event trace ring capacity")
+	var o options
+	flag.StringVar(&o.addr, "addr", ":9090", "HTTP listen address")
+	flag.StringVar(&o.family, "family", "ACL", "ruleset family: ACL, FW or IPC")
+	flag.IntVar(&o.size, "size", 1000, "number of rules kept live")
+	flag.Int64Var(&o.seed, "seed", 1, "generator seed")
+	flag.IntVar(&o.rate, "rate", 10000, "updates per second (0 = unthrottled)")
+	flag.IntVar(&o.subtables, "subtables", 256, "subtable count")
+	flag.IntVar(&o.slots, "slots", 256, "entries per subtable")
+	flag.IntVar(&o.ringCap, "ring", 4096, "event trace ring capacity")
+	flag.Uint64Var(&o.traceEvery, "trace-every", 0, "record a causal trace for every Nth update (0 = off)")
+	flag.IntVar(&o.traceRing, "trace-ring", 1024, "causal trace ring capacity")
+	flag.Uint64Var(&o.auditEvery, "audit-every", 0, "audit every Nth lookup inline (0 = off)")
+	flag.DurationVar(&o.auditInterval, "audit-interval", 0, "background invariant sweep period (0 = off)")
+	flag.Uint64Var(&o.shadowEvery, "shadow-every", 0, "shadow-check every Nth lookup against the software classifier (0 = off)")
+	flag.DurationVar(&o.duration, "duration", 0, "run for this long, final-sweep and exit; nonzero exit on violations (0 = serve forever)")
 	flag.Parse()
 
-	if err := run(*addr, *family, *size, *seed, *rate, *subtables, *slots, *ringCap); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "catcam-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, family string, size int, seed int64, rate, subtables, slots, ringCap int) error {
+func run(o options) error {
 	var fam classbench.Family
-	switch strings.ToUpper(family) {
+	switch strings.ToUpper(o.family) {
 	case "ACL":
 		fam = classbench.ACL
 	case "FW":
@@ -70,38 +112,70 @@ func run(addr, family string, size int, seed int64, rate, subtables, slots, ring
 	case "IPC":
 		fam = classbench.IPC
 	default:
-		return fmt.Errorf("unknown family %q", family)
+		return fmt.Errorf("unknown family %q", o.family)
 	}
 
 	reg := telemetry.NewRegistry()
-	ring := telemetry.NewEventRing(ringCap)
+	ring := telemetry.NewEventRing(o.ringCap)
 	dev := core.NewDevice(core.Config{
-		Subtables: subtables, SubtableCapacity: slots,
+		Subtables: o.subtables, SubtableCapacity: o.slots,
 		KeyWidth: 160, FrequencyMHz: 500,
 	})
 	dev.AttachTelemetry(reg, ring, nil)
 
-	c, err := newChurner(dev, fam, size, seed)
+	// Flight recorder: causal traces, the invariant auditor (always
+	// attached so a corrupted decision is reported rather than fatal),
+	// and the optional shadow classifier. The shadow must attach before
+	// the bulk load so it mirrors every rule.
+	rec := flightrec.NewRecorder(o.traceRing)
+	rec.SetSampleEvery(o.traceEvery)
+	dev.AttachFlightRecorder(rec, -1)
+	aud := flightrec.NewAuditor(reg, ring, 256, nil)
+	aud.SetLookupSampleEvery(o.auditEvery)
+	dev.AttachAuditor(aud)
+	var shadow *flightrec.Shadow
+	if o.shadowEvery > 0 {
+		shadow = flightrec.NewShadow(swclass.NewLinear(), aud, -1)
+		shadow.SetSampleEvery(o.shadowEvery)
+		dev.AttachShadow(shadow)
+	}
+
+	c, err := newChurner(dev, fam, o.size, o.seed)
 	if err != nil {
 		return err
 	}
 	// The bulk load is warmup; serve steady-state quantiles only.
 	dev.ResetStats()
-	go c.loop(rate)
+	go c.loop(o.rate)
+
+	if o.auditInterval > 0 {
+		go func() {
+			t := time.NewTicker(o.auditInterval)
+			defer t.Stop()
+			for range t.C {
+				dev.AuditSweep()
+			}
+		}()
+	}
 
 	start := time.Now()
 	http.Handle("/metrics", reg.MetricsHandler())
 	http.Handle("/metrics.json", reg.JSONHandler())
 	http.Handle("/events", ring.Handler())
+	http.Handle("/debug/trace", rec.Handler())
+	http.Handle("/debug/audit", aud.Handler())
 	http.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(map[string]any{
 			"status":           "ok",
 			"uptime_seconds":   time.Since(start).Seconds(),
-			"workload":         fmt.Sprintf("%s %d", fam, size),
+			"workload":         fmt.Sprintf("%s %d", fam, o.size),
 			"entries":          reg.Gauge("catcam_entries", "", nil).Value(),
 			"active_subtables": reg.Gauge("catcam_active_subtables", "", nil).Value(),
 			"events_emitted":   ring.Total(),
+			"audit_checks":     aud.TotalChecks(),
+			"audit_violations": aud.TotalViolations(),
+			"traces_recorded":  rec.Total(),
 		})
 	})
 	// expvar's /debug/vars handler registers itself on the default mux;
@@ -109,9 +183,42 @@ func run(addr, family string, size int, seed int64, rate, subtables, slots, ring
 	expvar.Publish("catcam", expvar.Func(func() any { return reg.Snapshot() }))
 
 	fmt.Printf("catcam-serve: %s %d rules on %dx%d device, churn %d updates/s\n",
-		fam, size, subtables, slots, rate)
-	fmt.Printf("catcam-serve: listening on %s (/metrics /metrics.json /events /healthz /debug/vars /debug/pprof)\n", addr)
-	return http.ListenAndServe(addr, nil)
+		fam, o.size, o.subtables, o.slots, o.rate)
+	fmt.Printf("catcam-serve: listening on %s (/metrics /metrics.json /events /healthz /debug/trace /debug/audit /debug/vars /debug/pprof)\n", o.addr)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- http.ListenAndServe(o.addr, nil) }()
+	if o.duration <= 0 {
+		return <-errCh
+	}
+	select {
+	case err := <-errCh:
+		return err
+	case <-time.After(o.duration):
+	}
+	return finalAudit(dev, aud, shadow)
+}
+
+// finalAudit runs one last sweep after a -duration soak and reports the
+// verdict: any violation observed during the run fails the process.
+func finalAudit(dev *core.Device, aud *flightrec.Auditor, shadow *flightrec.Shadow) error {
+	info := dev.AuditSweep()
+	fmt.Printf("catcam-serve: final sweep: %d checks in %.1fms\n", info.Checks, info.DurationMs)
+	if shadow != nil {
+		if bad, reason := shadow.Desynced(); bad {
+			fmt.Fprintf(os.Stderr, "catcam-serve: warning: shadow classifier desynced (%s); differential coverage was partial\n", reason)
+		}
+	}
+	checks, violations := aud.TotalChecks(), aud.TotalViolations()
+	if violations == 0 {
+		fmt.Printf("catcam-serve: audit clean: %d checks, 0 violations\n", checks)
+		return nil
+	}
+	for _, v := range aud.Violations() {
+		fmt.Fprintf(os.Stderr, "catcam-serve: violation #%d %s subtable=%d rule=%d: %s\n",
+			v.Seq, v.Invariant, v.Subtable, v.RuleID, v.Detail)
+	}
+	return fmt.Errorf("%d invariant violations in %d checks", violations, checks)
 }
 
 // churner drives a self-sustaining update stream: each step deletes a

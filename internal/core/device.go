@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"catcam/internal/bitvec"
+	"catcam/internal/flightrec"
 	"catcam/internal/rules"
 	"catcam/internal/sram"
 	"catcam/internal/telemetry"
@@ -133,6 +134,17 @@ type Device struct {
 	stats Stats
 	// tel is the attached runtime telemetry; nil until AttachTelemetry.
 	tel *deviceTelemetry
+
+	// Flight-recorder instruments (see flightrec.go); all nil until
+	// attached, and every hook below is nil-safe.
+	rec     *flightrec.Recorder
+	aud     *flightrec.Auditor
+	shadow  *flightrec.Shadow
+	frTable int // flowtable ID carried on traces; -1 standalone
+	// trace is the in-flight update's causal trace (nil when the
+	// current update is unsampled); guarded by mu like the update
+	// itself.
+	trace *flightrec.Trace
 }
 
 type entryKey struct {
@@ -177,12 +189,13 @@ func NewDevice(cfg Config) *Device {
 	globalP.Rows, globalP.Cols = cfg.Subtables, cfg.Subtables
 
 	d := &Device{
-		cfg:    cfg,
-		subs:   make([]*Subtable, cfg.Subtables),
-		global: sram.NewArray(globalP),
-		active: make([]bool, cfg.Subtables),
-		maxOf:  make([]Rank, cfg.Subtables),
-		locs:   make(map[entryKey]location),
+		cfg:     cfg,
+		subs:    make([]*Subtable, cfg.Subtables),
+		global:  sram.NewArray(globalP),
+		active:  make([]bool, cfg.Subtables),
+		maxOf:   make([]Rank, cfg.Subtables),
+		locs:    make(map[entryKey]location),
+		frTable: -1,
 	}
 	for i := range d.subs {
 		d.subs[i] = NewSubtable(i, cfg.SubtableCapacity, cfg.KeyWidth, matchP, prioP)
@@ -310,11 +323,34 @@ func (d *Device) lookupLocked(k ternary.Key) (Entry, bool) {
 		return Entry{}, false
 	}
 	report := d.global.ColumnNORInto(d.scratch.report, globalMatch)
-	if !report.IsOneHot() {
-		panic(fmt.Sprintf("core: global report not one-hot: %s", report))
+	oneHot := report.IsOneHot()
+	var winner int
+	if oneHot {
+		winner = report.First()
+	} else {
+		// The hardware encoding guarantees a one-hot report; a broken
+		// guarantee is fail-stop without an auditor, fail-report with
+		// one — the violation is recorded and the lookup answered from
+		// the metadata cache so traffic keeps flowing.
+		if d.aud == nil {
+			panic(fmt.Sprintf("core: global report not one-hot: %s", report))
+		}
+		d.aud.Fail(flightrec.Violation{
+			Invariant: flightrec.InvReportOneHot, Table: -1, Subtable: -1, RuleID: -1,
+			Detail: fmt.Sprintf("global report %s has %d bits set", report, report.Count()),
+		})
+		winner = d.metadataWinner(globalMatch)
+		if winner < 0 {
+			return Entry{}, false
+		}
 	}
-	winner := report.First()
 	slot := d.subs[winner].Decide(d.scratch.locals[winner])
+	if slot < 0 {
+		return Entry{}, false
+	}
+	if d.aud.SampleLookup() {
+		d.auditLookup(oneHot, winner, slot)
+	}
 	return d.subs[winner].ReadEntryMeta(slot), true
 }
 
@@ -349,6 +385,9 @@ func (d *Device) LookupHeaderBatch(hs []rules.Header, dst []LookupResult) []Look
 	for _, h := range hs {
 		rules.EncodeHeaderInto(&d.scratch.encKey, h)
 		e, ok := d.lookupLocked(d.padKeyScratch(d.scratch.encKey))
+		if d.shadow.Sample() {
+			d.shadow.Observe(h, e.Action, ok)
+		}
 		dst = append(dst, LookupResult{Entry: e, OK: ok})
 	}
 	return dst
@@ -360,6 +399,9 @@ func (d *Device) Lookup(h rules.Header) (int, bool) {
 	defer d.mu.Unlock()
 	rules.EncodeHeaderInto(&d.scratch.encKey, h)
 	e, ok := d.lookupLocked(d.padKeyScratch(d.scratch.encKey))
+	if d.shadow.Sample() {
+		d.shadow.Observe(h, e.Action, ok)
+	}
 	if !ok {
 		return 0, false
 	}
@@ -382,8 +424,14 @@ type UpdateResult struct {
 func (d *Device) InsertRule(r rules.Rule) (UpdateResult, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.trace = d.rec.Start("insert", d.frTable, r.ID)
 	res, err := d.insertRule(r)
+	d.rec.Finish(d.trace, res.Cycles, err)
+	d.trace = nil
 	d.observeOp(telemetry.EvInsert, r.ID, res, err)
+	if err == nil {
+		d.shadow.OnInsert(r)
+	}
 	return res, err
 }
 
@@ -391,11 +439,13 @@ func (d *Device) insertRule(r rules.Rule) (UpdateResult, error) {
 	var total UpdateResult
 	words := r.Encode()
 	inserted := make([]entryKey, 0, len(words))
-	for _, w := range words {
+	for i, w := range words {
+		d.trace.NextEntry(i)
 		seq := d.seqCounter
 		d.seqCounter++
 		e := Entry{Word: d.padWord(w), Rank: Rank{Priority: r.Priority, RuleID: r.ID, Seq: seq}, Action: r.Action}
 		res, err := d.insertEntry(e)
+		d.auditEvictionBound(res)
 		if err != nil {
 			for _, k := range inserted {
 				d.deleteEntry(k)
@@ -420,11 +470,20 @@ func (d *Device) insertRule(r rules.Rule) (UpdateResult, error) {
 func (d *Device) InsertWord(w ternary.Word, priority, ruleID, action int) (UpdateResult, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.trace = d.rec.Start("insert_word", d.frTable, ruleID)
 	seq := d.seqCounter
 	d.seqCounter++
 	e := Entry{Word: d.padWord(w), Rank: Rank{Priority: priority, RuleID: ruleID, Seq: seq}, Action: action}
 	res, err := d.insertEntry(e)
+	d.auditEvictionBound(res)
+	d.rec.Finish(d.trace, res.Cycles, err)
+	d.trace = nil
 	d.observeOp(telemetry.EvInsert, ruleID, res, err)
+	if err == nil {
+		// A raw ternary word has no rule-level representation the
+		// reference classifier could mirror.
+		d.shadow.Desync("raw word insert bypasses the rule-level mirror")
+	}
 	return res, err
 }
 
@@ -432,8 +491,14 @@ func (d *Device) InsertWord(w ternary.Word, priority, ruleID, action int) (Updat
 func (d *Device) DeleteRule(ruleID int) (UpdateResult, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.trace = d.rec.Start("delete", d.frTable, ruleID)
 	res, err := d.deleteRule(ruleID)
+	d.rec.Finish(d.trace, res.Cycles, err)
+	d.trace = nil
 	d.observeOp(telemetry.EvDelete, ruleID, res, err)
+	if err == nil {
+		d.shadow.OnDelete(ruleID)
+	}
 	return res, err
 }
 
@@ -451,7 +516,8 @@ func (d *Device) deleteRule(ruleID int) (UpdateResult, error) {
 	var total UpdateResult
 	total.Class = ClassDelete
 	total.Subtable = -1
-	for _, k := range keys {
+	for i, k := range keys {
+		d.trace.NextEntry(i)
 		d.deleteEntry(k)
 		total.Cycles += ClassDelete.Cycles()
 	}
@@ -468,14 +534,23 @@ func (d *Device) ModifyRule(ruleID int, newRule rules.Rule) (UpdateResult, error
 	if newRule.ID != ruleID {
 		return UpdateResult{}, fmt.Errorf("core: modify must keep rule ID %d, got %d", ruleID, newRule.ID)
 	}
+	d.trace = d.rec.Start("modify", d.frTable, ruleID)
 	del, err := d.deleteRule(ruleID)
 	if err != nil {
+		d.rec.Finish(d.trace, 0, err)
+		d.trace = nil
 		d.observeOp(telemetry.EvModify, ruleID, UpdateResult{}, err)
 		return UpdateResult{}, err
 	}
+	d.shadow.OnDelete(ruleID)
 	ins, err := d.insertRule(newRule)
 	ins.Cycles += del.Cycles
+	d.rec.Finish(d.trace, ins.Cycles, err)
+	d.trace = nil
 	d.observeOp(telemetry.EvModify, ruleID, ins, err)
+	if err == nil {
+		d.shadow.OnInsert(newRule)
+	}
 	return ins, err
 }
 
@@ -489,7 +564,10 @@ func (d *Device) targetSubtable(r Rank) int {
 }
 
 // insertEntry is the interval scheduler (§IV-B). It returns the cycle
-// class actually taken.
+// class actually taken. When the current update is sampled, each
+// datapath step lands on the trace with its modeled cycle cost; the
+// steps of one entry sum to the entry's cycle class (overlapped steps
+// — scheduling, global-matrix writes, max rederivation — carry 0).
 func (d *Device) insertEntry(e Entry) (UpdateResult, error) {
 	var res UpdateResult
 	pos := d.targetSubtable(e.Rank)
@@ -500,7 +578,9 @@ func (d *Device) insertEntry(e Entry) (UpdateResult, error) {
 		if len(d.order) > 0 {
 			top := d.order[len(d.order)-1]
 			if !d.subs[top].Full() {
-				d.placeEntry(top, e)
+				d.trace.Step(flightrec.StepSubtableSelect, top, -1, 0)
+				slot := d.placeEntry(top, e)
+				d.trace.Step(flightrec.StepEntryWrite, top, slot, ClassInsertDirect.Cycles())
 				d.setMax(top, e.Rank)
 				res.Class = ClassInsertDirect
 				res.Subtable = top
@@ -508,11 +588,13 @@ func (d *Device) insertEntry(e Entry) (UpdateResult, error) {
 				return res, nil
 			}
 		}
+		d.trace.Step(flightrec.StepSubtableSelect, -1, -1, 0)
 		id, ok := d.assignSubtable(e.Rank, len(d.order))
 		if !ok {
 			return res, ErrFull
 		}
-		d.placeEntry(id, e)
+		slot := d.placeEntry(id, e)
+		d.trace.Step(flightrec.StepEntryWrite, id, slot, ClassInsertDirect.Cycles())
 		res.Class = ClassInsertDirect
 		res.FreshTables = 1
 		res.Subtable = id
@@ -522,12 +604,15 @@ func (d *Device) insertEntry(e Entry) (UpdateResult, error) {
 
 	target := d.order[pos]
 	if !d.subs[target].Full() {
-		d.placeEntry(target, e)
+		d.trace.Step(flightrec.StepSubtableSelect, target, -1, 0)
+		slot := d.placeEntry(target, e)
+		d.trace.Step(flightrec.StepEntryWrite, target, slot, ClassInsertDirect.Cycles())
 		res.Class = ClassInsertDirect
 		res.Subtable = target
 		d.account(&res)
 		return res, nil
 	}
+	d.trace.Step(flightrec.StepSubtableSelect, target, -1, 0)
 
 	// Target full: evict its maximum, which belongs to the next
 	// interval. Check feasibility BEFORE mutating.
@@ -547,6 +632,7 @@ func (d *Device) insertEntry(e Entry) (UpdateResult, error) {
 
 	st := d.subs[target]
 	maxSlot := st.RecomputeMax() // 1 cycle: locate the rule to evict
+	d.trace.Step(flightrec.StepEvictLocate, target, maxSlot, 1)
 	evicted := st.ReadEntry(maxSlot)
 	st.Delete(maxSlot)
 	d.forgetLoc(evicted)
@@ -558,12 +644,14 @@ func (d *Device) insertEntry(e Entry) (UpdateResult, error) {
 
 	// New rule takes the evicted slot (3 cycles, parallel matrices).
 	d.placeEntryAt(target, maxSlot, e)
+	d.trace.Step(flightrec.StepEntryWrite, target, maxSlot, ClassInsertDirect.Cycles())
 	res.Subtable = target
 	// The target's max shrinks to its new maximum (1 cycle, all-true
 	// trick); the interval boundary moves but the order is unchanged.
 	d.refreshMax(target)
 
 	if cascade {
+		d.trace.Step(flightrec.StepEvictionHop, -1, -1, 1)
 		// Ablation path: push the evicted rule through the (full) next
 		// subtable, which evicts its own maximum onward — the O(k)
 		// reallocation chain. Cycle/statistics accounting folds the
@@ -617,7 +705,8 @@ func (d *Device) insertEntry(e Entry) (UpdateResult, error) {
 		evictDst = id
 		res.FreshTables = 1
 	}
-	d.placeEntry(evictDst, evicted)
+	slot := d.placeEntry(evictDst, evicted)
+	d.trace.Step(flightrec.StepEvictionHop, evictDst, slot, 1)
 	if d.maxOf[evictDst].Less(evicted.Rank) {
 		d.setMax(evictDst, evicted.Rank)
 	}
@@ -658,13 +747,15 @@ func (d *Device) account(res *UpdateResult) {
 	d.stats.FreshSubtables += uint64(res.FreshTables)
 }
 
-// placeEntry inserts e into any free slot of subtable id.
-func (d *Device) placeEntry(id int, e Entry) {
+// placeEntry inserts e into any free slot of subtable id and returns
+// the slot it picked.
+func (d *Device) placeEntry(id int, e Entry) int {
 	slot := d.subs[id].FreeSlot()
 	if slot < 0 {
 		panic(fmt.Sprintf("core: subtable %d unexpectedly full", id))
 	}
 	d.placeEntryAt(id, slot, e)
+	return slot
 }
 
 func (d *Device) placeEntryAt(id, slot int, e Entry) {
@@ -693,7 +784,11 @@ func (d *Device) assignSubtable(max Rank, pos int) (int, bool) {
 	copy(d.order[pos+1:], d.order[pos:])
 	d.order[pos] = id
 
+	d.trace.Step(flightrec.StepFreshSubtable, id, -1, 0)
 	d.writeGlobalRelations(id)
+	// Overlapped with the local 3-cycle entry write (§VIII-A), so it
+	// adds no cycles of its own to the update class.
+	d.trace.Step(flightrec.StepGlobalUpdate, id, -1, 0)
 	if t := d.tel; t != nil {
 		t.fresh.Inc()
 		t.event(telemetry.Event{Kind: telemetry.EvFreshSubtable, Subtable: id,
@@ -748,8 +843,11 @@ func (d *Device) setMax(id int, r Rank) {
 
 // refreshMax re-derives subtable id's max after an eviction or a
 // deletion of its maximum, releasing the subtable when it emptied.
+// Overlapped with the triggering operation's array writes, so the
+// trace step carries no cycles.
 func (d *Device) refreshMax(id int) {
 	slot := d.subs[id].RecomputeMax()
+	d.trace.Step(flightrec.StepMaxRederive, id, slot, 0)
 	if slot < 0 {
 		d.releaseSubtable(id)
 		return
@@ -769,6 +867,7 @@ func (d *Device) deleteEntry(k entryKey) {
 	st := d.subs[loc.st]
 	r, _ := st.Rank(loc.slot)
 	st.Delete(loc.slot)
+	d.trace.Step(flightrec.StepDelete, loc.st, loc.slot, ClassDelete.Cycles())
 	delete(d.locs, k)
 	d.stats.Deletes++
 	d.stats.UpdateCycles += ClassDelete.Cycles()
@@ -814,11 +913,29 @@ func (d *Device) Occupancy() float64 {
 
 // CheckInvariant verifies the scheduler's structural invariants: the
 // order is strictly sorted by max rank, every entry's rank lies in its
-// subtable's interval, subtable maxes match their contents, and the
-// global priority matrix encodes the order. Test support.
+// subtable's interval, subtable maxes match their contents, the global
+// priority matrix encodes the order, and every subtable's priority
+// matrix agrees with its stored ranks. Test support; the flight
+// recorder's AuditSweep runs the same checks incrementally.
 func (d *Device) CheckInvariant() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.globalInvariantLocked(); err != nil {
+		return err
+	}
+	for _, id := range d.order {
+		if err := d.subs[id].CheckInvariant(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// globalInvariantLocked verifies the device-level invariants — the
+// interval structure, the global matrix encoding, and the rule locator
+// — without descending into per-subtable priority matrices (the audit
+// sweep checks those separately, per subtable). Callers hold d.mu.
+func (d *Device) globalInvariantLocked() error {
 	for i := 1; i < len(d.order); i++ {
 		if !d.maxOf[d.order[i-1]].Less(d.maxOf[d.order[i]]) {
 			return fmt.Errorf("core: order not strictly increasing at %d", i)
@@ -853,9 +970,6 @@ func (d *Device) CheckInvariant() error {
 		}
 		if maxSeen != d.maxOf[id] {
 			return fmt.Errorf("core: subtable %d stored max %v != metadata %v", id, maxSeen, d.maxOf[id])
-		}
-		if err := st.CheckInvariant(); err != nil {
-			return err
 		}
 	}
 	for i, a := range d.order {

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"catcam/internal/bitvec"
+	"catcam/internal/flightrec"
+)
+
+// This file wires the flight recorder (internal/flightrec) into the
+// device: causal update tracing, inline lookup audits, and the
+// background invariant sweep. Every hook is nil-safe and sampling-rate
+// gated, so an unattached or unsampled device pays one pointer test on
+// the update path and one atomic load on the lookup path — the PR-2
+// zero-allocation lookup guarantee is preserved (see lookup_test.go's
+// AllocsPerRun coverage).
+
+// AttachFlightRecorder starts sampling causal update traces into rec.
+// table is carried on every trace (-1 outside a flowtable). Passing a
+// nil recorder detaches.
+func (d *Device) AttachFlightRecorder(rec *flightrec.Recorder, table int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.rec = rec
+	d.frTable = table
+}
+
+// AttachAuditor starts reporting invariant check outcomes into aud:
+// inline checks on sampled lookups and eviction-bounded inserts, plus
+// the on-demand AuditSweep. Attaching an auditor also switches the
+// device from fail-stop to fail-report on broken hardware guarantees —
+// a non-one-hot report vector, which panics on an unattached device,
+// is instead recorded as a violation and answered from the metadata
+// cache. Passing nil detaches (and restores fail-stop).
+func (d *Device) AttachAuditor(aud *flightrec.Auditor) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.aud = aud
+	for _, st := range d.subs {
+		st.aud = aud
+	}
+}
+
+// AttachShadow starts mirroring rule-level updates into sh's reference
+// classifier and re-classifying sampled lookups through it. Passing nil
+// detaches.
+func (d *Device) AttachShadow(sh *flightrec.Shadow) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.shadow = sh
+}
+
+// metadataWinner derives the winning subtable from the metadata cache
+// alone: the highest interval with a local match, i.e. the last set bit
+// of globalMatch in order. This is the independent reference the
+// winner-agreement audit compares the global priority matrix against,
+// and the fallback reporter when the matrix misbehaves.
+func (d *Device) metadataWinner(globalMatch *bitvec.Vector) int {
+	for i := len(d.order) - 1; i >= 0; i-- {
+		if globalMatch.Get(d.order[i]) {
+			return d.order[i]
+		}
+	}
+	return -1
+}
+
+// auditLookup runs the inline lookup checks for one sampled lookup:
+// the global report vector was one-hot, the array-derived winner agrees
+// with a metadata-cache walk, and the winning slot is the matched slot
+// with the highest stored rank. Called under d.mu with the lookup's
+// scratch vectors still live.
+func (d *Device) auditLookup(oneHot bool, winner, slot int) {
+	if oneHot {
+		d.aud.CheckPass(flightrec.InvReportOneHot)
+	}
+	meta := d.metadataWinner(d.scratch.globalMatch)
+	d.aud.Check(flightrec.InvWinnerAgreement, meta == winner, func() flightrec.Violation {
+		return flightrec.Violation{
+			Table: -1, Subtable: winner, RuleID: -1,
+			Detail: fmt.Sprintf("global matrix chose subtable %d, metadata walk %d", winner, meta),
+		}
+	})
+	best := d.subs[winner].bestMatched(d.scratch.locals[winner])
+	d.aud.Check(flightrec.InvWinnerAgreement, best == slot, func() flightrec.Violation {
+		return flightrec.Violation{
+			Table: -1, Subtable: winner, RuleID: -1,
+			Detail: fmt.Sprintf("local matrix chose slot %d, stored ranks prefer %d", slot, best),
+		}
+	})
+}
+
+// auditEvictionBound checks the paper's constant-time alteration claim
+// on one completed entry insert: at most one existing entry moved
+// (§VI). Only reallocating inserts generate a check; the
+// chained-reallocation ablation violates it by construction.
+func (d *Device) auditEvictionBound(res UpdateResult) {
+	if d.aud == nil || res.Reallocated == 0 {
+		return
+	}
+	d.aud.Check(flightrec.InvEvictionBound, res.Reallocated <= 1, func() flightrec.Violation {
+		return flightrec.Violation{
+			Table: -1, Subtable: res.Subtable, RuleID: -1,
+			Detail: fmt.Sprintf("insert displaced %d entries, bound is 1", res.Reallocated),
+		}
+	})
+}
+
+// AuditSweep runs one background audit pass over the whole device and
+// records it on the attached auditor: per-subtable priority-matrix
+// consistency (InvPriorityMatrix) and bit-plane/scalar search parity
+// (InvBitPlaneParity), then global interval disjointness, matrix
+// encoding and locator consistency (InvIntervalDisjoint). The device
+// lock is taken per subtable rather than across the sweep, so lookups
+// and updates interleave with the audit. Returns the zero SweepInfo
+// when no auditor is attached.
+func (d *Device) AuditSweep() flightrec.SweepInfo {
+	d.mu.Lock()
+	aud := d.aud
+	d.mu.Unlock()
+	if aud == nil {
+		return flightrec.SweepInfo{}
+	}
+	start := time.Now()
+	checks0, fails0 := aud.TotalChecks(), aud.TotalViolations()
+	for _, st := range d.subs {
+		d.mu.Lock()
+		d.sweepSubtable(st)
+		d.mu.Unlock()
+	}
+	d.mu.Lock()
+	d.sweepGlobal()
+	d.mu.Unlock()
+	info := flightrec.SweepInfo{
+		Checks:     aud.TotalChecks() - checks0,
+		Violations: aud.TotalViolations() - fails0,
+		DurationMs: float64(time.Since(start).Microseconds()) / 1e3,
+	}
+	aud.RecordSweep(info)
+	return info
+}
+
+// sweepSubtable audits one subtable under d.mu: the priority matrix
+// agrees with the stored ranks, the bit-sliced match planes agree with
+// the row-major words, and one canonical probe key returns the same
+// match vector from both search kernels.
+func (d *Device) sweepSubtable(st *Subtable) {
+	if d.aud == nil || st.Empty() {
+		return
+	}
+	err := st.CheckInvariant()
+	d.aud.Check(flightrec.InvPriorityMatrix, err == nil, func() flightrec.Violation {
+		return flightrec.Violation{
+			Table: -1, Subtable: st.id, RuleID: -1, Detail: err.Error(),
+		}
+	})
+	perr := st.match.AuditPlanes()
+	d.aud.Check(flightrec.InvBitPlaneParity, perr == nil, func() flightrec.Violation {
+		return flightrec.Violation{
+			Table: -1, Subtable: st.id, RuleID: -1, Detail: perr.Error(),
+		}
+	})
+	// Probe both kernels with the canonical matching key of the first
+	// stored entry — a key guaranteed to exercise live planes.
+	slot := st.store.ValidRef().First()
+	if w, ok := st.match.EntryWord(slot); ok {
+		serr := st.match.AuditSearchParity(w.MatchingKey())
+		d.aud.Check(flightrec.InvBitPlaneParity, serr == nil, func() flightrec.Violation {
+			return flightrec.Violation{
+				Table: -1, Subtable: st.id, RuleID: -1, Detail: serr.Error(),
+			}
+		})
+	}
+}
+
+// sweepGlobal audits the device-level scheduler state under d.mu.
+func (d *Device) sweepGlobal() {
+	if d.aud == nil {
+		return
+	}
+	err := d.globalInvariantLocked()
+	d.aud.Check(flightrec.InvIntervalDisjoint, err == nil, func() flightrec.Violation {
+		return flightrec.Violation{
+			Table: -1, Subtable: -1, RuleID: -1, Detail: err.Error(),
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"catcam/internal/bitvec"
+	"catcam/internal/flightrec"
 	"catcam/internal/sram"
 	"catcam/internal/ternary"
 )
@@ -30,6 +31,10 @@ type Subtable struct {
 	// report is the reusable priority-decision output buffer, so
 	// Decide and RecomputeMax allocate nothing at steady state.
 	report *bitvec.Vector
+	// aud, when attached by the device, switches broken one-hot
+	// guarantees from fail-stop (panic) to fail-report with a
+	// metadata-derived fallback answer.
+	aud *flightrec.Auditor
 }
 
 // NewSubtable builds a subtable with the given slot capacity and key
@@ -92,10 +97,36 @@ func (st *Subtable) Decide(matchVec *bitvec.Vector) int {
 		return -1
 	}
 	report := st.prio.ColumnNORInto(st.report, matchVec)
-	if !report.IsOneHot() {
+	if report.IsOneHot() {
+		return report.First()
+	}
+	if st.aud == nil {
 		panic(fmt.Sprintf("core: subtable %d report vector not one-hot: %s", st.id, report))
 	}
-	return report.First()
+	st.aud.Fail(flightrec.Violation{
+		Invariant: flightrec.InvReportOneHot, Table: -1, Subtable: st.id, RuleID: -1,
+		Detail: fmt.Sprintf("local report %s has %d bits set", report, report.Count()),
+	})
+	return st.bestMatched(matchVec)
+}
+
+// bestMatched walks the match vector and returns the matched slot with
+// the highest stored rank — the metadata-derived answer the one-hot
+// hardware decision must agree with. Audit/fallback path only.
+func (st *Subtable) bestMatched(matchVec *bitvec.Vector) int {
+	best := -1
+	var bestRank Rank
+	matchVec.ForEach(func(i int) bool {
+		r, ok := st.store.Rank(i)
+		if !ok {
+			return true
+		}
+		if best < 0 || bestRank.Less(r) {
+			best, bestRank = i, r
+		}
+		return true
+	})
+	return best
 }
 
 // Insert writes e into the given free slot: the match matrix row
@@ -161,10 +192,17 @@ func (st *Subtable) RecomputeMax() int {
 		return -1
 	}
 	report := st.prio.ColumnNORInto(st.report, valid)
-	if !report.IsOneHot() {
+	if report.IsOneHot() {
+		return report.First()
+	}
+	if st.aud == nil {
 		panic(fmt.Sprintf("core: subtable %d max-trace report not one-hot: %s", st.id, report))
 	}
-	return report.First()
+	st.aud.Fail(flightrec.Violation{
+		Invariant: flightrec.InvReportOneHot, Table: -1, Subtable: st.id, RuleID: -1,
+		Detail: fmt.Sprintf("max-trace report %s has %d bits set", report, report.Count()),
+	})
+	return st.store.MaxSlot()
 }
 
 // Stats returns the combined array statistics (match + priority).

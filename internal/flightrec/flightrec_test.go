@@ -1,0 +1,390 @@
+package flightrec
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"catcam/internal/rules"
+	"catcam/internal/swclass"
+	"catcam/internal/telemetry"
+)
+
+func TestSamplerGating(t *testing.T) {
+	var s Sampler
+	for i := 0; i < 10; i++ {
+		if s.Hit() {
+			t.Fatal("disabled sampler fired")
+		}
+	}
+	s.SetEvery(1)
+	for i := 0; i < 10; i++ {
+		if !s.Hit() {
+			t.Fatal("every=1 sampler missed")
+		}
+	}
+	s.SetEvery(4)
+	hits := 0
+	for i := 0; i < 400; i++ {
+		if s.Hit() {
+			hits++
+		}
+	}
+	if hits != 100 {
+		t.Fatalf("every=4 sampler hit %d/400, want 100", hits)
+	}
+}
+
+func TestRecorderSamplingAndRing(t *testing.T) {
+	r := NewRecorder(4)
+	if tr := r.Start("insert", -1, 1); tr != nil {
+		t.Fatal("recorder with sampling disabled returned a trace")
+	}
+	r.SetSampleEvery(1)
+	for i := 0; i < 6; i++ {
+		tr := r.Start("insert", -1, i)
+		if tr == nil {
+			t.Fatalf("trace %d not sampled at every=1", i)
+		}
+		tr.Step(StepSubtableSelect, 0, -1, 0)
+		tr.Step(StepEntryWrite, 0, i, 3)
+		r.Finish(tr, 3, nil)
+	}
+	if r.Total() != 6 {
+		t.Fatalf("total = %d, want 6", r.Total())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("ring retained %d traces, want 4 (cap)", len(snap))
+	}
+	for i, tr := range snap {
+		if tr.Seq != uint64(3+i) {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d (oldest-first suffix)", i, tr.Seq, 3+i)
+		}
+		if got := tr.StepCycles(); got != tr.Cycles {
+			t.Fatalf("trace %d: step cycles %d != total %d", i, got, tr.Cycles)
+		}
+	}
+
+	// Errors are recorded verbatim.
+	tr := r.Start("delete", 2, 99)
+	r.Finish(tr, 0, errors.New("not present"))
+	last := r.Snapshot()
+	if got := last[len(last)-1]; got.Err != "not present" || got.Op != "delete" || got.Table != 2 {
+		t.Fatalf("error trace mangled: %+v", got)
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var r *Recorder
+	tr := r.Start("insert", -1, 0) // nil recorder → nil trace
+	tr.Step(StepEntryWrite, 0, 0, 3)
+	tr.NextEntry(1)
+	r.Finish(tr, 3, nil)
+	if r.Total() != 0 || r.Cap() != 0 || r.Snapshot() != nil {
+		t.Fatal("nil recorder not inert")
+	}
+}
+
+func TestTraceEntryGrouping(t *testing.T) {
+	r := NewRecorder(2)
+	r.SetSampleEvery(1)
+	tr := r.Start("insert", -1, 7)
+	tr.Step(StepEntryWrite, 0, 0, 3)
+	tr.NextEntry(1)
+	tr.Step(StepEntryWrite, 0, 1, 3)
+	r.Finish(tr, 6, nil)
+	snap := r.Snapshot()
+	if snap[0].Steps[0].Entry != 0 || snap[0].Steps[1].Entry != 1 {
+		t.Fatalf("entry ordinals wrong: %+v", snap[0].Steps)
+	}
+}
+
+func TestRecorderHandlerFilters(t *testing.T) {
+	r := NewRecorder(16)
+	r.SetSampleEvery(1)
+	for i := 0; i < 5; i++ {
+		op := "insert"
+		if i%2 == 1 {
+			op = "delete"
+		}
+		r.Finish(r.Start(op, -1, i), 1, nil)
+	}
+	var body struct {
+		Total  uint64  `json:"total_sampled"`
+		Traces []Trace `json:"traces"`
+	}
+	get := func(url string) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET %s: status %d", url, rec.Code)
+		}
+		body.Traces = nil
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	get("/debug/trace")
+	if body.Total != 5 || len(body.Traces) != 5 {
+		t.Fatalf("unfiltered: total %d traces %d", body.Total, len(body.Traces))
+	}
+	get("/debug/trace?n=2")
+	if len(body.Traces) != 2 || body.Traces[1].Seq != 5 {
+		t.Fatalf("n=2 filter wrong: %+v", body.Traces)
+	}
+	get("/debug/trace?op=delete")
+	if len(body.Traces) != 2 {
+		t.Fatalf("op=delete kept %d traces, want 2", len(body.Traces))
+	}
+	for _, tr := range body.Traces {
+		if tr.Op != "delete" {
+			t.Fatalf("op filter leaked %q", tr.Op)
+		}
+	}
+	get("/debug/trace?op=insert,delete&n=1")
+	if len(body.Traces) != 1 {
+		t.Fatalf("combined filter kept %d", len(body.Traces))
+	}
+}
+
+func TestStepKindStrings(t *testing.T) {
+	for k := StepSubtableSelect; k <= StepExecute; k++ {
+		if s := k.String(); s == "" || s[0] == 'S' {
+			t.Fatalf("step kind %d has no symbolic name: %q", k, s)
+		}
+	}
+}
+
+func TestAuditorCountersAndRing(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ring := telemetry.NewEventRing(16)
+	a := NewAuditor(reg, ring, 2, telemetry.Labels{"table": "3"})
+
+	a.CheckPass(InvReportOneHot)
+	a.Check(InvReportOneHot, true, func() Violation { t.Fatal("detail called on pass"); return Violation{} })
+	if a.Checks(InvReportOneHot) != 2 || a.ViolationCount(InvReportOneHot) != 0 {
+		t.Fatalf("pass accounting wrong: %d/%d", a.Checks(InvReportOneHot), a.ViolationCount(InvReportOneHot))
+	}
+
+	for i := 0; i < 3; i++ {
+		a.Fail(Violation{Invariant: InvEvictionBound, Subtable: i, RuleID: 10 + i,
+			Detail: "chain too long"})
+	}
+	if a.Checks(InvEvictionBound) != 3 || a.ViolationCount(InvEvictionBound) != 3 {
+		t.Fatalf("fail accounting wrong")
+	}
+	if a.TotalChecks() != 5 || a.TotalViolations() != 3 {
+		t.Fatalf("totals wrong: %d/%d", a.TotalChecks(), a.TotalViolations())
+	}
+
+	// keep=2 ring retains the two most recent, oldest-first.
+	vs := a.Violations()
+	if len(vs) != 2 || vs[0].Seq != 2 || vs[1].Seq != 3 {
+		t.Fatalf("violation ring wrong: %+v", vs)
+	}
+	// The "table" label propagates into violations left at zero.
+	if vs[0].Table != 3 {
+		t.Fatalf("table label not applied: %+v", vs[0])
+	}
+
+	// Violations land on the telemetry ring as EvViolation events.
+	events := ring.Snapshot()
+	if len(events) != 3 {
+		t.Fatalf("expected 3 violation events, got %d", len(events))
+	}
+	for _, e := range events {
+		if e.Kind != telemetry.EvViolation || e.Table != 3 || e.Note == "" {
+			t.Fatalf("bad violation event: %+v", e)
+		}
+	}
+
+	// Exported counter series carry the invariant label.
+	snap := reg.Snapshot()
+	key := `catcam_audit_violations_total{invariant="eviction_bound",table="3"}`
+	if snap.Counters[key] != 3 {
+		t.Fatalf("counter %s = %d, want 3 (have %v)", key, snap.Counters[key], snap.Counters)
+	}
+}
+
+func TestAuditorReportAndHandler(t *testing.T) {
+	a := NewAuditor(nil, nil, 8, nil)
+	a.SetLookupSampleEvery(2)
+	a.CheckPass(InvBitPlaneParity)
+	a.Fail(Violation{Invariant: InvPriorityMatrix, Subtable: 1, Detail: "bit flip"})
+	a.RecordSweep(SweepInfo{Checks: 10, Violations: 1, DurationMs: 0.5})
+
+	rep := a.Report()
+	if rep.TotalChecks != 2 || rep.TotalViolations != 1 || rep.LookupSampleEvery != 2 {
+		t.Fatalf("report totals wrong: %+v", rep)
+	}
+	if rep.Sweeps != 1 || rep.LastSweep == nil || rep.LastSweep.Checks != 10 {
+		t.Fatalf("sweep info wrong: %+v", rep.LastSweep)
+	}
+	if len(rep.Invariants) != invariantCount {
+		t.Fatalf("report lists %d invariants, want %d", len(rep.Invariants), invariantCount)
+	}
+
+	rec := httptest.NewRecorder()
+	a.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/audit?n=0", nil))
+	var body Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Violations) != 0 || body.TotalViolations != 1 {
+		t.Fatalf("n=0 handler body wrong: %+v", body)
+	}
+
+	// Default table stays -1 when no label is given.
+	if vs := a.Violations(); vs[0].Table != 0 && vs[0].Table != -1 {
+		t.Fatalf("unexpected table %d", vs[0].Table)
+	}
+}
+
+func TestAuditorNilSafety(t *testing.T) {
+	var a *Auditor
+	a.CheckPass(InvReportOneHot)
+	a.Fail(Violation{})
+	a.SetLookupSampleEvery(1)
+	if a.SampleLookup() || a.TotalChecks() != 0 || a.Violations() != nil {
+		t.Fatal("nil auditor not inert")
+	}
+	if !a.Check(InvReportOneHot, true, nil) || a.Check(InvReportOneHot, false, nil) {
+		t.Fatal("nil auditor Check should pass through ok")
+	}
+	a.RecordSweep(SweepInfo{})
+	_ = a.Report()
+}
+
+func testRule(id, prio int) rules.Rule {
+	return rules.Rule{
+		ID: id, Priority: prio, Action: 100 + id,
+		SrcPort: rules.FullPortRange(), DstPort: rules.FullPortRange(),
+		ProtoWildcard: true,
+	}
+}
+
+func TestShadowAgreementAndMismatch(t *testing.T) {
+	a := NewAuditor(nil, nil, 8, nil)
+	s := NewShadow(swclass.NewLinear(), a, -1)
+	s.SetSampleEvery(1)
+
+	r := testRule(1, 10)
+	s.OnInsert(r)
+	h := rules.Header{Proto: 6}
+
+	// Agreement: device reports what the reference would.
+	s.Observe(h, r.Action, true)
+	if a.ViolationCount(InvShadowMatch) != 0 || a.Checks(InvShadowMatch) != 1 {
+		t.Fatalf("agreeing observe misreported: %d/%d",
+			a.Checks(InvShadowMatch), a.ViolationCount(InvShadowMatch))
+	}
+
+	// Action mismatch and hit/miss mismatch both fire.
+	s.Observe(h, r.Action+1, true)
+	s.Observe(h, 0, false)
+	if a.ViolationCount(InvShadowMatch) != 2 {
+		t.Fatalf("mismatches not detected: %d", a.ViolationCount(InvShadowMatch))
+	}
+
+	// After deleting the rule the reference misses; a device miss agrees.
+	s.OnDelete(r.ID)
+	s.Observe(h, 0, false)
+	if a.ViolationCount(InvShadowMatch) != 2 {
+		t.Fatal("miss/miss flagged as mismatch")
+	}
+}
+
+func TestShadowDesync(t *testing.T) {
+	a := NewAuditor(nil, nil, 8, nil)
+	s := NewShadow(swclass.NewLinear(), a, -1)
+	s.SetSampleEvery(1)
+	s.OnInsert(testRule(1, 10))
+
+	// A failing mirror op (duplicate insert) desyncs instead of raising
+	// a violation: the reference broke, not the device.
+	s.OnInsert(testRule(1, 20))
+	if down, reason := s.Desynced(); !down || reason == "" {
+		t.Fatalf("duplicate mirror insert did not desync: %v %q", down, reason)
+	}
+	if s.Sample() {
+		t.Fatal("desynced shadow still sampling")
+	}
+	s.Observe(rules.Header{}, 0, false)
+	if a.TotalChecks() != 0 {
+		t.Fatal("desynced shadow still observing")
+	}
+}
+
+func TestShadowNilSafety(t *testing.T) {
+	var s *Shadow
+	s.OnInsert(rules.Rule{})
+	s.OnDelete(0)
+	s.Desync("x")
+	s.Observe(rules.Header{}, 0, false)
+	s.SetSampleEvery(1)
+	if s.Sample() {
+		t.Fatal("nil shadow sampled")
+	}
+	if down, _ := s.Desynced(); down {
+		t.Fatal("nil shadow desynced")
+	}
+}
+
+// TestConcurrentAuditAndTrace exercises the lock-free paths under the
+// race detector: concurrent trace publication, check/fail accounting,
+// shadow mirroring and report reads.
+func TestConcurrentAuditAndTrace(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ring := telemetry.NewEventRing(64)
+	rec := NewRecorder(32)
+	rec.SetSampleEvery(2)
+	a := NewAuditor(reg, ring, 16, nil)
+	a.SetLookupSampleEvery(2)
+	s := NewShadow(swclass.NewLinear(), a, -1)
+	s.SetSampleEvery(1)
+	for i := 0; i < 8; i++ {
+		s.OnInsert(testRule(i, 10+i))
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr := rec.Start("insert", -1, i)
+				tr.Step(StepEntryWrite, g, i, 3)
+				rec.Finish(tr, 3, nil)
+				if a.SampleLookup() {
+					a.CheckPass(InvReportOneHot)
+				}
+				if i%50 == 0 {
+					a.Fail(Violation{Invariant: InvEvictionBound, Subtable: g, Detail: "x"})
+				}
+				s.Observe(rules.Header{Proto: 6}, 100, true)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_ = rec.Snapshot()
+			_ = a.Report()
+			_ = a.Violations()
+		}
+	}()
+	wg.Wait()
+
+	if rec.Total() != 400 {
+		t.Fatalf("expected 400 sampled traces, got %d", rec.Total())
+	}
+	if a.ViolationCount(InvEvictionBound) != 16 {
+		t.Fatalf("expected 16 eviction-bound violations, got %d", a.ViolationCount(InvEvictionBound))
+	}
+}

@@ -1,0 +1,113 @@
+package flowtable
+
+import (
+	"strconv"
+	"testing"
+
+	"catcam/internal/flightrec"
+	"catcam/internal/rules"
+	"catcam/internal/swclass"
+	"catcam/internal/telemetry"
+)
+
+// TestFlightRecorderAcrossTables wires a full instrument set — shared
+// trace recorder, per-table auditors, per-table shadow classifiers —
+// into a three-table pipeline before any rule lands, churns it, and
+// checks the evidence: table-labelled traces, a clean aggregate sweep,
+// live shadow comparisons and zero violations.
+func TestFlightRecorderAcrossTables(t *testing.T) {
+	p, err := NewPipeline([]TableConfig{
+		{ID: 0, Device: smallDev(), Miss: MissPolicy{Continue: true}},
+		{ID: 1, Device: smallDev(), Miss: MissPolicy{Continue: true}},
+		{ID: 2, Device: smallDev(), Miss: MissPolicy{MissAction: Drop}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := flightrec.NewRecorder(128)
+	rec.SetSampleEvery(1)
+	p.AttachFlightRecorder(rec)
+
+	auds := map[int]*flightrec.Auditor{}
+	p.AttachAuditors(func(id int) *flightrec.Auditor {
+		a := flightrec.NewAuditor(nil, nil, 16, telemetry.Labels{"table": strconv.Itoa(id)})
+		a.SetLookupSampleEvery(1)
+		auds[id] = a
+		return a
+	})
+	shadows := map[int]*flightrec.Shadow{}
+	p.AttachShadows(func(id int) *flightrec.Shadow {
+		s := flightrec.NewShadow(swclass.NewLinear(), auds[id], id)
+		s.SetSampleEvery(1)
+		shadows[id] = s
+		return s
+	})
+
+	// Same topology as buildPipeline, installed after instrumentation so
+	// the shadows mirror every update.
+	mustInstall(t, p, 0, FlowRule{Rule: srcRule(1, 10, 0x0A666600, 24), Instruction: Terminal(Drop)})
+	mustInstall(t, p, 0, FlowRule{Rule: anyRule(2, 1), Instruction: Goto(1)})
+	mustInstall(t, p, 1, FlowRule{Rule: srcRule(3, 5, 0x0A000000, 8), Instruction: Goto(2)})
+	mustInstall(t, p, 2, FlowRule{Rule: anyRule(4, 1), Instruction: Terminal(7)})
+
+	for i := 0; i < 8; i++ {
+		if _, _, err := p.Classify(rules.Header{SrcIP: 0x0A010101 + uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hdrs := []rules.Header{{SrcIP: 0x0A666601}, {SrcIP: 0x0B010101}, {SrcIP: 0x0A020202}}
+	p.ClassifyBatch(hdrs, nil)
+
+	// Churn: remove and reinstall through the pipeline so deletes are
+	// mirrored too.
+	if _, err := p.Remove(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	mustInstall(t, p, 1, FlowRule{Rule: srcRule(3, 5, 0x0A000000, 8), Instruction: Goto(2)})
+
+	info := p.AuditSweep()
+	if info.Checks == 0 {
+		t.Fatal("aggregate sweep ran no checks")
+	}
+	if info.Violations != 0 {
+		t.Fatalf("aggregate sweep found %d violations", info.Violations)
+	}
+	for id, a := range auds {
+		if a.TotalViolations() != 0 {
+			t.Fatalf("table %d auditor: %d violations: %+v", id, a.TotalViolations(), a.Violations())
+		}
+	}
+	if auds[0].Checks(flightrec.InvShadowMatch) == 0 {
+		t.Fatal("shadow classifier never compared a lookup on table 0")
+	}
+	for id, s := range shadows {
+		if bad, reason := s.Desynced(); bad {
+			t.Fatalf("table %d shadow desynced: %s", id, reason)
+		}
+	}
+
+	// Every table's installs produced device traces carrying its ID.
+	sawInsert := map[int]bool{}
+	sawDelete := map[int]bool{}
+	for _, tr := range rec.Snapshot() {
+		switch tr.Op {
+		case "insert":
+			sawInsert[tr.Table] = true
+		case "delete":
+			sawDelete[tr.Table] = true
+		}
+	}
+	for _, id := range p.TableIDs() {
+		if !sawInsert[id] {
+			t.Fatalf("no insert trace for table %d", id)
+		}
+	}
+	if !sawDelete[1] {
+		t.Fatal("no delete trace for table 1")
+	}
+
+	if err := p.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}

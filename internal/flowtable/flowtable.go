@@ -21,6 +21,7 @@ import (
 	"strconv"
 
 	"catcam/internal/core"
+	"catcam/internal/flightrec"
 	"catcam/internal/rules"
 	"catcam/internal/telemetry"
 )
@@ -136,6 +137,48 @@ func (p *Pipeline) AttachTelemetry(reg *telemetry.Registry, ring *telemetry.Even
 			"per-table classification outcomes", tl.Merged(telemetry.Labels{"result": "miss"}))
 		t.dev.AttachTelemetry(reg, ring, tl)
 	}
+}
+
+// AttachFlightRecorder starts sampling causal update traces from every
+// table's backing device into the shared recorder; each trace carries
+// its table ID. Passing nil detaches.
+func (p *Pipeline) AttachFlightRecorder(rec *flightrec.Recorder) {
+	for _, id := range p.order {
+		p.tables[id].dev.AttachFlightRecorder(rec, id)
+	}
+}
+
+// AttachAuditors attaches mk(tableID) to every table's backing device.
+// Pass a constructor returning per-table auditors (so violations carry
+// distinct table labels) or the same auditor for a pooled view; a nil
+// return detaches that table.
+func (p *Pipeline) AttachAuditors(mk func(tableID int) *flightrec.Auditor) {
+	for _, id := range p.order {
+		p.tables[id].dev.AttachAuditor(mk(id))
+	}
+}
+
+// AttachShadows attaches mk(tableID) as each table's differential
+// shadow classifier. Attach before installing rules: the shadow only
+// mirrors updates it observes. A nil return leaves that table
+// unshadowed.
+func (p *Pipeline) AttachShadows(mk func(tableID int) *flightrec.Shadow) {
+	for _, id := range p.order {
+		p.tables[id].dev.AttachShadow(mk(id))
+	}
+}
+
+// AuditSweep runs one background audit pass over every table's device
+// and returns the aggregate sweep accounting.
+func (p *Pipeline) AuditSweep() flightrec.SweepInfo {
+	var total flightrec.SweepInfo
+	for _, id := range p.order {
+		info := p.tables[id].dev.AuditSweep()
+		total.Checks += info.Checks
+		total.Violations += info.Violations
+		total.DurationMs += info.DurationMs
+	}
+	return total
 }
 
 // Errors returned by pipeline operations.

@@ -1,0 +1,146 @@
+package pipeline
+
+import (
+	"testing"
+
+	"catcam/internal/flightrec"
+	"catcam/internal/rules"
+)
+
+// TestRequestTraces drives a mixed request stream with 1-in-1 trace
+// sampling and checks every request leaves a causal trace whose
+// queue_wait + execute steps sum to the trace's cycle total, with the
+// execute span matching the response's issue-to-done latency.
+func TestRequestTraces(t *testing.T) {
+	e := New(testDevice(t), 64)
+	rec := flightrec.NewRecorder(64)
+	rec.SetSampleEvery(1)
+	e.AttachFlightRecorder(rec)
+
+	newRule := rules.Rule{
+		ID: 99, Priority: 99, Action: 999,
+		SrcPort: rules.FullPortRange(), DstPort: rules.FullPortRange(),
+		ProtoWildcard: true,
+	}
+	reqs := []Request{
+		lookupReq(1, 0x00000001),
+		{Kind: Insert, Tag: 2, Rule: newRule},
+		lookupReq(3, 0x00000001),
+		{Kind: Delete, Tag: 4, RuleID: 99},
+		{Kind: Delete, Tag: 5, RuleID: 12345}, // fails: unknown rule
+	}
+	resps, err := e.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTag := map[int]Response{}
+	for _, r := range resps {
+		byTag[r.Tag] = r
+	}
+
+	traces := rec.Snapshot()
+	if len(traces) != len(reqs) {
+		t.Fatalf("traces = %d, want %d", len(traces), len(reqs))
+	}
+	byOp := map[string][]flightrec.Trace{}
+	for _, tr := range traces {
+		byOp[tr.Op] = append(byOp[tr.Op], tr)
+
+		if len(tr.Steps) != 2 ||
+			tr.Steps[0].Kind != flightrec.StepQueueWait ||
+			tr.Steps[1].Kind != flightrec.StepExecute {
+			t.Fatalf("trace %s steps = %+v, want queue_wait then execute", tr.Op, tr.Steps)
+		}
+		if tr.StepCycles() != tr.Cycles {
+			t.Fatalf("trace %s step cycles %d != total %d", tr.Op, tr.StepCycles(), tr.Cycles)
+		}
+		if tr.Table != -1 {
+			t.Fatalf("engine trace %s table = %d, want -1", tr.Op, tr.Table)
+		}
+	}
+
+	for _, tr := range byOp["pipeline_lookup"] {
+		if tr.Steps[1].Cycles != lookupLatency {
+			t.Fatalf("lookup execute span = %d cycles, want %d", tr.Steps[1].Cycles, lookupLatency)
+		}
+	}
+	if n := len(byOp["pipeline_lookup"]); n != 2 {
+		t.Fatalf("lookup traces = %d, want 2", n)
+	}
+
+	ins := byOp["pipeline_insert"]
+	if len(ins) != 1 || ins[0].RuleID != 99 {
+		t.Fatalf("insert traces = %+v", ins)
+	}
+	if got, want := ins[0].Steps[1].Cycles, byTag[2].Latency(); got != want {
+		t.Fatalf("insert execute span = %d, want response latency %d", got, want)
+	}
+
+	dels := byOp["pipeline_delete"]
+	if len(dels) != 2 {
+		t.Fatalf("delete traces = %d, want 2", len(dels))
+	}
+	var okDel, badDel *flightrec.Trace
+	for i := range dels {
+		if dels[i].RuleID == 99 {
+			okDel = &dels[i]
+		} else if dels[i].RuleID == 12345 {
+			badDel = &dels[i]
+		}
+	}
+	if okDel == nil || okDel.Err != "" {
+		t.Fatalf("successful delete trace = %+v", okDel)
+	}
+	if badDel == nil || badDel.Err == "" {
+		t.Fatalf("failed delete trace carries no error: %+v", badDel)
+	}
+}
+
+// TestTracesSharedRecorderWithDevice attaches one recorder to both the
+// engine and its device: a sampled insert yields the engine's timing
+// trace and the device's datapath trace side by side.
+func TestTracesSharedRecorderWithDevice(t *testing.T) {
+	e := New(testDevice(t), 16)
+	rec := flightrec.NewRecorder(32)
+	rec.SetSampleEvery(1)
+	e.AttachFlightRecorder(rec)
+	e.Device().AttachFlightRecorder(rec, 7)
+
+	r := rules.Rule{
+		ID: 50, Priority: 50, Action: 500,
+		SrcPort: rules.FullPortRange(), DstPort: rules.FullPortRange(),
+		ProtoWildcard: true,
+	}
+	if _, err := e.Run([]Request{{Kind: Insert, Tag: 1, Rule: r}}); err != nil {
+		t.Fatal(err)
+	}
+
+	ops := map[string]int{}
+	for _, tr := range rec.Snapshot() {
+		ops[tr.Op]++
+		if tr.Op == "insert" && tr.Table != 7 {
+			t.Fatalf("device trace table = %d, want 7", tr.Table)
+		}
+	}
+	if ops["pipeline_insert"] != 1 || ops["insert"] != 1 {
+		t.Fatalf("ops = %v, want one pipeline_insert and one insert", ops)
+	}
+}
+
+// TestTracingOffByDefault checks an unattached (or unsampled) engine
+// records nothing.
+func TestTracingOffByDefault(t *testing.T) {
+	e := New(testDevice(t), 8)
+	if _, err := e.Run([]Request{lookupReq(1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := flightrec.NewRecorder(8) // sampling disabled (every=0)
+	e.AttachFlightRecorder(rec)
+	if _, err := e.Run([]Request{lookupReq(2, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Total() != 0 {
+		t.Fatalf("disabled sampler recorded %d traces", rec.Total())
+	}
+}

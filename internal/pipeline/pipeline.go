@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"catcam/internal/core"
+	"catcam/internal/flightrec"
 	"catcam/internal/rules"
 	"catcam/internal/telemetry"
 )
@@ -53,6 +54,11 @@ type Request struct {
 	Rule   rules.Rule   // Insert
 	RuleID int          // Delete
 	Tag    int          // caller-chosen identifier echoed in the response
+
+	// enqueued is the cycle the request entered the FIFO, stamped by
+	// Enqueue; sampled request traces report IssueCycle-enqueued as
+	// their queue_wait step.
+	enqueued uint64
 }
 
 // Response reports a completed request with its timing.
@@ -98,6 +104,10 @@ type Engine struct {
 	responses []Response
 	// tel is the attached runtime telemetry; nil until AttachTelemetry.
 	tel *engineTelemetry
+	// rec is the attached flight recorder; nil until
+	// AttachFlightRecorder. Sampled requests record a queue_wait +
+	// execute trace on completion.
+	rec *flightrec.Recorder
 
 	// Lookup batching scratch: consecutive lookups at the FIFO head are
 	// classified in one batched device call (one lock, no allocation),
@@ -146,6 +156,38 @@ func (e *Engine) AttachTelemetry(reg *telemetry.Registry, labels telemetry.Label
 	e.tel = t
 }
 
+// pipeOps names the flight-recorder trace operations per request kind,
+// distinct from the device-level "insert"/"delete" trace ops so both
+// layers can share one recorder and stay filterable via ?op=.
+var pipeOps = [...]string{
+	Lookup: "pipeline_lookup",
+	Insert: "pipeline_insert",
+	Delete: "pipeline_delete",
+}
+
+// AttachFlightRecorder starts sampling per-request causal traces into
+// rec: each sampled request records the cycles it waited in the FIFO
+// (queue_wait) and the cycles it occupied the array pipeline (execute).
+// This traces the *engine's* timing model; attach the underlying device
+// separately for the datapath spans inside an update. Passing nil
+// detaches.
+func (e *Engine) AttachFlightRecorder(rec *flightrec.Recorder) {
+	e.rec = rec
+}
+
+// traceRequest records one completed request's timing trace when
+// sampled.
+func (e *Engine) traceRequest(req Request, ruleID int, issue, execCycles uint64, err error) {
+	tr := e.rec.Start(pipeOps[req.Kind], -1, ruleID)
+	if tr == nil {
+		return
+	}
+	wait := issue - req.enqueued
+	tr.Step(flightrec.StepQueueWait, -1, -1, wait)
+	tr.Step(flightrec.StepExecute, -1, -1, execCycles)
+	e.rec.Finish(tr, wait+execCycles, err)
+}
+
 // observeResponse records a completed request's latency.
 func (t *engineTelemetry) observeResponse(r Response) {
 	if t == nil {
@@ -188,6 +230,7 @@ func (e *Engine) Enqueue(r Request) error {
 	if len(e.queue) >= e.depth {
 		return ErrQueueFull
 	}
+	r.enqueued = e.cycle
 	e.queue = append(e.queue, r)
 	if len(e.queue) > e.stats.MaxQueueLen {
 		e.stats.MaxQueueLen = len(e.queue)
@@ -255,6 +298,7 @@ func (e *Engine) Tick() {
 			Tag: req.Tag, Kind: Lookup, Action: res.Entry.Action, OK: res.OK,
 			IssueCycle: e.cycle, DoneCycle: e.cycle + lookupLatency,
 		}})
+		e.traceRequest(req, -1, e.cycle, lookupLatency, nil)
 		e.stats.Lookups++
 		e.stats.LookupCycles++
 	case Insert, Delete:
@@ -274,7 +318,9 @@ func (e *Engine) Tick() {
 		}
 		resp := Response{Tag: req.Tag, Kind: req.Kind, IssueCycle: e.cycle}
 		var cycles uint64
+		ruleID := req.RuleID
 		if req.Kind == Insert {
+			ruleID = req.Rule.ID
 			res, err := e.dev.InsertRule(req.Rule)
 			resp.Err, resp.OK = err, err == nil
 			cycles = res.Cycles
@@ -288,6 +334,7 @@ func (e *Engine) Tick() {
 		}
 		resp.DoneCycle = e.cycle + cycles
 		e.busyUntil = e.cycle + cycles
+		e.traceRequest(req, ruleID, e.cycle, cycles, resp.Err)
 		e.tel.observeResponse(resp)
 		e.responses = append(e.responses, resp)
 		e.stats.Updates++

@@ -421,6 +421,17 @@ func (t *TernaryArray) ReadEntry(r int) (ternary.Word, bool) {
 	return t.entries[r], true
 }
 
+// EntryWord returns the stored word of entry r without cycle or energy
+// accounting (debug/verification path, not a hardware access). The word
+// aliases the stored one and must be treated as immutable.
+func (t *TernaryArray) EntryWord(r int) (ternary.Word, bool) {
+	t.checkRow(r)
+	if !t.valid.Get(r) {
+		return ternary.Word{}, false
+	}
+	return t.entries[r], true
+}
+
 // Invalidate clears entry r (rule deletion: one cycle). The planes are
 // left stale on purpose: the kernel starts its accumulator from the
 // valid mask, so plane bits of invalid entries can never surface, and
@@ -535,6 +546,81 @@ func (t *TernaryArray) kernelN(kw []uint64) {
 			}
 		}
 	}
+}
+
+// AuditSearchParity re-runs one search through both kernels — the
+// bit-sliced production path and the scalar reference — and reports a
+// non-nil error when their match vectors disagree. The array statistics
+// are snapshotted and restored around the probe, so audit traffic never
+// pollutes the cycle/energy accounting the paper's experiments read.
+// This is a verification access, not a modeled hardware operation; it
+// allocates and is meant for sampled background sweeps.
+func (t *TernaryArray) AuditSearchParity(k ternary.Key) error {
+	saved := t.stats
+	sliced := t.Search(k)
+	ref := t.SearchReference(k)
+	t.stats = saved
+	if !sliced.Equal(ref) {
+		return fmt.Errorf("sram: bit-sliced search %s != scalar reference %s", sliced, ref)
+	}
+	return nil
+}
+
+// AuditPlanes verifies the bit-sliced search view against the row-major
+// write view: for every valid entry, the stored (value, care) plane
+// bits must equal the planes re-derived from the entry's word, and
+// every cared position must be marked in careAny (a cleared careAny bit
+// would make the kernel skip a discriminating column). Returns the
+// first divergence. Verification access: no cycle/energy accounting.
+func (t *TernaryArray) AuditPlanes() error {
+	var err error
+	t.valid.ForEach(func(r int) bool {
+		value, care := t.entries[r].PlaneWords()
+		wi, bit := r/64, uint64(1)<<(r%64)
+		width := t.Width()
+		for pos := 0; pos < width; pos++ {
+			pw, pb := pos/64, uint(pos%64)
+			i := pos*t.rowWords + wi
+			wantValue := value[pw]&(1<<pb) != 0
+			wantCare := care[pw]&(1<<pb) != 0
+			if got := t.planeValue[i]&bit != 0; got != wantValue {
+				err = fmt.Errorf("sram: entry %d position %d value plane %v != stored word %v",
+					r, pos, got, wantValue)
+				return false
+			}
+			if got := t.planeCare[i]&bit != 0; got != wantCare {
+				err = fmt.Errorf("sram: entry %d position %d care plane %v != stored word %v",
+					r, pos, got, wantCare)
+				return false
+			}
+			if wantCare && t.careAny[pw]&(1<<pb) == 0 {
+				err = fmt.Errorf("sram: entry %d cares at position %d but careAny is clear", r, pos)
+				return false
+			}
+		}
+		return true
+	})
+	return err
+}
+
+// InjectPlaneFault flips the value-plane bit of entry r at its first
+// cared position, desynchronizing the bit-sliced search view from the
+// row-major word — the seeded corruption the auditor tests use to prove
+// the plane and parity audits fire. Returns the flipped position, or -1
+// when the entry is invalid or fully wildcarded. Test hook only.
+func (t *TernaryArray) InjectPlaneFault(r int) int {
+	t.checkRow(r)
+	if !t.valid.Get(r) {
+		return -1
+	}
+	wi, bit := r/64, uint64(1)<<(r%64)
+	for pos := 0; pos < t.Width(); pos++ {
+		if t.planeCare[pos*t.rowWords+wi]&bit != 0 {
+			t.planeValue[pos*t.rowWords+wi] ^= bit
+			return pos
+		}
+	}
+	return -1
 }
 
 // SearchReference is the scalar reference kernel: one Word.Match per

@@ -27,6 +27,9 @@ const (
 	EvChain
 	// EvClassify: a flowtable classification completed.
 	EvClassify
+	// EvViolation: the flight-recorder auditor detected an invariant
+	// violation (Note carries the invariant and detail).
+	EvViolation
 )
 
 // String names the kind.
@@ -46,6 +49,8 @@ func (k EventKind) String() string {
 		return "chain"
 	case EvClassify:
 		return "classify"
+	case EvViolation:
+		return "violation"
 	}
 	return fmt.Sprintf("EventKind(%d)", uint8(k))
 }
@@ -55,7 +60,7 @@ func (k EventKind) MarshalText() ([]byte, error) { return []byte(k.String()), ni
 
 // UnmarshalText parses a symbolic kind name.
 func (k *EventKind) UnmarshalText(b []byte) error {
-	for c := EvInsert; c <= EvClassify; c++ {
+	for c := EvInsert; c <= EvViolation; c++ {
 		if c.String() == string(b) {
 			*k = c
 			return nil
@@ -77,6 +82,9 @@ type Event struct {
 	RuleID   int       `json:"rule_id"`
 	Cycles   uint64    `json:"cycles"`
 	Depth    int       `json:"depth"`
+	// Note carries kind-specific free text (violation details); empty
+	// for the high-rate update/classify kinds so Emit stays cheap.
+	Note string `json:"note,omitempty"`
 }
 
 // EventRing is a bounded ring buffer of trace events. Writers claim a

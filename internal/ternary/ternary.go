@@ -482,6 +482,17 @@ func RandomKey(rng *rand.Rand, width int) Key {
 	return k
 }
 
+// MatchingKey returns the deterministic key that matches w with every
+// wildcard position set to zero — the canonical probe the audit sweep
+// uses to re-drive one stored entry through both search kernels.
+func (w Word) MatchingKey() Key {
+	k := NewKey(w.width)
+	for i := 0; i < w.width; i++ {
+		k.SetKeyBit(i, w.BitAt(i) == One)
+	}
+	return k
+}
+
 // RandomMatchingKey returns a key that matches w, with wildcard positions
 // filled uniformly at random. Useful for generating packet traces that
 // hit a given rule.

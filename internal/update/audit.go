@@ -1,0 +1,24 @@
+package update
+
+import (
+	"catcam/internal/flightrec"
+)
+
+// Audit runs a baseline algorithm's self-check and reports the outcome
+// to the flight-recorder auditor as a tcam_order invariant check: the
+// physical entry order (and dependency bookkeeping) of the TCAM
+// baseline must still respect rule priority order. This puts the
+// comparison algorithms under the same online proof regime as the
+// CATCAM device, so an experiment that quotes baseline update costs
+// also certifies the baseline stayed correct. Returns the underlying
+// self-check error.
+func Audit(alg Algorithm, aud *flightrec.Auditor) error {
+	err := alg.CheckInvariant()
+	aud.Check(flightrec.InvTCAMOrder, err == nil, func() flightrec.Violation {
+		return flightrec.Violation{
+			Table: -1, Subtable: -1, RuleID: -1,
+			Detail: alg.Name() + ": " + err.Error(),
+		}
+	})
+	return err
+}

@@ -1,0 +1,49 @@
+package update
+
+import (
+	"strings"
+	"testing"
+
+	"catcam/internal/flightrec"
+	"catcam/internal/rules"
+)
+
+func TestAuditReportsBaselineInvariant(t *testing.T) {
+	aud := flightrec.NewAuditor(nil, nil, 8, nil)
+	na := NewNaive(64, rules.TupleBits)
+	for i := 0; i < 4; i++ {
+		r := simpleRule(i+1, i, rules.Prefix{Addr: uint32(i) << 24, Len: 8})
+		if _, err := na.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := Audit(na, aud); err != nil {
+		t.Fatalf("clean baseline audit failed: %v", err)
+	}
+	if aud.Checks(flightrec.InvTCAMOrder) != 1 || aud.TotalViolations() != 0 {
+		t.Fatalf("clean audit accounting: checks=%d violations=%d",
+			aud.Checks(flightrec.InvTCAMOrder), aud.TotalViolations())
+	}
+
+	// Punch a hole inside the sorted block; the self-check must fail and
+	// the failure must surface as a tcam_order violation.
+	na.t.Invalidate(1)
+	if err := Audit(na, aud); err == nil {
+		t.Fatal("corrupted baseline passed audit")
+	}
+	if got := aud.ViolationCount(flightrec.InvTCAMOrder); got != 1 {
+		t.Fatalf("tcam_order violations = %d, want 1", got)
+	}
+	vs := aud.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("violation ring holds %d entries, want 1", len(vs))
+	}
+	v := vs[0]
+	if v.Invariant != flightrec.InvTCAMOrder {
+		t.Fatalf("violation invariant = %v, want tcam_order", v.Invariant)
+	}
+	if !strings.Contains(v.Detail, "Naive") {
+		t.Fatalf("violation detail %q does not name the algorithm", v.Detail)
+	}
+}
