@@ -5,7 +5,13 @@ GO ?= go
 BENCHES ?= BenchmarkDeviceLookup$$|BenchmarkDeviceLookupBatch$$|BenchmarkDeviceInsertDelete$$
 BENCH_JSON ?= BENCH_lookup.json
 
-.PHONY: all build test race vet fmt bench bench-compare
+# Benchmarks tracked in BENCH_cluster.json: scale-out classify
+# throughput of the sharded cluster (per-lookup ns, comparable to
+# BenchmarkDeviceLookup; parallel speedup needs GOMAXPROCS >= shards).
+BENCHES_CLUSTER ?= BenchmarkClusterLookupParallel$$|BenchmarkClusterShardScaling
+BENCH_CLUSTER_JSON ?= BENCH_cluster.json
+
+.PHONY: all build test race vet fmt bench bench-compare bench-cluster bench-cluster-compare
 
 all: build test
 
@@ -37,3 +43,15 @@ bench:
 bench-compare:
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchmem -benchtime=1s -count 1 . \
 		| $(GO) run ./cmd/bench-json -baseline $(BENCH_JSON)
+
+# bench-cluster refreshes the committed cluster scale-out baseline.
+bench-cluster:
+	$(GO) test -run '^$$' -bench '$(BENCHES_CLUSTER)' -benchmem -benchtime=1s -count 1 . \
+		| $(GO) run ./cmd/bench-json -out $(BENCH_CLUSTER_JSON)
+	@cat $(BENCH_CLUSTER_JSON)
+
+# bench-cluster-compare prints deltas against the committed cluster
+# baseline. Informational only, like bench-compare.
+bench-cluster-compare:
+	$(GO) test -run '^$$' -bench '$(BENCHES_CLUSTER)' -benchmem -benchtime=1s -count 1 . \
+		| $(GO) run ./cmd/bench-json -baseline $(BENCH_CLUSTER_JSON)

@@ -12,6 +12,7 @@ import (
 	"catcam"
 	"catcam/internal/bench"
 	"catcam/internal/classbench"
+	"catcam/internal/cluster"
 	"catcam/internal/metrics"
 	"catcam/internal/rules"
 )
@@ -219,6 +220,58 @@ func BenchmarkDeviceLookupBatch(b *testing.B) {
 		results = dev.LookupHeaderBatch(headers, results[:0])
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(headers)), "ns/lookup")
+}
+
+// clusterBenchSetup loads the BenchmarkDeviceLookup workload (same
+// ruleset, same geometry per shard, same trace) into an n-shard
+// cluster, so cluster ns/op is directly comparable to the committed
+// single-device baseline.
+func clusterBenchSetup(b *testing.B, shards int, batch int) (*cluster.Cluster, []rules.Header) {
+	b.Helper()
+	c := cluster.New(cluster.Config{Shards: shards, Mode: cluster.ModeInterval, Device: catcam.Compact()})
+	b.Cleanup(c.Close)
+	rs := classbench.Generate(classbench.Config{Family: classbench.ACL, Size: 1000, Seed: 5})
+	for _, r := range rs.Rules {
+		if _, err := c.InsertRule(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c, classbench.PacketTrace(rs, batch, 0.9, 6)
+}
+
+// BenchmarkClusterLookupParallel measures fan-out classify through a
+// 4-shard cluster on the BenchmarkDeviceLookup workload. The stride
+// loop advances b.N by the batch size, so ns/op is per *lookup* —
+// compare directly against BenchmarkDeviceLookup in BENCH_lookup.json.
+// Each shard holds ~1/4 of the rules (fewer active subtables to
+// bit-slice through) and the four shard workers search concurrently,
+// so at GOMAXPROCS >= 4 this should run several times faster than the
+// single-device baseline.
+func BenchmarkClusterLookupParallel(b *testing.B) {
+	c, headers := clusterBenchSetup(b, 4, 256)
+	results := c.LookupHeaderBatch(headers, nil) // warm the fan-out working set
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(headers) {
+		results = c.LookupHeaderBatch(headers, results[:0])
+	}
+}
+
+// BenchmarkClusterShardScaling sweeps the shard count on the same
+// workload — the scaling table in README's "Cluster mode" section.
+// shards=1 measures the pure fan-out overhead over a bare device.
+func BenchmarkClusterShardScaling(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			c, headers := clusterBenchSetup(b, n, 256)
+			results := c.LookupHeaderBatch(headers, nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += len(headers) {
+				results = c.LookupHeaderBatch(headers, results[:0])
+			}
+		})
+	}
 }
 
 // BenchmarkDeviceInsertDelete measures the simulator's raw update speed.

@@ -1,7 +1,13 @@
-// Command catcam-serve runs a CATCAM device under a continuous
+// Command catcam-serve runs a CATCAM engine under a continuous
 // ClassBench churn workload and exposes its runtime telemetry over
 // HTTP — the long-lived serving mode of the simulator, shaped like a
 // real SDN switch agent's admin plane.
+//
+// The engine is a single device by default; -shards N (N >= 2) runs a
+// sharded cluster instead — N devices behind the global shard arbiter,
+// with -partition choosing the interval or hash partition and
+// -rebalance enabling the background migrator. Cluster shards export
+// their device series with a {shard="<i>"} label on the same registry.
 //
 // Endpoints:
 //
@@ -9,7 +15,9 @@
 //	               catcam_update_cycles histograms with p50/p99/p999)
 //	/metrics.json  JSON snapshot of the same registry
 //	/events        recent structured update events (?kind= ?n= filters)
-//	/healthz       liveness plus device occupancy and audit summary
+//	/healthz       liveness plus occupancy, audit summary and (in
+//	               cluster mode) per-shard entries, bounds and
+//	               rebalancer accounting
 //	/debug/trace   sampled causal update traces (?op= ?n= filters)
 //	/debug/audit   invariant auditor report (checks, violations, sweeps)
 //	/debug/vars    expvar (includes the telemetry snapshot)
@@ -19,6 +27,8 @@
 //
 //	catcam-serve [-addr :9090] [-family ACL] [-size 1000] [-rate 10000]
 //	             [-subtables 256] [-slots 256] [-ring 4096] [-seed 1]
+//	             [-shards 1] [-partition interval] [-rebalance 0]
+//	             [-rebalance-batch 64]
 //	             [-trace-every 0] [-trace-ring 1024] [-audit-every 0]
 //	             [-audit-interval 0] [-shadow-every 0] [-duration 0]
 //
@@ -37,9 +47,16 @@
 // -duration D runs the churn for D, then performs a final sweep and
 // exits — nonzero if any invariant violation was detected. That is the
 // CI soak mode.
+//
+// SIGINT or SIGTERM triggers a graceful shutdown in either mode: the
+// churn loop drains, background sweepers and the rebalancer stop, one
+// final AuditSweep runs, the telemetry snapshot is flushed to stdout,
+// and the HTTP server shuts down. The exit code reports the audit
+// verdict, same as -duration.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"flag"
@@ -48,10 +65,14 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"catcam/internal/classbench"
+	"catcam/internal/cluster"
 	"catcam/internal/core"
 	"catcam/internal/flightrec"
 	"catcam/internal/rules"
@@ -70,6 +91,11 @@ type options struct {
 	slots     int
 	ringCap   int
 
+	shards         int
+	partition      string
+	rebalance      time.Duration
+	rebalanceBatch int
+
 	traceEvery    uint64
 	traceRing     int
 	auditEvery    uint64
@@ -85,21 +111,38 @@ func main() {
 	flag.IntVar(&o.size, "size", 1000, "number of rules kept live")
 	flag.Int64Var(&o.seed, "seed", 1, "generator seed")
 	flag.IntVar(&o.rate, "rate", 10000, "updates per second (0 = unthrottled)")
-	flag.IntVar(&o.subtables, "subtables", 256, "subtable count")
+	flag.IntVar(&o.subtables, "subtables", 256, "subtable count (per shard in cluster mode)")
 	flag.IntVar(&o.slots, "slots", 256, "entries per subtable")
 	flag.IntVar(&o.ringCap, "ring", 4096, "event trace ring capacity")
+	flag.IntVar(&o.shards, "shards", 1, "shard count; >= 2 runs a sharded cluster")
+	flag.StringVar(&o.partition, "partition", "interval", "cluster partition mode: interval or hash")
+	flag.DurationVar(&o.rebalance, "rebalance", 0, "cluster rebalance pass period (0 = off)")
+	flag.IntVar(&o.rebalanceBatch, "rebalance-batch", 64, "max entries migrated per rebalance pass")
 	flag.Uint64Var(&o.traceEvery, "trace-every", 0, "record a causal trace for every Nth update (0 = off)")
 	flag.IntVar(&o.traceRing, "trace-ring", 1024, "causal trace ring capacity")
 	flag.Uint64Var(&o.auditEvery, "audit-every", 0, "audit every Nth lookup inline (0 = off)")
 	flag.DurationVar(&o.auditInterval, "audit-interval", 0, "background invariant sweep period (0 = off)")
 	flag.Uint64Var(&o.shadowEvery, "shadow-every", 0, "shadow-check every Nth lookup against the software classifier (0 = off)")
-	flag.DurationVar(&o.duration, "duration", 0, "run for this long, final-sweep and exit; nonzero exit on violations (0 = serve forever)")
+	flag.DurationVar(&o.duration, "duration", 0, "run for this long, final-sweep and exit; nonzero exit on violations (0 = serve until signalled)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "catcam-serve:", err)
 		os.Exit(1)
 	}
+}
+
+// engine is the slice of *core.Device and *cluster.Cluster the serve
+// loop needs; both satisfy it unchanged.
+type engine interface {
+	InsertRule(rules.Rule) (core.UpdateResult, error)
+	DeleteRule(ruleID int) (core.UpdateResult, error)
+	LookupHeaderBatch(hs []rules.Header, dst []core.LookupResult) []core.LookupResult
+	AttachTelemetry(reg *telemetry.Registry, ring *telemetry.EventRing, labels telemetry.Labels)
+	AttachFlightRecorder(rec *flightrec.Recorder, table int)
+	AttachAuditor(aud *flightrec.Auditor)
+	AuditSweep() flightrec.SweepInfo
+	ResetStats()
 }
 
 func run(o options) error {
@@ -114,14 +157,32 @@ func run(o options) error {
 	default:
 		return fmt.Errorf("unknown family %q", o.family)
 	}
+	if o.shards < 1 {
+		return fmt.Errorf("invalid -shards %d", o.shards)
+	}
+	mode, err := cluster.ParseMode(o.partition)
+	if err != nil {
+		return err
+	}
 
 	reg := telemetry.NewRegistry()
 	ring := telemetry.NewEventRing(o.ringCap)
-	dev := core.NewDevice(core.Config{
+	devCfg := core.Config{
 		Subtables: o.subtables, SubtableCapacity: o.slots,
 		KeyWidth: 160, FrequencyMHz: 500,
-	})
-	dev.AttachTelemetry(reg, ring, nil)
+	}
+	var eng engine
+	var cl *cluster.Cluster
+	var dev *core.Device
+	if o.shards >= 2 {
+		cl = cluster.New(cluster.Config{Shards: o.shards, Mode: mode, Device: devCfg})
+		defer cl.Close()
+		eng = cl
+	} else {
+		dev = core.NewDevice(devCfg)
+		eng = dev
+	}
+	eng.AttachTelemetry(reg, ring, nil)
 
 	// Flight recorder: causal traces, the invariant auditor (always
 	// attached so a corrupted decision is reported rather than fatal),
@@ -129,33 +190,62 @@ func run(o options) error {
 	// the bulk load so it mirrors every rule.
 	rec := flightrec.NewRecorder(o.traceRing)
 	rec.SetSampleEvery(o.traceEvery)
-	dev.AttachFlightRecorder(rec, -1)
+	eng.AttachFlightRecorder(rec, -1)
 	aud := flightrec.NewAuditor(reg, ring, 256, nil)
 	aud.SetLookupSampleEvery(o.auditEvery)
-	dev.AttachAuditor(aud)
-	var shadow *flightrec.Shadow
+	eng.AttachAuditor(aud)
+	var shadows []*flightrec.Shadow
 	if o.shadowEvery > 0 {
-		shadow = flightrec.NewShadow(swclass.NewLinear(), aud, -1)
-		shadow.SetSampleEvery(o.shadowEvery)
-		dev.AttachShadow(shadow)
+		mkShadow := func() *flightrec.Shadow {
+			sh := flightrec.NewShadow(swclass.NewLinear(), aud, -1)
+			sh.SetSampleEvery(o.shadowEvery)
+			shadows = append(shadows, sh)
+			return sh
+		}
+		if cl != nil {
+			// One shadow per shard: each mirrors exactly its shard's
+			// partition of the rules.
+			cl.AttachShadows(func(int) *flightrec.Shadow { return mkShadow() })
+		} else {
+			dev.AttachShadow(mkShadow())
+		}
 	}
 
-	c, err := newChurner(dev, fam, o.size, o.seed)
+	c, err := newChurner(eng, fam, o.size, o.seed)
 	if err != nil {
 		return err
 	}
 	// The bulk load is warmup; serve steady-state quantiles only.
-	dev.ResetStats()
-	go c.loop(o.rate)
+	eng.ResetStats()
+	churnDone := make(chan struct{})
+	var churnWG sync.WaitGroup
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		c.loop(o.rate, churnDone)
+	}()
 
+	sweepDone := make(chan struct{})
+	var bgWG sync.WaitGroup
 	if o.auditInterval > 0 {
+		bgWG.Add(1)
 		go func() {
+			defer bgWG.Done()
 			t := time.NewTicker(o.auditInterval)
 			defer t.Stop()
-			for range t.C {
-				dev.AuditSweep()
+			for {
+				select {
+				case <-sweepDone:
+					return
+				case <-t.C:
+					eng.AuditSweep()
+				}
 			}
 		}()
+	}
+	stopRebal := func() {}
+	if cl != nil && o.rebalance > 0 {
+		stopRebal = cl.StartRebalancer(o.rebalance, o.rebalanceBatch)
 	}
 
 	start := time.Now()
@@ -166,47 +256,97 @@ func run(o options) error {
 	http.Handle("/debug/audit", aud.Handler())
 	http.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(map[string]any{
+		body := map[string]any{
 			"status":           "ok",
 			"uptime_seconds":   time.Since(start).Seconds(),
 			"workload":         fmt.Sprintf("%s %d", fam, o.size),
-			"entries":          reg.Gauge("catcam_entries", "", nil).Value(),
-			"active_subtables": reg.Gauge("catcam_active_subtables", "", nil).Value(),
 			"events_emitted":   ring.Total(),
 			"audit_checks":     aud.TotalChecks(),
 			"audit_violations": aud.TotalViolations(),
 			"traces_recorded":  rec.Total(),
-		})
+			"shards":           o.shards,
+		}
+		if cl != nil {
+			passes, moved := cl.RebalanceStats()
+			body["partition"] = cl.Mode().String()
+			body["entries"] = cl.Entries()
+			body["shard_entries"] = cl.ShardEntries()
+			body["rebalance_passes"] = passes
+			body["rebalance_moved"] = moved
+			if cl.Mode() == cluster.ModeInterval {
+				body["bounds"] = cl.Bounds()
+			}
+		} else {
+			body["entries"] = reg.Gauge("catcam_entries", "", nil).Value()
+			body["active_subtables"] = reg.Gauge("catcam_active_subtables", "", nil).Value()
+		}
+		_ = json.NewEncoder(w).Encode(body)
 	})
 	// expvar's /debug/vars handler registers itself on the default mux;
 	// publish the telemetry snapshot there too.
 	expvar.Publish("catcam", expvar.Func(func() any { return reg.Snapshot() }))
 
-	fmt.Printf("catcam-serve: %s %d rules on %dx%d device, churn %d updates/s\n",
-		fam, o.size, o.subtables, o.slots, o.rate)
+	engDesc := fmt.Sprintf("%dx%d device", o.subtables, o.slots)
+	if cl != nil {
+		engDesc = fmt.Sprintf("%d-shard %s cluster of %dx%d devices", o.shards, cl.Mode(), o.subtables, o.slots)
+	}
+	fmt.Printf("catcam-serve: %s %d rules on %s, churn %d updates/s\n",
+		fam, o.size, engDesc, o.rate)
 	fmt.Printf("catcam-serve: listening on %s (/metrics /metrics.json /events /healthz /debug/trace /debug/audit /debug/vars /debug/pprof)\n", o.addr)
 
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+	srv := &http.Server{Addr: o.addr}
 	errCh := make(chan error, 1)
-	go func() { errCh <- http.ListenAndServe(o.addr, nil) }()
-	if o.duration <= 0 {
-		return <-errCh
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	var timeout <-chan time.Time
+	if o.duration > 0 {
+		timeout = time.After(o.duration)
 	}
 	select {
 	case err := <-errCh:
 		return err
-	case <-time.After(o.duration):
+	case <-ctx.Done():
+		fmt.Println("catcam-serve: signal received, draining")
+	case <-timeout:
 	}
-	return finalAudit(dev, aud, shadow)
+	stopSig()
+
+	// Graceful shutdown: drain the churn loop so no update is cut off
+	// mid-flight, stop the background sweeper and rebalancer, then run
+	// the final audit over a quiescent engine and flush telemetry.
+	close(churnDone)
+	churnWG.Wait()
+	close(sweepDone)
+	bgWG.Wait()
+	stopRebal()
+
+	auditErr := finalAudit(eng, aud, shadows)
+	if cl != nil {
+		passes, moved := cl.RebalanceStats()
+		fmt.Printf("catcam-serve: rebalancer: %d passes, %d rules moved, shard entries %v\n",
+			passes, moved, cl.ShardEntries())
+	}
+	if err := json.NewEncoder(os.Stdout).Encode(reg.Snapshot()); err != nil {
+		fmt.Fprintln(os.Stderr, "catcam-serve: telemetry flush:", err)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "catcam-serve: http shutdown:", err)
+	}
+	return auditErr
 }
 
-// finalAudit runs one last sweep after a -duration soak and reports the
+// finalAudit runs one last sweep after the churn drains and reports the
 // verdict: any violation observed during the run fails the process.
-func finalAudit(dev *core.Device, aud *flightrec.Auditor, shadow *flightrec.Shadow) error {
-	info := dev.AuditSweep()
+func finalAudit(eng engine, aud *flightrec.Auditor, shadows []*flightrec.Shadow) error {
+	info := eng.AuditSweep()
 	fmt.Printf("catcam-serve: final sweep: %d checks in %.1fms\n", info.Checks, info.DurationMs)
-	if shadow != nil {
-		if bad, reason := shadow.Desynced(); bad {
-			fmt.Fprintf(os.Stderr, "catcam-serve: warning: shadow classifier desynced (%s); differential coverage was partial\n", reason)
+	for i, sh := range shadows {
+		if bad, reason := sh.Desynced(); bad {
+			fmt.Fprintf(os.Stderr, "catcam-serve: warning: shadow classifier %d desynced (%s); differential coverage was partial\n", i, reason)
 		}
 	}
 	checks, violations := aud.TotalChecks(), aud.TotalViolations()
@@ -226,7 +366,7 @@ func finalAudit(dev *core.Device, aud *flightrec.Auditor, shadow *flightrec.Shad
 // priority (classbench.UpdateTraceFresh semantics, generated online so
 // the stream never ends), plus one lookup.
 type churner struct {
-	dev     *core.Device
+	eng     engine
 	rng     *rand.Rand
 	live    []rules.Rule
 	deleted []rules.Rule
@@ -239,15 +379,15 @@ type churner struct {
 	results  []core.LookupResult
 }
 
-func newChurner(dev *core.Device, fam classbench.Family, size int, seed int64) (*churner, error) {
+func newChurner(eng engine, fam classbench.Family, size int, seed int64) (*churner, error) {
 	rs := classbench.Generate(classbench.Config{Family: fam, Size: size, Seed: seed})
 	c := &churner{
-		dev:     dev,
+		eng:     eng,
 		rng:     rand.New(rand.NewSource(seed + 1)),
 		headers: classbench.PacketTrace(rs, 4096, 0.9, seed+2),
 	}
 	for _, r := range rs.Rules {
-		if _, err := dev.InsertRule(r); err != nil {
+		if _, err := eng.InsertRule(r); err != nil {
 			return nil, fmt.Errorf("bulk load: %w", err)
 		}
 		c.live = append(c.live, r)
@@ -259,7 +399,7 @@ func newChurner(dev *core.Device, fam classbench.Family, size int, seed int64) (
 }
 
 // step performs one update. Lookup traffic is issued separately in
-// batches (see lookups) so the device lock and classify scratch are
+// batches (see lookups) so the engine lock and classify scratch are
 // amortized the way a real ingress pipeline amortizes per-packet cost.
 func (c *churner) step() {
 	doInsert := c.rng.Intn(2) == 0
@@ -271,7 +411,7 @@ func (c *churner) step() {
 		r.ID = c.nextID
 		c.nextID++
 		r.Priority = 1 + c.rng.Intn(65535)
-		if _, err := c.dev.InsertRule(r); err == nil {
+		if _, err := c.eng.InsertRule(r); err == nil {
 			c.live = append(c.live, r)
 		} else {
 			c.deleted = append(c.deleted, r)
@@ -282,11 +422,11 @@ func (c *churner) step() {
 		c.live[i] = c.live[len(c.live)-1]
 		c.live = c.live[:len(c.live)-1]
 		c.deleted = append(c.deleted, r)
-		_, _ = c.dev.DeleteRule(r.ID)
+		_, _ = c.eng.DeleteRule(r.ID)
 	}
 }
 
-// lookups classifies the next n trace headers in one batched device
+// lookups classifies the next n trace headers in one batched engine
 // call (one update : one lookup overall, same as before batching).
 func (c *churner) lookups(n int) {
 	if len(c.headers) == 0 {
@@ -297,16 +437,22 @@ func (c *churner) lookups(n int) {
 		c.hdrBatch = append(c.hdrBatch, c.headers[c.hdr%len(c.headers)])
 		c.hdr++
 	}
-	c.results = c.dev.LookupHeaderBatch(c.hdrBatch, c.results[:0])
+	c.results = c.eng.LookupHeaderBatch(c.hdrBatch, c.results[:0])
 }
 
 // loop paces the churn at the requested rate in 10ms batches: a burst
 // of updates, then the matching burst of lookups as one batched call.
 // Only this goroutine drives traffic; HTTP handlers read the atomic
-// telemetry (and the device itself is safe for concurrent use).
-func (c *churner) loop(rate int) {
+// telemetry (and the engine itself is safe for concurrent use). The
+// loop drains — finishing its current burst — when done closes.
+func (c *churner) loop(rate int, done <-chan struct{}) {
 	if rate <= 0 {
 		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
 			for i := 0; i < 64; i++ {
 				c.step()
 			}
@@ -320,10 +466,15 @@ func (c *churner) loop(rate int) {
 	}
 	t := time.NewTicker(tick)
 	defer t.Stop()
-	for range t.C {
-		for i := 0; i < batch; i++ {
-			c.step()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			for i := 0; i < batch; i++ {
+				c.step()
+			}
+			c.lookups(batch)
 		}
-		c.lookups(batch)
 	}
 }

@@ -1,0 +1,547 @@
+// Package cluster composes N independent CATCAM devices ("shards")
+// behind one classify/update API — the paper's interval-partitioning
+// idea applied one level above the device. Inside a core.Device, a
+// global priority matrix assigns each subtable a disjoint priority
+// interval and reduces per-subtable match reports to one winner; here,
+// a cluster-level arbiter assigns each *shard* a disjoint priority
+// interval (or a hash partition for priority-free workloads), fans a
+// lookup out to every shard in parallel, and reduces the per-shard
+// winners the same way the global matrix reduces subtable reports.
+// Updates route to exactly one shard, so the O(1)-update story holds
+// end to end: a cluster insert is one device insert.
+//
+// # Why parallel classify needs no device-lock changes
+//
+// Each shard is a complete core.Device with its own mutex and its own
+// private lookupScratch (the PR-2 allocation-free working set). The
+// fan-out runs one long-lived worker goroutine per shard; a worker
+// only ever touches its own shard's device — whose lock it takes via
+// LookupHeaderBatch — and its own result slice, which no other
+// goroutine reads until the fan-out WaitGroup synchronizes. There is
+// no cross-shard shared mutable state on the classify path, so N
+// shards classify with N-way parallelism while every device-level
+// guarantee (locking, zero allocation, audit hooks) carries over
+// unchanged.
+//
+// Live rebalancing migrates rules from hot/full shards to cold ones in
+// bounded batches (see rebalance.go), and snapshot/restore round-trips
+// a whole cluster deterministically (see snapshot.go).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"catcam/internal/core"
+	"catcam/internal/flightrec"
+	"catcam/internal/rules"
+)
+
+// Mode selects how rules are partitioned across shards.
+type Mode int
+
+const (
+	// ModeInterval assigns each shard a disjoint priority interval —
+	// the paper-faithful partition: the arbiter picks the winner by
+	// shard order exactly as the global priority matrix picks the
+	// winning subtable by interval order.
+	ModeInterval Mode = iota
+	// ModeHash routes rules by a hash of their ID — the partition for
+	// priority-free workloads; the arbiter reduces per-shard winners
+	// by full rank comparison.
+	ModeHash
+)
+
+// String names the mode as the -partition flag spells it.
+func (m Mode) String() string {
+	switch m {
+	case ModeInterval:
+		return "interval"
+	case ModeHash:
+		return "hash"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode parses a -partition flag value.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "interval":
+		return ModeInterval, nil
+	case "hash":
+		return ModeHash, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown partition mode %q (want interval or hash)", s)
+}
+
+// ErrDuplicate is returned when an insert reuses a live rule ID; the
+// cluster's router requires IDs to be unique so deletes can be routed
+// without a priority.
+var ErrDuplicate = errors.New("cluster: rule ID already installed")
+
+// Config sizes a cluster.
+type Config struct {
+	// Shards is the device count (>= 1).
+	Shards int
+	// Mode selects the partition scheme.
+	Mode Mode
+	// Device sizes each shard (every shard gets the same geometry).
+	Device core.Config
+	// Bounds optionally seeds the interval partition: Shards-1
+	// ascending priority upper bounds; shard i owns priorities p with
+	// Bounds[i-1] < p <= Bounds[i] (open below the first, unbounded
+	// above the last). Nil splits [0, 65536) evenly — the right prior
+	// for ClassBench-style uniform priorities; the rebalancer adapts
+	// the bounds to whatever the workload actually is.
+	Bounds []int
+}
+
+// ownedRule is the cluster's control-plane record of one installed
+// rule: which shard holds it and the full rule body (what an SDN
+// agent's rule store retains anyway). Migration and snapshot read the
+// body back from here rather than reverse-engineering range-expanded
+// ternary words out of the devices.
+type ownedRule struct {
+	shard int
+	rule  rules.Rule
+}
+
+// Cluster is a sharded CATCAM: N devices, one arbiter.
+//
+// Lock order (never take a later lock while holding an earlier one in
+// reverse): fanMu -> mu -> routeMu -> per-shard device mutexes.
+//
+//   - mu (RWMutex) is the migration epoch: classify and updates hold
+//     RLock, so they run concurrently with each other; a rebalance
+//     batch, snapshot restore and attach calls hold Lock, so a rule is
+//     never observed mid-flight between shards.
+//   - routeMu guards the routing state (owner map, interval bounds).
+//   - fanMu serializes fan-outs: the per-shard workers and result
+//     slices are a single reusable working set, like a device's
+//     lookupScratch one level down.
+type Cluster struct {
+	cfg    Config
+	mode   Mode
+	shards []*shard
+
+	mu      sync.RWMutex
+	routeMu sync.Mutex
+	owner   map[int]ownedRule
+	bounds  []int
+
+	// Fan-out working set, guarded by fanMu.
+	fanMu   sync.Mutex
+	fanWG   sync.WaitGroup
+	fanHdrs []rules.Header
+	hdr1    [1]rules.Header
+	res1    []core.LookupResult
+
+	closeOnce sync.Once
+
+	tel *clusterTelemetry
+	aud *flightrec.Auditor
+
+	rebalMu     sync.Mutex
+	rebalPasses uint64
+	rebalMoved  uint64
+}
+
+// shard is one device plus its fan-out worker plumbing.
+type shard struct {
+	id  int
+	dev *core.Device
+	// work wakes the worker for one fan-out round; results is the
+	// worker-owned per-round output, synchronized by the fan-out
+	// WaitGroup.
+	work    chan struct{}
+	results []core.LookupResult
+}
+
+// New builds a cluster of cfg.Shards devices and starts one fan-out
+// worker per shard. Call Close to stop the workers when done.
+func New(cfg Config) *Cluster {
+	if cfg.Shards < 1 {
+		panic(fmt.Sprintf("cluster: invalid shard count %d", cfg.Shards))
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		mode:  cfg.Mode,
+		owner: make(map[int]ownedRule),
+		res1:  make([]core.LookupResult, 0, 1),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s := &shard{id: i, dev: core.NewDevice(cfg.Device), work: make(chan struct{})}
+		c.shards = append(c.shards, s)
+		go c.worker(s)
+	}
+	if cfg.Mode == ModeInterval {
+		if cfg.Bounds != nil {
+			if len(cfg.Bounds) != cfg.Shards-1 {
+				panic(fmt.Sprintf("cluster: %d bounds for %d shards", len(cfg.Bounds), cfg.Shards))
+			}
+			if !sort.IntsAreSorted(cfg.Bounds) {
+				panic(fmt.Sprintf("cluster: bounds not ascending: %v", cfg.Bounds))
+			}
+			c.bounds = append([]int(nil), cfg.Bounds...)
+		} else {
+			for i := 1; i < cfg.Shards; i++ {
+				c.bounds = append(c.bounds, i*65536/cfg.Shards)
+			}
+		}
+	}
+	return c
+}
+
+// Close stops the fan-out workers and the cluster's background
+// machinery. The cluster must be idle; classify after Close panics.
+func (c *Cluster) Close() {
+	c.closeOnce.Do(func() {
+		for _, s := range c.shards {
+			close(s.work)
+		}
+	})
+}
+
+// worker is one shard's long-lived fan-out goroutine: each wake-up
+// classifies the current fan-out batch against this shard only, into
+// this shard's private result slice. The channel receive orders the
+// read of fanHdrs after the dispatcher's write; the WaitGroup orders
+// the dispatcher's read of results after the write here.
+func (c *Cluster) worker(s *shard) {
+	for range s.work {
+		s.results = s.dev.LookupHeaderBatch(c.fanHdrs, s.results[:0])
+		c.fanWG.Done()
+	}
+}
+
+// Mode returns the partition mode.
+func (c *Cluster) Mode() Mode { return c.mode }
+
+// NumShards returns the shard count.
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// Shard exposes one backing device (stats, invariants, tests).
+func (c *Cluster) Shard(i int) *core.Device { return c.shards[i].dev }
+
+// Bounds returns a copy of the interval partition bounds (nil in hash
+// mode).
+func (c *Cluster) Bounds() []int {
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	return append([]int(nil), c.bounds...)
+}
+
+// hashShard is the ModeHash router: a 64-bit mix of the rule ID.
+func hashShard(id, n int) int {
+	x := uint64(id)*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9
+	x ^= x >> 31
+	x *= 0x94D049BB133111EB
+	x ^= x >> 29
+	return int(x % uint64(n))
+}
+
+// routeLocked picks the home shard for a priority under routeMu.
+func (c *Cluster) routeLocked(priority int) int {
+	return sort.SearchInts(c.bounds, priority)
+}
+
+// InsertRule routes the rule to its home shard — by priority interval
+// or ID hash — and inserts it there. Exactly one device is touched, so
+// the update cost is one device update: the cluster preserves the
+// paper's O(1) alteration end to end.
+func (c *Cluster) InsertRule(r rules.Rule) (core.UpdateResult, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.routeMu.Lock()
+	if _, dup := c.owner[r.ID]; dup {
+		c.routeMu.Unlock()
+		return core.UpdateResult{}, fmt.Errorf("%w: %d", ErrDuplicate, r.ID)
+	}
+	var sh int
+	if c.mode == ModeInterval {
+		sh = c.routeLocked(r.Priority)
+	} else {
+		sh = hashShard(r.ID, len(c.shards))
+	}
+	c.owner[r.ID] = ownedRule{shard: sh, rule: r}
+	c.routeMu.Unlock()
+
+	res, err := c.shards[sh].dev.InsertRule(r)
+	if err != nil {
+		c.routeMu.Lock()
+		delete(c.owner, r.ID)
+		c.routeMu.Unlock()
+	}
+	return res, err
+}
+
+// DeleteRule routes the delete through the owner map to the one shard
+// holding the rule.
+func (c *Cluster) DeleteRule(ruleID int) (core.UpdateResult, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.routeMu.Lock()
+	o, ok := c.owner[ruleID]
+	c.routeMu.Unlock()
+	if !ok {
+		return core.UpdateResult{}, core.ErrNotFound
+	}
+	res, err := c.shards[o.shard].dev.DeleteRule(ruleID)
+	if err == nil {
+		c.routeMu.Lock()
+		delete(c.owner, ruleID)
+		c.routeMu.Unlock()
+	}
+	return res, err
+}
+
+// ModifyRule replaces a rule with a new version keeping its ID. The
+// new priority may route to a different shard, so modify is
+// delete-then-insert at the cluster level; cycle costs of both phases
+// are reported together, mirroring Device.ModifyRule.
+func (c *Cluster) ModifyRule(ruleID int, newRule rules.Rule) (core.UpdateResult, error) {
+	if newRule.ID != ruleID {
+		return core.UpdateResult{}, fmt.Errorf("cluster: modify must keep rule ID %d, got %d", ruleID, newRule.ID)
+	}
+	del, err := c.DeleteRule(ruleID)
+	if err != nil {
+		return core.UpdateResult{}, err
+	}
+	ins, err := c.InsertRule(newRule)
+	ins.Cycles += del.Cycles
+	return ins, err
+}
+
+// Lookup classifies one header and returns the winning action.
+func (c *Cluster) Lookup(h rules.Header) (int, bool) {
+	c.fanMu.Lock()
+	c.hdr1[0] = h
+	res := c.lookupBatchLocked(c.hdr1[:], c.res1[:0])
+	c.res1 = res[:0]
+	e, ok := res[0].Entry, res[0].OK
+	c.fanMu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	return e.Action, true
+}
+
+// LookupHeaderBatch classifies headers through the whole cluster: the
+// batch fans out to every shard in parallel (each worker classifies
+// against its own device with its own scratch), then the arbiter
+// reduces the per-shard winners to one result per header, appended to
+// dst in input order. With a reused dst the steady-state path
+// allocates nothing — the fan-out working set is sized once and the
+// per-shard paths are the PR-2 allocation-free batch lookups.
+func (c *Cluster) LookupHeaderBatch(hs []rules.Header, dst []core.LookupResult) []core.LookupResult {
+	if len(hs) == 0 {
+		return dst
+	}
+	c.fanMu.Lock()
+	dst = c.lookupBatchLocked(hs, dst)
+	c.fanMu.Unlock()
+	return dst
+}
+
+// lookupBatchLocked runs one fan-out round; callers hold fanMu.
+func (c *Cluster) lookupBatchLocked(hs []rules.Header, dst []core.LookupResult) []core.LookupResult {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var start time.Time
+	t := c.tel
+	if t != nil {
+		start = time.Now()
+	}
+	c.fanHdrs = hs
+	c.fanWG.Add(len(c.shards))
+	for _, s := range c.shards {
+		s.work <- struct{}{}
+	}
+	c.fanWG.Wait()
+	for i := range hs {
+		dst = append(dst, c.reduce(i))
+	}
+	if t != nil {
+		t.lookups.Add(uint64(len(hs)))
+		t.fanoutNs.Observe(uint64(time.Since(start).Nanoseconds()))
+	}
+	return dst
+}
+
+// reduce arbitrates header i's per-shard winners into the cluster
+// winner. In interval mode the arbiter picks the highest matched shard
+// — shard order IS priority order, exactly as the global priority
+// matrix picks the winning subtable by interval order. In hash mode
+// priorities interleave across shards, so the arbiter compares the
+// winners' ranks. Sampled classifications additionally verify the
+// arbiter against an independent rank walk (InvArbiterWinner).
+func (c *Cluster) reduce(i int) core.LookupResult {
+	win := -1
+	if c.mode == ModeInterval {
+		for s := len(c.shards) - 1; s >= 0; s-- {
+			if c.shards[s].results[i].OK {
+				win = s
+				break
+			}
+		}
+	} else {
+		for s := range c.shards {
+			if !c.shards[s].results[i].OK {
+				continue
+			}
+			if win < 0 || c.shards[win].results[i].Entry.Rank.Less(c.shards[s].results[i].Entry.Rank) {
+				win = s
+			}
+		}
+	}
+	if c.aud.SampleLookup() {
+		c.auditReduce(i, win)
+	}
+	if win < 0 {
+		return core.LookupResult{}
+	}
+	return c.shards[win].results[i]
+}
+
+// auditReduce cross-checks one sampled arbitration: the arbiter's
+// winner must equal the rank-walk winner (the metadata reduction), and
+// the winning rule's owner-map record must name the shard that
+// reported it. Cold path; runs under mu.RLock with the fan-out results
+// still live.
+func (c *Cluster) auditReduce(i, win int) {
+	best := -1
+	for s := range c.shards {
+		if !c.shards[s].results[i].OK {
+			continue
+		}
+		if best < 0 || c.shards[best].results[i].Entry.Rank.Less(c.shards[s].results[i].Entry.Rank) {
+			best = s
+		}
+	}
+	c.aud.Check(flightrec.InvArbiterWinner, best == win, func() flightrec.Violation {
+		return flightrec.Violation{
+			Table: -1, Subtable: win, RuleID: -1,
+			Detail: fmt.Sprintf("arbiter chose shard %d, rank walk %d", win, best),
+		}
+	})
+	if win < 0 {
+		return
+	}
+	id := c.shards[win].results[i].Entry.Rank.RuleID
+	c.routeMu.Lock()
+	o, ok := c.owner[id]
+	c.routeMu.Unlock()
+	c.aud.Check(flightrec.InvArbiterWinner, ok && o.shard == win, func() flightrec.Violation {
+		return flightrec.Violation{
+			Table: -1, Subtable: win, RuleID: id,
+			Detail: fmt.Sprintf("winner rule %d owner record: present=%v shard=%d, reported by shard %d",
+				id, ok, o.shard, win),
+		}
+	})
+}
+
+// Len returns the number of installed rules (pre range expansion).
+func (c *Cluster) Len() int {
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	return len(c.owner)
+}
+
+// Entries returns stored entries across all shards (post expansion).
+func (c *Cluster) Entries() int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.dev.Len()
+	}
+	return n
+}
+
+// ShardEntries returns per-shard stored entry counts, index-aligned
+// with Shard.
+func (c *Cluster) ShardEntries() []int {
+	out := make([]int, len(c.shards))
+	for i, s := range c.shards {
+		out[i] = s.dev.Len()
+	}
+	return out
+}
+
+// Stats aggregates device statistics across the shards.
+func (c *Cluster) Stats() core.Stats {
+	var total core.Stats
+	for _, s := range c.shards {
+		st := s.dev.Stats()
+		total.Lookups += st.Lookups
+		total.Inserts += st.Inserts
+		total.Deletes += st.Deletes
+		total.Reallocations += st.Reallocations
+		total.DirectInserts += st.DirectInserts
+		total.ReallocInserts += st.ReallocInserts
+		total.UpdateCycles += st.UpdateCycles
+		total.LookupCycles += st.LookupCycles
+		total.FreshSubtables += st.FreshSubtables
+	}
+	return total
+}
+
+// ResetStats zeroes every shard's statistics and telemetry.
+func (c *Cluster) ResetStats() {
+	for _, s := range c.shards {
+		s.dev.ResetStats()
+	}
+}
+
+// CheckInvariant verifies every shard's device invariants plus the
+// cluster-level routing invariants (shard interval disjointness and
+// owner-map consistency). Test support; AuditSweep runs the same
+// cluster check under the auditor.
+func (c *Cluster) CheckInvariant() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if err := c.routingInvariant(); err != nil {
+		return err
+	}
+	for i, s := range c.shards {
+		if err := s.dev.CheckInvariant(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// routingInvariant checks the cluster-level structural invariants:
+// ascending interval bounds and every owned rule inside its shard's
+// interval (interval mode), and every owner record naming a live
+// shard. Callers hold mu (read or write).
+func (c *Cluster) routingInvariant() error {
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	if c.mode == ModeInterval {
+		if len(c.bounds) != len(c.shards)-1 {
+			return fmt.Errorf("cluster: %d bounds for %d shards", len(c.bounds), len(c.shards))
+		}
+		for i := 1; i < len(c.bounds); i++ {
+			if c.bounds[i] < c.bounds[i-1] {
+				return fmt.Errorf("cluster: bounds out of order at %d: %v", i, c.bounds)
+			}
+		}
+	}
+	for id, o := range c.owner {
+		if o.shard < 0 || o.shard >= len(c.shards) {
+			return fmt.Errorf("cluster: rule %d owned by unknown shard %d", id, o.shard)
+		}
+		if o.rule.ID != id {
+			return fmt.Errorf("cluster: owner map key %d holds rule %d", id, o.rule.ID)
+		}
+		if c.mode == ModeInterval {
+			if want := c.routeLocked(o.rule.Priority); want != o.shard {
+				return fmt.Errorf("cluster: rule %d priority %d lives on shard %d outside its interval (want shard %d, bounds %v)",
+					id, o.rule.Priority, o.shard, want, c.bounds)
+			}
+		}
+	}
+	return nil
+}

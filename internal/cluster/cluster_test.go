@@ -1,0 +1,306 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"catcam/internal/classbench"
+	"catcam/internal/core"
+	"catcam/internal/flightrec"
+	"catcam/internal/rules"
+	"catcam/internal/telemetry"
+)
+
+// testDeviceConfig sizes each shard generously enough that a full
+// ClassBench ruleset fits on a single shard too (the differential
+// reference device reuses it).
+func testDeviceConfig() core.Config {
+	return core.Config{Subtables: 128, SubtableCapacity: 64, KeyWidth: 160, FrequencyMHz: 500}
+}
+
+func testCluster(t *testing.T, shards int, mode Mode) *Cluster {
+	t.Helper()
+	c := New(Config{Shards: shards, Mode: mode, Device: testDeviceConfig()})
+	t.Cleanup(c.Close)
+	return c
+}
+
+func clRule(id, prio int, src rules.Prefix) rules.Rule {
+	return rules.Rule{
+		ID: id, Priority: prio, Action: id * 10,
+		SrcIP: src, DstIP: rules.Prefix{Len: 0},
+		SrcPort: rules.FullPortRange(), DstPort: rules.FullPortRange(),
+		ProtoWildcard: true,
+	}
+}
+
+func TestClusterBasicUpdateLookup(t *testing.T) {
+	for _, mode := range []Mode{ModeInterval, ModeHash} {
+		t.Run(mode.String(), func(t *testing.T) {
+			c := testCluster(t, 4, mode)
+			broad := clRule(1, 100, rules.Prefix{Len: 0})
+			narrow := clRule(2, 40000, rules.Prefix{Addr: 0x0A000000, Len: 8})
+			if _, err := c.InsertRule(broad); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.InsertRule(narrow); err != nil {
+				t.Fatal(err)
+			}
+			if mode == ModeInterval {
+				// Priorities 100 and 40000 must land on different shards
+				// under the default even split of [0, 65536).
+				if got := c.ShardEntries(); got[0] == 0 || got[2] == 0 {
+					t.Fatalf("expected shards 0 and 2 populated, got %v", got)
+				}
+			}
+			if a, ok := c.Lookup(rules.Header{SrcIP: 0x0A010203}); !ok || a != 20 {
+				t.Fatalf("overlap lookup = %d,%v want 20,true", a, ok)
+			}
+			if a, ok := c.Lookup(rules.Header{SrcIP: 0xC0A80101}); !ok || a != 10 {
+				t.Fatalf("broad lookup = %d,%v want 10,true", a, ok)
+			}
+			if _, err := c.DeleteRule(2); err != nil {
+				t.Fatal(err)
+			}
+			if a, ok := c.Lookup(rules.Header{SrcIP: 0x0A010203}); !ok || a != 10 {
+				t.Fatalf("post-delete lookup = %d,%v want 10,true", a, ok)
+			}
+			if _, err := c.DeleteRule(2); !errors.Is(err, core.ErrNotFound) {
+				t.Fatalf("double delete err = %v, want ErrNotFound", err)
+			}
+			if err := c.CheckInvariant(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestClusterDuplicateID(t *testing.T) {
+	c := testCluster(t, 2, ModeInterval)
+	if _, err := c.InsertRule(clRule(7, 10, rules.Prefix{Len: 0})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.InsertRule(clRule(7, 60000, rules.Prefix{Len: 0})); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate insert err = %v, want ErrDuplicate", err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestClusterModifyMayChangeShard(t *testing.T) {
+	c := testCluster(t, 4, ModeInterval)
+	if _, err := c.InsertRule(clRule(3, 100, rules.Prefix{Addr: 0x0A000000, Len: 8})); err != nil {
+		t.Fatal(err)
+	}
+	// New priority routes to the top shard; the rule must follow.
+	if _, err := c.ModifyRule(3, clRule(3, 65000, rules.Prefix{Addr: 0x0A000000, Len: 8})); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ShardEntries(); got[0] != 0 || got[3] == 0 {
+		t.Fatalf("modify did not migrate shards: %v", got)
+	}
+	if a, ok := c.Lookup(rules.Header{SrcIP: 0x0A010203}); !ok || a != 30 {
+		t.Fatalf("lookup after modify = %d,%v", a, ok)
+	}
+	if err := c.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterDifferential is the subsystem's ground truth: for both
+// partition modes and every ClassBench family, an N-shard cluster must
+// classify a packet trace identically to one single device holding the
+// same rules — same hit/miss and same winning rule, header by header.
+func TestClusterDifferential(t *testing.T) {
+	for _, mode := range []Mode{ModeInterval, ModeHash} {
+		for _, fam := range classbench.Families() {
+			t.Run(mode.String()+"/"+fam.String(), func(t *testing.T) {
+				rs := classbench.Generate(classbench.Config{Family: fam, Size: 300, Seed: 11})
+				c := testCluster(t, 4, mode)
+				ref := core.NewDevice(testDeviceConfig())
+				aud := flightrec.NewAuditor(nil, nil, 0, nil)
+				aud.SetLookupSampleEvery(1)
+				c.AttachAuditor(aud)
+				for _, r := range rs.Rules {
+					if _, err := c.InsertRule(r); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := ref.InsertRule(r); err != nil {
+						t.Fatal(err)
+					}
+				}
+				// Churn half the rules so the differential also covers
+				// the delete path and re-insertion placement.
+				for _, u := range classbench.UpdateTrace(rs, 200, 7) {
+					if u.Op == classbench.OpInsert {
+						if _, err := c.InsertRule(u.Rule); err != nil {
+							t.Fatal(err)
+						}
+						if _, err := ref.InsertRule(u.Rule); err != nil {
+							t.Fatal(err)
+						}
+					} else {
+						if _, err := c.DeleteRule(u.Rule.ID); err != nil {
+							t.Fatal(err)
+						}
+						if _, err := ref.DeleteRule(u.Rule.ID); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				hs := classbench.PacketTrace(rs, 2000, 0.9, 3)
+				got := c.LookupHeaderBatch(hs, nil)
+				want := ref.LookupHeaderBatch(hs, nil)
+				for i := range hs {
+					if got[i].OK != want[i].OK {
+						t.Fatalf("header %d: cluster hit=%v, device hit=%v", i, got[i].OK, want[i].OK)
+					}
+					if got[i].OK && got[i].Entry.Rank.RuleID != want[i].Entry.Rank.RuleID {
+						t.Fatalf("header %d: cluster winner %d, device winner %d",
+							i, got[i].Entry.Rank.RuleID, want[i].Entry.Rank.RuleID)
+					}
+				}
+				if err := c.CheckInvariant(); err != nil {
+					t.Fatal(err)
+				}
+				// Every lookup was arbiter-audited (SampleEvery: 1).
+				if aud.ViolationCount(flightrec.InvArbiterWinner) != 0 {
+					t.Fatalf("arbiter audit violations: %v", aud.Violations())
+				}
+				if aud.Checks(flightrec.InvArbiterWinner) == 0 {
+					t.Fatal("arbiter audit never ran")
+				}
+			})
+		}
+	}
+}
+
+// TestClusterFanoutAllocFree proves the satellite claim: with a reused
+// dst, steady-state fan-out classify allocates nothing — the per-shard
+// workers reuse their result slices and the audit closures only form on
+// the sampled cold path (sampling disabled here, auditor still
+// attached, as in production between samples).
+func TestClusterFanoutAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector perturbs AllocsPerRun")
+	}
+	rs := classbench.Generate(classbench.Config{Family: classbench.ACL, Size: 200, Seed: 4})
+	c := testCluster(t, 4, ModeInterval)
+	c.AttachAuditor(flightrec.NewAuditor(nil, nil, 0, nil))
+	for _, r := range rs.Rules {
+		if _, err := c.InsertRule(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hs := classbench.PacketTrace(rs, 256, 0.9, 9)
+	dst := make([]core.LookupResult, 0, len(hs))
+	c.LookupHeaderBatch(hs, dst) // warm the fan-out working set
+	if avg := testing.AllocsPerRun(50, func() {
+		dst = c.LookupHeaderBatch(hs, dst[:0])
+	}); avg != 0 {
+		t.Fatalf("fan-out batch allocates %.1f times per call, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		c.Lookup(hs[0])
+	}); avg != 0 {
+		t.Fatalf("single lookup allocates %.1f times per call, want 0", avg)
+	}
+}
+
+func TestClusterTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ring := telemetry.NewEventRing(64)
+	c := testCluster(t, 2, ModeInterval)
+	c.AttachTelemetry(reg, ring, nil)
+	if _, err := c.InsertRule(clRule(1, 10, rules.Prefix{Len: 0})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.InsertRule(clRule(2, 60000, rules.Prefix{Len: 0})); err != nil {
+		t.Fatal(err)
+	}
+	hs := []rules.Header{{SrcIP: 1}, {SrcIP: 2}, {SrcIP: 3}}
+	c.LookupHeaderBatch(hs, nil)
+	snap := reg.Snapshot()
+	if got := snap.Counters["catcam_cluster_lookups_total"]; got != 3 {
+		t.Fatalf("cluster lookup counter = %d, want 3", got)
+	}
+	// Per-shard device series carry the shard label.
+	if got := snap.Gauges[`catcam_entries{shard="0"}`]; got != 1 {
+		t.Fatalf(`shard 0 entries gauge = %d, want 1`, got)
+	}
+	if got := snap.Gauges[`catcam_entries{shard="1"}`]; got != 1 {
+		t.Fatalf(`shard 1 entries gauge = %d, want 1`, got)
+	}
+	found := false
+	for name, h := range snap.Histograms {
+		if name == "catcam_cluster_fanout_ns" && h.Count == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fan-out histogram missing or empty: %v", snap.Histograms)
+	}
+}
+
+func TestClusterAuditSweep(t *testing.T) {
+	c := testCluster(t, 2, ModeInterval)
+	aud := flightrec.NewAuditor(nil, nil, 0, nil)
+	c.AttachAuditor(aud)
+	if _, err := c.InsertRule(clRule(1, 10, rules.Prefix{Len: 0})); err != nil {
+		t.Fatal(err)
+	}
+	info := c.AuditSweep()
+	if info.Checks == 0 || info.Violations != 0 {
+		t.Fatalf("sweep = %+v", info)
+	}
+	if aud.Checks(flightrec.InvShardInterval) == 0 {
+		t.Fatal("shard interval invariant never checked")
+	}
+
+	// Corrupt the routing state: claim the rule lives outside its
+	// interval. The sweep must report it.
+	c.routeMu.Lock()
+	o := c.owner[1]
+	o.shard = 1
+	c.owner[1] = o
+	c.routeMu.Unlock()
+	info = c.AuditSweep()
+	if info.Violations == 0 {
+		t.Fatal("sweep missed an out-of-interval rule")
+	}
+	if aud.ViolationCount(flightrec.InvShardInterval) == 0 {
+		t.Fatal("violation not attributed to InvShardInterval")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	if m, err := ParseMode("interval"); err != nil || m != ModeInterval {
+		t.Fatalf("interval = %v,%v", m, err)
+	}
+	if m, err := ParseMode("hash"); err != nil || m != ModeHash {
+		t.Fatalf("hash = %v,%v", m, err)
+	}
+	if _, err := ParseMode("nope"); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func TestClusterStatsAggregate(t *testing.T) {
+	c := testCluster(t, 3, ModeHash)
+	for i := 0; i < 9; i++ {
+		if _, err := c.InsertRule(clRule(i, 1+i*7000, rules.Prefix{Len: 0})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Stats().Inserts; got != 9 {
+		t.Fatalf("aggregate inserts = %d, want 9", got)
+	}
+	if c.Len() != 9 || c.Entries() != 9 {
+		t.Fatalf("Len=%d Entries=%d, want 9/9", c.Len(), c.Entries())
+	}
+	c.ResetStats()
+	if got := c.Stats().Inserts; got != 0 {
+		t.Fatalf("post-reset inserts = %d", got)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package cluster
+
+// raceEnabled gates allocation assertions: the race detector
+// instruments memory operations and perturbs AllocsPerRun.
+const raceEnabled = true

@@ -1,0 +1,270 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"catcam/internal/telemetry"
+)
+
+// Live rebalancing: a background pass migrates rules from the fullest
+// shard to a colder one in bounded batches, so a skewed priority
+// distribution (interval mode) or hash hot spot does not strand
+// capacity. Each batch runs under the cluster's write lock — the
+// migration epoch — so a classify never observes a rule mid-flight
+// between shards; the batches are bounded (entries, not rules) to keep
+// that exclusion window short. In interval mode only boundary rules
+// move, and the interval bound moves with them, so the partition stays
+// disjoint; rules sharing the cut priority migrate together, because
+// interval routing is a pure function of priority.
+
+// RebalanceOnce runs one bounded migration pass: it picks the shard
+// with the most stored entries as donor and a colder recipient (in
+// interval mode, the donor's lighter neighbor — intervals only stretch
+// across adjacent shards), then moves rules until about batch entries
+// have migrated or the pair is balanced. Returns the number of rules
+// moved; 0 means the cluster is already balanced (donor exceeds
+// recipient by no more than batch entries). Safe under concurrent
+// classify and update traffic.
+func (c *Cluster) RebalanceOnce(batch int) int {
+	if batch <= 0 {
+		batch = 64
+	}
+	if len(c.shards) < 2 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	donor, recipient := c.pickPair()
+	if donor < 0 {
+		return 0
+	}
+	donorN, recipN := c.shards[donor].dev.Len(), c.shards[recipient].dev.Len()
+	if donorN-recipN <= batch {
+		return 0
+	}
+	// Move at most `batch` entries, and never past the midpoint —
+	// overshooting would just invert the imbalance.
+	target := (donorN - recipN) / 2
+	if target > batch {
+		target = batch
+	}
+
+	var moved int
+	if c.mode == ModeInterval {
+		moved = c.moveBoundary(donor, recipient, target)
+	} else {
+		moved = c.moveAny(donor, recipient, target)
+	}
+	if moved > 0 {
+		c.rebalMu.Lock()
+		c.rebalPasses++
+		c.rebalMoved += uint64(moved)
+		c.rebalMu.Unlock()
+		if t := c.tel; t != nil {
+			t.rebalances.Inc()
+			t.moved.Add(uint64(moved))
+			t.event(telemetry.Event{
+				Kind: telemetry.EvRebalance, Table: -1, Subtable: donor, RuleID: -1,
+				Depth: moved,
+				Note:  fmt.Sprintf("shard %d -> %d: %d rules", donor, recipient, moved),
+			})
+		}
+	}
+	return moved
+}
+
+// pickPair chooses (donor, recipient) by stored entry count; callers
+// hold mu. Returns donor -1 when no legal pair exists.
+func (c *Cluster) pickPair() (donor, recipient int) {
+	donor = 0
+	for i, s := range c.shards {
+		if s.dev.Len() > c.shards[donor].dev.Len() {
+			donor = i
+		}
+	}
+	if c.mode == ModeHash {
+		recipient = 0
+		for i, s := range c.shards {
+			if s.dev.Len() < c.shards[recipient].dev.Len() {
+				recipient = i
+			}
+		}
+		if recipient == donor {
+			return -1, -1
+		}
+		return donor, recipient
+	}
+	// Interval mode: intervals are contiguous, so rules can only spill
+	// into an adjacent shard.
+	switch {
+	case donor == 0:
+		recipient = 1
+	case donor == len(c.shards)-1:
+		recipient = donor - 1
+	case c.shards[donor-1].dev.Len() <= c.shards[donor+1].dev.Len():
+		recipient = donor - 1
+	default:
+		recipient = donor + 1
+	}
+	return donor, recipient
+}
+
+// donorRules snapshots the donor's rules sorted ascending by
+// (priority, ID); callers hold mu.
+func (c *Cluster) donorRules(donor int) []ownedRule {
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	var out []ownedRule
+	for _, o := range c.owner {
+		if o.shard == donor {
+			out = append(out, o)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].rule.Priority != out[j].rule.Priority {
+			return out[i].rule.Priority < out[j].rule.Priority
+		}
+		return out[i].rule.ID < out[j].rule.ID
+	})
+	return out
+}
+
+// moveBoundary migrates interval-mode boundary rules from donor to the
+// adjacent recipient until about target entries moved, then slides the
+// interval bound to match. Rules tied at the cut priority move as one
+// group (routing is a function of priority alone); a group that cannot
+// complete — recipient full — is rolled back so the bound stays exact.
+// Callers hold mu.
+func (c *Cluster) moveBoundary(donor, recipient, target int) int {
+	rs := c.donorRules(donor)
+	if len(rs) == 0 {
+		return 0
+	}
+	up := recipient == donor+1 // moving the donor's top toward higher intervals
+	// Walk from the edge shared with the recipient: top of the donor
+	// when moving up, bottom when moving down.
+	if up {
+		for i, j := 0, len(rs)-1; i < j; i, j = i+1, j-1 {
+			rs[i], rs[j] = rs[j], rs[i]
+		}
+	}
+	var moved, movedEntries int
+	for i := 0; i < len(rs) && movedEntries < target; {
+		// The tie group: every donor rule at this priority.
+		j := i + 1
+		for j < len(rs) && rs[j].rule.Priority == rs[i].rule.Priority {
+			j++
+		}
+		group := rs[i:j]
+		// Leaving at least one priority class behind keeps the donor
+		// active; moving its whole population is never needed to halve
+		// an imbalance against a neighbor with spare room.
+		if j == len(rs) {
+			break
+		}
+		if !c.migrateGroup(group, donor, recipient) {
+			break
+		}
+		for _, o := range group {
+			movedEntries += o.rule.ExpansionCount()
+		}
+		moved += len(group)
+		// Slide the bound so the moved priorities now route to the
+		// recipient: moving up shrinks the donor's interval from
+		// above; moving down grows the recipient's from above.
+		cut := group[0].rule.Priority
+		c.routeMu.Lock()
+		if up {
+			c.bounds[donor] = cut - 1
+		} else {
+			c.bounds[recipient] = cut
+		}
+		c.routeMu.Unlock()
+		i = j
+	}
+	return moved
+}
+
+// moveAny migrates hash-mode rules (lowest IDs first, for determinism)
+// from donor to recipient until about target entries moved. Callers
+// hold mu.
+func (c *Cluster) moveAny(donor, recipient, target int) int {
+	rs := c.donorRules(donor)
+	var moved, movedEntries int
+	for _, o := range rs {
+		if movedEntries >= target {
+			break
+		}
+		if !c.migrateGroup([]ownedRule{o}, donor, recipient) {
+			break
+		}
+		movedEntries += o.rule.ExpansionCount()
+		moved++
+	}
+	return moved
+}
+
+// migrateGroup moves one rule group donor -> recipient: insert into
+// the recipient first, then delete from the donor, so the group is
+// never absent from both devices (classifies are excluded by mu
+// anyway; this keeps the devices individually consistent at every
+// step). On a recipient-full failure the group's already-moved members
+// return to the donor and the migration reports false. Callers hold
+// mu.
+func (c *Cluster) migrateGroup(group []ownedRule, donor, recipient int) bool {
+	for k, o := range group {
+		if _, err := c.shards[recipient].dev.InsertRule(o.rule); err != nil {
+			// Roll back the members already copied into the recipient.
+			for _, prev := range group[:k] {
+				if _, derr := c.shards[recipient].dev.DeleteRule(prev.rule.ID); derr != nil {
+					panic(fmt.Sprintf("cluster: rollback delete of rule %d failed: %v", prev.rule.ID, derr))
+				}
+				if _, ierr := c.shards[donor].dev.InsertRule(prev.rule); ierr != nil {
+					panic(fmt.Sprintf("cluster: rollback reinsert of rule %d failed: %v", prev.rule.ID, ierr))
+				}
+			}
+			return false
+		}
+		if _, err := c.shards[donor].dev.DeleteRule(o.rule.ID); err != nil {
+			panic(fmt.Sprintf("cluster: migration delete of rule %d failed: %v", o.rule.ID, err))
+		}
+	}
+	c.routeMu.Lock()
+	for _, o := range group {
+		c.owner[o.rule.ID] = ownedRule{shard: recipient, rule: o.rule}
+	}
+	c.routeMu.Unlock()
+	return true
+}
+
+// RebalanceStats returns how many passes moved rules and the total
+// rules moved.
+func (c *Cluster) RebalanceStats() (passes, moved uint64) {
+	c.rebalMu.Lock()
+	defer c.rebalMu.Unlock()
+	return c.rebalPasses, c.rebalMoved
+}
+
+// StartRebalancer runs RebalanceOnce(batch) every interval on a
+// background goroutine until the returned stop function is called.
+func (c *Cluster) StartRebalancer(interval time.Duration, batch int) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				c.RebalanceOnce(batch)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"catcam/internal/classbench"
+	"catcam/internal/rules"
+)
+
+// TestSnapshotRoundTrip is the satellite acceptance check: dump a
+// cluster (including a rebalanced, non-default interval layout),
+// restore it, and require identical classification and an identical
+// second dump.
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, mode := range []Mode{ModeInterval, ModeHash} {
+		t.Run(mode.String(), func(t *testing.T) {
+			rs := classbench.Generate(classbench.Config{Family: classbench.IPC, Size: 200, Seed: 13})
+			c := testCluster(t, 4, mode)
+			for _, r := range rs.Rules {
+				if _, err := c.InsertRule(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Skew the layout away from the config default so the dump
+			// must carry the live bounds, not the initial ones.
+			for i := 0; i < 5; i++ {
+				c.RebalanceOnce(16)
+			}
+
+			var buf bytes.Buffer
+			if err := c.WriteSnapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			dump := buf.Bytes()
+			snap, err := ReadSnapshot(bytes.NewReader(dump))
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored, err := Restore(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer restored.Close()
+
+			if err := restored.CheckInvariant(); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := restored.ShardEntries(), c.ShardEntries(); len(got) != len(want) {
+				t.Fatalf("shard count %d != %d", len(got), len(want))
+			} else {
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("shard %d entries %d != %d (layout not preserved)", i, got[i], want[i])
+					}
+				}
+			}
+
+			hs := classbench.PacketTrace(rs, 1000, 0.9, 17)
+			got := restored.LookupHeaderBatch(hs, nil)
+			want := c.LookupHeaderBatch(hs, nil)
+			for i := range hs {
+				if got[i].OK != want[i].OK ||
+					(got[i].OK && got[i].Entry.Rank.RuleID != want[i].Entry.Rank.RuleID) {
+					t.Fatalf("header %d: restored %+v, original %+v", i, got[i], want[i])
+				}
+			}
+
+			// Determinism: a second dump of the restored cluster is
+			// byte-identical to the first dump.
+			var buf2 bytes.Buffer
+			if err := restored.WriteSnapshot(&buf2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(dump, buf2.Bytes()) {
+				t.Fatal("snapshot round trip is not byte-stable")
+			}
+		})
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(bytes.NewReader([]byte("{"))); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	if _, err := ReadSnapshot(bytes.NewReader([]byte(`{"mode":"nope","shards":[[]]}`))); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	if _, err := ReadSnapshot(bytes.NewReader([]byte(`{"mode":"hash","shards":[]}`))); err == nil {
+		t.Fatal("empty shards accepted")
+	}
+}
+
+func TestRestoreRejectsDuplicateIDs(t *testing.T) {
+	r := clRule(1, 10, rules.Prefix{Len: 0})
+	snap := &Snapshot{
+		Mode:   "hash",
+		Device: testDeviceConfig(),
+		Shards: [][]rules.Rule{{r}, {r}},
+	}
+	if _, err := Restore(snap); err == nil {
+		t.Fatal("duplicate rule ID across shards accepted")
+	}
+}

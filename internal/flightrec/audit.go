@@ -46,10 +46,21 @@ const (
 	// InvTCAMOrder: a baseline TCAM algorithm's physical entry order
 	// respects rule priority order (update package self-check).
 	InvTCAMOrder
+	// InvShardInterval: a sharded cluster's per-shard priority
+	// intervals are pairwise disjoint, its bounds are ordered, and
+	// every routed rule's priority lies inside its owner shard's
+	// interval (internal/cluster's scale-out of the §VI interval
+	// allocation, one level above subtables).
+	InvShardInterval
+	// InvArbiterWinner: the cluster arbiter's fan-out reduction (pick
+	// the highest matched shard interval) agrees with an independent
+	// rank comparison across the per-shard winners — the scale-out
+	// analogue of InvWinnerAgreement.
+	InvArbiterWinner
 )
 
 // invariantCount sizes the per-invariant counter tables.
-const invariantCount = int(InvTCAMOrder) + 1
+const invariantCount = int(InvArbiterWinner) + 1
 
 var invariantNames = [invariantCount]string{
 	InvReportOneHot:     "report_one_hot",
@@ -60,6 +71,8 @@ var invariantNames = [invariantCount]string{
 	InvBitPlaneParity:   "bit_plane_parity",
 	InvShadowMatch:      "shadow_match",
 	InvTCAMOrder:        "tcam_order",
+	InvShardInterval:    "shard_interval",
+	InvArbiterWinner:    "arbiter_winner",
 }
 
 // String names the invariant.

@@ -4,8 +4,10 @@
 // pipeline of match-action tables, and expect both line-rate lookups
 // and immediate rule installation.
 //
-// Each flow table is backed by one CATCAM device (one match stage, as
-// in a dRMT processor). A packet enters table 0; the winning entry's
+// Each flow table is backed by one CATCAM engine (one match stage, as
+// in a dRMT processor) — either a single device or, for tables whose
+// rule count outgrows one device, a sharded cluster behind the same
+// Backend interface. A packet enters table 0; the winning entry's
 // instruction either emits a final action or forwards the packet to a
 // later table (goto-table, strictly increasing as OpenFlow requires).
 // A table miss applies the table's miss policy.
@@ -20,10 +22,32 @@ import (
 	"fmt"
 	"strconv"
 
+	"catcam/internal/cluster"
 	"catcam/internal/core"
 	"catcam/internal/flightrec"
 	"catcam/internal/rules"
 	"catcam/internal/telemetry"
+)
+
+// Backend is the match-stage engine behind one flow table: the
+// intersection of *core.Device and *cluster.Cluster the pipeline
+// needs. Both satisfy it unchanged, so a pipeline can mix single-device
+// tables with sharded ones.
+type Backend interface {
+	InsertRule(rules.Rule) (core.UpdateResult, error)
+	DeleteRule(ruleID int) (core.UpdateResult, error)
+	LookupHeaderBatch(hs []rules.Header, dst []core.LookupResult) []core.LookupResult
+	AttachTelemetry(reg *telemetry.Registry, ring *telemetry.EventRing, labels telemetry.Labels)
+	AttachFlightRecorder(rec *flightrec.Recorder, table int)
+	AttachAuditor(aud *flightrec.Auditor)
+	AuditSweep() flightrec.SweepInfo
+	Stats() core.Stats
+	CheckInvariant() error
+}
+
+var (
+	_ Backend = (*core.Device)(nil)
+	_ Backend = (*cluster.Cluster)(nil)
 )
 
 // Drop is the conventional "no output" action value.
@@ -64,6 +88,11 @@ type TableConfig struct {
 	ID     int
 	Device core.Config
 	Miss   MissPolicy
+	// Shards, when >= 2, backs this table with a sharded cluster of
+	// identical devices instead of a single one; Partition selects the
+	// cluster's partition scheme.
+	Shards    int
+	Partition cluster.Mode
 }
 
 // Pipeline is an ordered set of flow tables.
@@ -95,7 +124,7 @@ type classifyScratch struct {
 
 type table struct {
 	cfg TableConfig
-	dev *core.Device
+	dev Backend
 	// classify counters when telemetry is attached.
 	hits, misses *telemetry.Counter
 }
@@ -161,10 +190,18 @@ func (p *Pipeline) AttachAuditors(mk func(tableID int) *flightrec.Auditor) {
 // AttachShadows attaches mk(tableID) as each table's differential
 // shadow classifier. Attach before installing rules: the shadow only
 // mirrors updates it observes. A nil return leaves that table
-// unshadowed.
+// unshadowed. For a sharded table mk is called once per shard — every
+// shard needs its own fresh shadow, since each mirrors only its own
+// partition of the table's rules.
 func (p *Pipeline) AttachShadows(mk func(tableID int) *flightrec.Shadow) {
 	for _, id := range p.order {
-		p.tables[id].dev.AttachShadow(mk(id))
+		switch dev := p.tables[id].dev.(type) {
+		case *core.Device:
+			dev.AttachShadow(mk(id))
+		case *cluster.Cluster:
+			id := id
+			dev.AttachShadows(func(int) *flightrec.Shadow { return mk(id) })
+		}
 	}
 }
 
@@ -202,7 +239,13 @@ func NewPipeline(configs []TableConfig) (*Pipeline, error) {
 		if _, dup := p.tables[c.ID]; dup {
 			return nil, fmt.Errorf("flowtable: duplicate table %d", c.ID)
 		}
-		p.tables[c.ID] = &table{cfg: c, dev: core.NewDevice(c.Device)}
+		var dev Backend
+		if c.Shards >= 2 {
+			dev = cluster.New(cluster.Config{Shards: c.Shards, Mode: c.Partition, Device: c.Device})
+		} else {
+			dev = core.NewDevice(c.Device)
+		}
+		p.tables[c.ID] = &table{cfg: c, dev: dev}
 		p.order = append(p.order, c.ID)
 	}
 	for i := 1; i < len(p.order); i++ {
@@ -213,13 +256,26 @@ func NewPipeline(configs []TableConfig) (*Pipeline, error) {
 	return p, nil
 }
 
-// Table returns the device backing a table (stats, invariants).
-func (p *Pipeline) Table(id int) (*core.Device, bool) {
+// Table returns the engine backing a table (stats, invariants). The
+// concrete type is *core.Device or, for sharded tables,
+// *cluster.Cluster.
+func (p *Pipeline) Table(id int) (Backend, bool) {
 	t, ok := p.tables[id]
 	if !ok {
 		return nil, false
 	}
 	return t.dev, true
+}
+
+// Close releases background resources held by sharded tables (fan-out
+// workers). Single-device tables hold none; calling Close on any
+// pipeline is safe and idempotent.
+func (p *Pipeline) Close() {
+	for _, id := range p.order {
+		if c, ok := p.tables[id].dev.(*cluster.Cluster); ok {
+			c.Close()
+		}
+	}
 }
 
 // TableIDs returns the traversal order.

@@ -17,6 +17,15 @@ var DefaultCycleBuckets = []uint64{1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 24, 32, 48, 
 // eviction-chain length, queue depth samples).
 var DefaultDepthBuckets = []uint64{1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 24, 32, 48, 64}
 
+// DefaultLatencyBuckets covers host wall-clock latencies in
+// nanoseconds (cluster fan-out batches, migration passes): geometric
+// from 512ns to ~67ms.
+var DefaultLatencyBuckets = []uint64{
+	512, 1024, 2048, 4096, 8192, 16384, 32768, 65536,
+	131072, 262144, 524288, 1048576, 2097152, 4194304,
+	8388608, 16777216, 33554432, 67108864,
+}
+
 // Histogram is a fixed-bucket histogram over uint64 values (cycles,
 // depths). Observations are lock-free: one linear scan over at most a
 // few dozen bounds plus four atomic adds. Bounds are upper-inclusive

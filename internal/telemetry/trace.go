@@ -27,6 +27,9 @@ const (
 	EvChain
 	// EvClassify: a flowtable classification completed.
 	EvClassify
+	// EvRebalance: a cluster rebalance pass migrated rules between
+	// shards (see internal/cluster).
+	EvRebalance
 	// EvViolation: the flight-recorder auditor detected an invariant
 	// violation (Note carries the invariant and detail).
 	EvViolation
@@ -49,6 +52,8 @@ func (k EventKind) String() string {
 		return "chain"
 	case EvClassify:
 		return "classify"
+	case EvRebalance:
+		return "rebalance"
 	case EvViolation:
 		return "violation"
 	}
