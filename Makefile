@@ -11,9 +11,15 @@ BENCH_JSON ?= BENCH_lookup.json
 BENCHES_CLUSTER ?= BenchmarkClusterLookupParallel$$|BenchmarkClusterShardScaling
 BENCH_CLUSTER_JSON ?= BENCH_cluster.json
 
-.PHONY: all build test race vet fmt bench bench-compare bench-cluster bench-cluster-compare
+# Pinned versions for the networked lint extras (CI installs these;
+# they are NOT required locally — lint and lint-selftest are
+# self-contained).
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
 
-all: build test
+.PHONY: all build test race vet fmt lint lint-selftest staticcheck govulncheck bench bench-compare bench-cluster bench-cluster-compare
+
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -29,6 +35,35 @@ vet:
 
 fmt:
 	gofmt -l -w .
+
+# lint runs the catcam-lint analyzer suite (hotpath, lockcheck,
+# atomiccheck, cyclecheck, directives) over the whole module through
+# the go vet driver. Zero external dependencies: the suite and its
+# analysis framework live in internal/analysis.
+lint:
+	$(GO) build -o bin/catcam-lint ./cmd/catcam-lint
+	$(GO) vet -vettool=$(CURDIR)/bin/catcam-lint ./...
+
+# lint-selftest proves the suite still bites: the deliberately broken
+# canary file behind the catcamselftest build tag must trip every
+# analyzer (internal/analysis/selftest asserts one finding per
+# analyzer), and the full suite with the tag on must exit nonzero.
+lint-selftest:
+	$(GO) test ./internal/analysis/...
+	$(GO) build -o bin/catcam-lint ./cmd/catcam-lint
+	@if $(GO) vet -vettool=$(CURDIR)/bin/catcam-lint -tags catcamselftest ./internal/analysis/selftest/ >/dev/null 2>&1; then \
+		echo "lint-selftest: suite failed to flag the canary package" >&2; exit 1; \
+	else \
+		echo "lint-selftest: canary flagged as expected"; \
+	fi
+
+# staticcheck/govulncheck need network access to install; pinned so CI
+# results are reproducible.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+govulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 # bench refreshes the committed benchmark baseline: runs the tracked
 # benchmarks with allocation reporting and rewrites $(BENCH_JSON).

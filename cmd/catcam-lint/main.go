@@ -1,0 +1,44 @@
+// Command catcam-lint is the CATCAM static-analysis suite. It proves,
+// at compile time, the invariants the simulator's results rest on:
+//
+//	hotpath     //catcam:hotpath functions (and everything they call
+//	            in-module) perform no allocation
+//	lockcheck   //catcam:guarded-by fields are only touched under
+//	            their mutex, and locking methods don't self-deadlock
+//	atomiccheck locations manipulated with sync/atomic are never
+//	            accessed with plain loads/stores, and typed atomics
+//	            are never copied
+//	cyclecheck  mutations of //catcam:cycle-state storage always
+//	            account modeled cycles
+//	directives  every //catcam: annotation parses
+//
+// Two modes:
+//
+//	go vet -vettool=$(go env GOBIN)/catcam-lint ./...   (unit mode)
+//	catcam-lint [-tags t1,t2] ./...                      (standalone)
+//
+// In vettool mode the go command drives the analysis per compilation
+// unit and facts flow through .vetx files; packages outside the
+// catcam module are skipped (empty fact set) since the suite's
+// invariants are about this codebase only. Standalone mode loads the
+// module from source itself — no vet harness required.
+package main
+
+import (
+	"catcam/internal/analysis/atomiccheck"
+	"catcam/internal/analysis/cyclecheck"
+	"catcam/internal/analysis/directives"
+	"catcam/internal/analysis/framework"
+	"catcam/internal/analysis/hotpath"
+	"catcam/internal/analysis/lockcheck"
+)
+
+func main() {
+	framework.Main("catcam", []*framework.Analyzer{
+		hotpath.Analyzer,
+		lockcheck.Analyzer,
+		atomiccheck.Analyzer,
+		cyclecheck.Analyzer,
+		directives.Analyzer,
+	})
+}

@@ -1,0 +1,141 @@
+// Package analysistest is a minimal stand-in for
+// golang.org/x/tools/go/analysis/analysistest (unavailable offline):
+// it runs analyzers over golden packages under testdata/src and
+// matches their diagnostics against `// want "regexp"` comments.
+package analysistest
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"catcam/internal/analysis/framework"
+)
+
+// Run analyzes the packages in testdata/src/<dir> (relative to the
+// calling test's package directory) with the analyzers and checks
+// every diagnostic against the `// want` expectations in those
+// packages' files. Expectation syntax, as in x/tools: a comment
+// `// want "re1" "re2"` on a line means exactly the diagnostics whose
+// messages match the regexps are reported at that line.
+func Run(t *testing.T, analyzers []*framework.Analyzer, dirs ...string) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var patterns []string
+	for _, d := range dirs {
+		patterns = append(patterns, "./"+filepath.ToSlash(filepath.Join("testdata", "src", d)))
+	}
+	diags, err := framework.Run(framework.Config{Dir: wd, Patterns: patterns}, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, d := range dirs {
+		dir := filepath.Join(wd, "testdata", "src", d)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					res, ok := parseWant(c.Text)
+					if !ok {
+						continue
+					}
+					k := key{file: path, line: fset.Position(c.Pos()).Line}
+					for _, pat := range res {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", path, k.line, pat, err)
+						}
+						wants[k] = append(wants[k], re)
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{file: d.Position.Filename, line: d.Position.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+		}
+	}
+}
+
+// parseWant extracts the regexp literals from a `// want "..." ...`
+// comment. The marker may also be embedded after other comment text
+// (`//catcam:bogus // want "..."`) so expectations can sit on the
+// same line as a directive under test.
+func parseWant(text string) ([]string, bool) {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return nil, false
+	}
+	body = strings.TrimSpace(body)
+	if !strings.HasPrefix(body, "want ") {
+		idx := strings.Index(body, "// want ")
+		if idx < 0 {
+			return nil, false
+		}
+		body = body[idx+len("// "):]
+	}
+	body, ok = strings.CutPrefix(body, "want ")
+	if !ok {
+		return nil, false
+	}
+	var out []string
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return nil, false
+		}
+		lit, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, false
+		}
+		out = append(out, lit)
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	if len(out) == 0 {
+		return nil, false
+	}
+	return out, true
+}

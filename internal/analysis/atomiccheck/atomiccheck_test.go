@@ -1,0 +1,13 @@
+package atomiccheck_test
+
+import (
+	"testing"
+
+	"catcam/internal/analysis/analysistest"
+	"catcam/internal/analysis/atomiccheck"
+	"catcam/internal/analysis/framework"
+)
+
+func TestAtomiccheck(t *testing.T) {
+	analysistest.Run(t, []*framework.Analyzer{atomiccheck.Analyzer}, "atomics")
+}

@@ -1,0 +1,105 @@
+// Package atomics exercises the atomiccheck analyzer: mixed
+// plain/atomic access to the same location, typed-atomic copies, and
+// the allow hatch.
+package atomics
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64
+	drops uint64
+}
+
+func bump(c *counters) {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func read(c *counters) uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func race(c *counters) uint64 {
+	c.hits++      // want `hits is manipulated with sync/atomic; plain access may race`
+	return c.hits // want `hits is manipulated with sync/atomic; plain access may race`
+}
+
+func plainOnly(c *counters) uint64 {
+	return c.drops // never touched atomically: fine
+}
+
+var gen uint64
+
+func next() uint64 { return atomic.AddUint64(&gen, 1) }
+
+func raceVar() uint64 {
+	return gen // want `gen is manipulated with sync/atomic; plain access may race`
+}
+
+func hatch(c *counters) uint64 {
+	return c.hits //catcam:allow atomic "init-time read before any goroutine starts"
+}
+
+type stats struct {
+	n atomic.Uint64
+}
+
+type wrapper struct {
+	inner stats
+	name  string
+}
+
+func useStats(s *stats) uint64 {
+	s.n.Add(1) // methods on the pointer: fine
+	return s.n.Load()
+}
+
+func copyStruct(s *stats) {
+	dup := *s // want `copies stats, which contains sync/atomic values`
+	_ = dup
+}
+
+func copyNested(w *wrapper) {
+	inner := w.inner // want `copies stats, which contains sync/atomic values`
+	_ = inner
+	name := w.name // plain field of the wrapper: fine
+	_ = name
+}
+
+func sinkByValue(s stats) uint64 { return s.n.Load() }
+
+func callByValue(s *stats) {
+	_ = sinkByValue(*s) // want `passes stats by value, but it contains sync/atomic values`
+}
+
+func takePointer(s *stats) {}
+
+func callByPointer(s *stats) {
+	takePointer(s) // pointers reference, not copy: fine
+}
+
+func ranged(list []stats) uint64 {
+	var total uint64
+	for _, s := range list { // want `range copies stats values, which contain sync/atomic values`
+		total += s.n.Load()
+	}
+	for i := range list { // index-only range: fine
+		total += list[i].n.Load()
+	}
+	return total
+}
+
+func retCopy(s *stats) stats {
+	return *s // want `returns a copy of stats, which contains sync/atomic values`
+}
+
+func retFresh() stats {
+	return stats{} // fresh zero value: fine
+}
+
+type valueRecv struct {
+	n atomic.Int64
+}
+
+func (v valueRecv) Broken() int64 { return v.n.Load() } // want `method Broken has a value receiver of valueRecv, which contains sync/atomic values`
+
+func (v *valueRecv) Fine() int64 { return v.n.Load() }

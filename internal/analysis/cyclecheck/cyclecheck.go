@@ -1,0 +1,234 @@
+// Package cyclecheck implements the catcam-lint analyzer that keeps
+// the simulator's modeled cycle counts honest.
+//
+// The CATCAM model derives its headline numbers (1-cycle search,
+// 2-cycle dual-voltage column write, O(rows) row-wise ablation) from
+// the Stats.Cycles accounting inside internal/sram. If a code path
+// mutates array state without routing through the accounting, the
+// modeled cycle counts silently drift from the paper's cost classes.
+//
+// Two directives define the contract:
+//
+//   - //catcam:cycle-state on a struct field marks storage whose
+//     mutation represents a modeled hardware access (sram rows,
+//     ternary entry words, validity mask, bit-sliced planes);
+//   - //catcam:mutator on a method marks it as mutating its receiver
+//     (bitvec.Vector.Set, ternary.Word.SetBit, ...). Mutator marks
+//     are exported as facts, so a method in sram calling
+//     valid.Set(r) on a cycle-state field is recognized even though
+//     Set lives in another package.
+//
+// A method that writes a cycle-state field — directly, or by calling
+// a mutator method on an expression rooted in one — must also contain
+// a cycle-accounting statement: an increment/assignment to a
+// receiver-rooted field whose name ends in "Cycles" (in practice
+// <recv>.stats.Cycles). Methods that account elsewhere by design
+// (sliceEntry, test-only fault hooks) carry
+// //catcam:allow cycles "reason".
+package cyclecheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"catcam/internal/analysis/framework"
+)
+
+// MutatorFact marks a method as mutating its receiver's storage. It
+// is exported for //catcam:mutator-annotated methods so downstream
+// packages recognize mutations through their cycle-state fields.
+type MutatorFact struct{}
+
+// AFact implements framework.Fact.
+func (*MutatorFact) AFact() {}
+
+// Analyzer is the cyclecheck analyzer.
+var Analyzer = &framework.Analyzer{
+	Name:      "cyclecheck",
+	Doc:       "mutations of //catcam:cycle-state storage must be accompanied by modeled-cycle accounting",
+	Run:       run,
+	FactTypes: []framework.Fact{&MutatorFact{}},
+}
+
+func run(pass *framework.Pass) error {
+	info := pass.TypesInfo
+	allows := framework.NewAllows(pass.Fset, pass.Files)
+
+	// Cycle-state fields declared in this package.
+	cycleFields := map[*types.Var]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				if !fieldHasDirective(f, "cycle-state") {
+					continue
+				}
+				for _, name := range f.Names {
+					if v, ok := info.Defs[name].(*types.Var); ok {
+						cycleFields[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Mutator methods declared in this package; exported as facts.
+	localMutators := map[*types.Func]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !framework.HasDirective(fd.Doc, "mutator") {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			localMutators[fn] = true
+			pass.ExportObjectFact(fn, &MutatorFact{})
+		}
+	}
+	isMutator := func(fn *types.Func) bool {
+		if localMutators[fn] {
+			return true
+		}
+		return pass.ImportObjectFact(fn, &MutatorFact{})
+	}
+
+	type site struct {
+		pos   token.Pos
+		field *types.Var
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			recv := receiverVar(info, fd)
+			if recv == nil {
+				continue // plain functions and constructors build fresh state
+			}
+
+			var sites []site
+			accounted := false
+
+			// cycleRoot resolves an expression like t.planeValue[i] or
+			// t.valid to the cycle-state field it passes through, when
+			// the chain is rooted at the receiver.
+			cycleRoot := func(e ast.Expr) *types.Var {
+				var found *types.Var
+				for {
+					switch x := ast.Unparen(e).(type) {
+					case *ast.IndexExpr:
+						e = x.X
+					case *ast.StarExpr:
+						e = x.X
+					case *ast.SelectorExpr:
+						if v, ok := info.Uses[x.Sel].(*types.Var); ok && v.IsField() && cycleFields[v] {
+							found = v
+						}
+						e = x.X
+					case *ast.Ident:
+						if info.Uses[x] == recv {
+							return found
+						}
+						return nil
+					default:
+						return nil
+					}
+				}
+			}
+
+			// isAccounting reports a write to a receiver-rooted field
+			// whose name ends in Cycles (e.g. t.stats.Cycles++).
+			isAccounting := func(e ast.Expr) bool {
+				sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+				if !ok || !strings.HasSuffix(sel.Sel.Name, "Cycles") {
+					return false
+				}
+				for e := ast.Expr(sel); ; {
+					switch x := ast.Unparen(e).(type) {
+					case *ast.SelectorExpr:
+						e = x.X
+					case *ast.IndexExpr:
+						e = x.X
+					case *ast.Ident:
+						return info.Uses[x] == recv
+					default:
+						return false
+					}
+				}
+			}
+
+			framework.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if isAccounting(lhs) {
+							accounted = true
+						} else if v := cycleRoot(lhs); v != nil && !allows.Allowed("cycles", lhs.Pos(), stack) {
+							sites = append(sites, site{lhs.Pos(), v})
+						}
+					}
+				case *ast.IncDecStmt:
+					if isAccounting(n.X) {
+						accounted = true
+					} else if v := cycleRoot(n.X); v != nil && !allows.Allowed("cycles", n.X.Pos(), stack) {
+						sites = append(sites, site{n.X.Pos(), v})
+					}
+				case *ast.CallExpr:
+					sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+					if !ok {
+						return
+					}
+					fn, ok := info.Uses[sel.Sel].(*types.Func)
+					if !ok || !isMutator(fn) {
+						return
+					}
+					if v := cycleRoot(sel.X); v != nil && !allows.Allowed("cycles", n.Pos(), stack) {
+						sites = append(sites, site{n.Pos(), v})
+					}
+				}
+			})
+
+			if accounted {
+				continue
+			}
+			for _, s := range sites {
+				pass.Reportf(s.pos, "cycles",
+					"%s mutates cycle-state field %s without accounting modeled cycles (no update of a %s-rooted ...Cycles field in this method)",
+					methodName(info, fd), s.field.Name(), recv.Name())
+			}
+		}
+	}
+	return nil
+}
+
+func fieldHasDirective(f *ast.Field, verb string) bool {
+	return framework.HasDirective(f.Doc, verb) || framework.HasDirective(f.Comment, verb)
+}
+
+func receiverVar(info *types.Info, fd *ast.FuncDecl) *types.Var {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, _ := info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}
+
+func methodName(info *types.Info, fd *ast.FuncDecl) string {
+	if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+		if named := framework.ReceiverNamed(fn); named != nil {
+			return "(*" + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	return fd.Name.Name
+}

@@ -1,0 +1,17 @@
+package cyclecheck_test
+
+import (
+	"testing"
+
+	"catcam/internal/analysis/analysistest"
+	"catcam/internal/analysis/cyclecheck"
+	"catcam/internal/analysis/framework"
+)
+
+func TestCyclecheck(t *testing.T) {
+	analysistest.Run(t, []*framework.Analyzer{cyclecheck.Analyzer}, "cycles")
+}
+
+func TestMutatorFactPropagation(t *testing.T) {
+	analysistest.Run(t, []*framework.Analyzer{cyclecheck.Analyzer}, "cycledep/lib", "cycledep/use")
+}

@@ -1,0 +1,17 @@
+// Package lib provides a mutator-annotated vector type for the
+// cross-package fact-propagation test.
+package lib
+
+// Vec is a minimal bit vector.
+type Vec struct{ words []uint64 }
+
+// New returns a vector of n bits.
+func New(n int) *Vec { return &Vec{words: make([]uint64, (n+63)/64)} }
+
+// Set sets bit i.
+//
+//catcam:mutator
+func (v *Vec) Set(i int) { v.words[i/64] |= 1 << (i % 64) }
+
+// Get reports bit i.
+func (v *Vec) Get(i int) bool { return v.words[i/64]&(1<<(i%64)) != 0 }

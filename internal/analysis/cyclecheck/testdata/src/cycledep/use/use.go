@@ -1,0 +1,26 @@
+// Package use verifies that //catcam:mutator facts cross package
+// boundaries: lib.(*Vec).Set is recognized as a mutation of the
+// cycle-state field valid even though the mark lives in lib.
+package use
+
+import "catcam/internal/analysis/cyclecheck/testdata/src/cycledep/lib"
+
+type stats struct{ Cycles uint64 }
+
+type array struct {
+	valid *lib.Vec //catcam:cycle-state
+	stats stats
+}
+
+func (a *array) Good(i int) {
+	a.stats.Cycles++
+	a.valid.Set(i)
+}
+
+func (a *array) Bad(i int) {
+	a.valid.Set(i) // want `\(\*array\)\.Bad mutates cycle-state field valid without accounting modeled cycles`
+}
+
+func (a *array) Fine(i int) bool {
+	return a.valid.Get(i)
+}

@@ -1,0 +1,80 @@
+// Package cycles exercises the cyclecheck analyzer: direct
+// cycle-state writes, mutator-method calls, accounting detection, and
+// the allow hatch.
+package cycles
+
+type vec struct{ bits []uint64 }
+
+//catcam:mutator
+func (v *vec) Set(i int) { v.bits[i/64] |= 1 << (i % 64) }
+
+//catcam:mutator
+func (v *vec) Clear(i int) { v.bits[i/64] &^= 1 << (i % 64) }
+
+func (v *vec) Get(i int) bool { return v.bits[i/64]&(1<<(i%64)) != 0 }
+
+type stats struct {
+	Cycles    uint64
+	RowWrites uint64
+}
+
+type array struct {
+	rows    []uint64 //catcam:cycle-state
+	valid   *vec     //catcam:cycle-state
+	scratch []uint64 // kernel scratch: not modeled storage
+	stats   stats
+}
+
+func (a *array) Write(r int, w uint64) {
+	a.stats.Cycles++
+	a.stats.RowWrites++
+	a.rows[r] = w
+	a.valid.Set(r)
+}
+
+func (a *array) WriteBulk(r int, w uint64) {
+	a.stats.Cycles += 2
+	a.rows[r] |= w
+}
+
+func (a *array) Sneak(r int, w uint64) {
+	a.rows[r] = w // want `\(\*array\)\.Sneak mutates cycle-state field rows without accounting modeled cycles`
+}
+
+func (a *array) SneakMutator(r int) {
+	a.valid.Set(r) // want `\(\*array\)\.SneakMutator mutates cycle-state field valid without accounting modeled cycles`
+}
+
+func (a *array) SneakIncDec(r int) {
+	a.rows[r]++ // want `mutates cycle-state field rows without accounting modeled cycles`
+}
+
+func (a *array) Scratchpad(r int, w uint64) {
+	a.scratch[r] = w // unannotated scratch: fine
+}
+
+func (a *array) Read(r int) bool {
+	return a.valid.Get(r) // Get carries no mutator mark: fine
+}
+
+// helper is accounted by its callers, so the whole function is waived.
+//
+//catcam:allow cycles "accounted by Write-path callers"
+func (a *array) helper(r int, w uint64) {
+	a.rows[r] = w
+}
+
+func (a *array) Hatched(r int, w uint64) {
+	a.rows[r] = w //catcam:allow cycles "test-only fault injection hook"
+}
+
+// newArray is a constructor: fresh state, no modeled access.
+func newArray(n int) *array {
+	a := &array{rows: make([]uint64, n), valid: &vec{bits: make([]uint64, (n+63)/64)}}
+	a.rows[0] = 0
+	return a
+}
+
+func otherReceiverIsFine(a *array, b *vec) {
+	b.Set(1) // b is not rooted in a cycle-state field of a receiver
+}

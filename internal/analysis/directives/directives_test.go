@@ -1,0 +1,13 @@
+package directives_test
+
+import (
+	"testing"
+
+	"catcam/internal/analysis/analysistest"
+	"catcam/internal/analysis/directives"
+	"catcam/internal/analysis/framework"
+)
+
+func TestDirectives(t *testing.T) {
+	analysistest.Run(t, []*framework.Analyzer{directives.Analyzer}, "directive")
+}

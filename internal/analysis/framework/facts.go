@@ -1,0 +1,141 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"os"
+)
+
+// ObjectKey names a package-level function or method within its
+// package, stably across loads: a method is identified by its
+// receiver's named base type plus its name, a function by name alone.
+// This replaces x/tools' objectpath for the narrow case catcam-lint
+// needs (facts only ever attach to funcs/methods).
+type ObjectKey struct {
+	Recv string // receiver base type name, "" for plain functions
+	Name string
+}
+
+func keyOf(obj types.Object) (ObjectKey, bool) {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ObjectKey{}, false
+	}
+	k := ObjectKey{Name: fn.Name()}
+	if named := ReceiverNamed(fn); named != nil {
+		k.Recv = named.Obj().Name()
+	}
+	return k, true
+}
+
+// PackageFacts holds the serialized facts of one package, keyed by
+// analyzer name then object.
+type PackageFacts struct {
+	ByAnalyzer map[string]map[ObjectKey][]byte
+}
+
+// NewPackageFacts returns an empty fact store.
+func NewPackageFacts() *PackageFacts {
+	return &PackageFacts{ByAnalyzer: map[string]map[ObjectKey][]byte{}}
+}
+
+// ExportObjectFact attaches a fact to a function or method of the
+// current package. Facts on other objects are silently dropped.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if obj == nil || obj.Pkg() != p.Pkg {
+		return
+	}
+	k, ok := keyOf(obj)
+	if !ok {
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		panic(fmt.Sprintf("analysis: encoding %s fact for %s: %v", p.Analyzer.Name, obj.Name(), err))
+	}
+	m := p.facts.ByAnalyzer[p.Analyzer.Name]
+	if m == nil {
+		m = map[ObjectKey][]byte{}
+		p.facts.ByAnalyzer[p.Analyzer.Name] = m
+	}
+	m[k] = buf.Bytes()
+}
+
+// ImportObjectFact fills f with the fact previously exported for obj —
+// by this same run for objects of the current package, or by the
+// analysis of a dependency otherwise — and reports whether one exists.
+func (p *Pass) ImportObjectFact(obj types.Object, f Fact) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	k, ok := keyOf(obj)
+	if !ok {
+		return false
+	}
+	var store *PackageFacts
+	if obj.Pkg() == p.Pkg {
+		store = p.facts
+	} else if p.depFact != nil {
+		store = p.depFact(obj.Pkg().Path())
+	}
+	if store == nil {
+		return false
+	}
+	enc, ok := store.ByAnalyzer[p.Analyzer.Name][k]
+	if !ok {
+		return false
+	}
+	if err := gob.NewDecoder(bytes.NewReader(enc)).Decode(f); err != nil {
+		return false
+	}
+	return true
+}
+
+// vetxPayload is the on-disk form of a package's facts (the .vetx
+// files go vet shuttles between dependency and dependent runs). go
+// vet treats the content as opaque; only catcam-lint reads it.
+type vetxPayload struct {
+	ByAnalyzer map[string]map[ObjectKey][]byte
+}
+
+// WriteFactsFile serializes facts to path. An empty store writes a
+// valid (empty) file: go vet requires the vetx output to exist even
+// for packages the tool skips.
+func WriteFactsFile(path string, facts *PackageFacts) error {
+	var buf bytes.Buffer
+	payload := vetxPayload{}
+	if facts != nil {
+		payload.ByAnalyzer = facts.ByAnalyzer
+	}
+	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o666)
+}
+
+// ReadFactsFile loads a facts file written by WriteFactsFile. Missing
+// or empty files yield an empty store rather than an error: deps
+// outside the module legitimately carry no facts.
+func ReadFactsFile(path string) (*PackageFacts, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return NewPackageFacts(), nil
+		}
+		return nil, err
+	}
+	if len(data) == 0 {
+		return NewPackageFacts(), nil
+	}
+	var payload vetxPayload
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("reading facts %s: %w", path, err)
+	}
+	pf := NewPackageFacts()
+	if payload.ByAnalyzer != nil {
+		pf.ByAnalyzer = payload.ByAnalyzer
+	}
+	return pf, nil
+}

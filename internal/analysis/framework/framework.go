@@ -1,0 +1,287 @@
+// Package framework is a small, dependency-free re-implementation of
+// the go/analysis runner surface that catcam-lint is built on. The
+// container the project builds in has no module cache and no network,
+// so golang.org/x/tools is unavailable; this package provides the
+// subset catcam's analyzers need — single-pass analyzers over a
+// type-checked package, cross-package object facts, a standalone
+// driver backed by `go list -export`, and a `go vet -vettool`
+// unitchecker-protocol driver — using only the standard library.
+//
+// The analyzers communicate with the source tree through `//catcam:`
+// comment directives (written without a space, like //go: directives,
+// so gofmt preserves them):
+//
+//	//catcam:hotpath                 — function must not allocate, transitively
+//	//catcam:guarded-by <mu>         — struct field is protected by mutex field <mu>
+//	//catcam:cycle-state             — struct field is modeled SRAM/priority state
+//	//catcam:mutator                 — method mutates its receiver (cyclecheck fact)
+//	//catcam:allow <cat> "reason"    — suppress findings of category <cat> for the
+//	                                   statement this comment is attached to
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Fact is a piece of analyzer-produced information attached to a
+// package-level function or method, serialized across package
+// boundaries (gob in vetx files under go vet, in-memory in the
+// standalone driver).
+type Fact interface{ AFact() }
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	Name      string
+	Doc       string
+	Run       func(*Pass) error
+	FactTypes []Fact // prototypes of the concrete fact types this analyzer uses
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Category string // the //catcam:allow category that suppresses it
+	Message  string
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Module    string // module path of the package under analysis ("" if unknown)
+
+	diags   *[]Diagnostic
+	facts   *PackageFacts                   // facts being accumulated for Pkg
+	depFact func(path string) *PackageFacts // imported facts by package path
+}
+
+// Reportf records a diagnostic.
+func (p *Pass) Reportf(pos token.Pos, category, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Category: category,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InModule reports whether pkg belongs to the module under analysis.
+func (p *Pass) InModule(pkg *types.Package) bool {
+	if pkg == nil || p.Module == "" {
+		return false
+	}
+	path := pkg.Path()
+	return path == p.Module || strings.HasPrefix(path, p.Module+"/")
+}
+
+// Directive is one parsed //catcam: comment.
+type Directive struct {
+	Pos      token.Pos
+	Verb     string // "hotpath", "guarded-by", "cycle-state", "mutator", "allow"
+	Args     string // raw text after the verb
+	Category string // for allow: the suppressed category
+	Reason   string // for allow: the quoted justification
+}
+
+// parseDirective parses a single comment line. ok is false when the
+// comment is not a //catcam: directive at all; malformed directives
+// return ok=true with Verb=="" so callers can report them.
+func parseDirective(c *ast.Comment) (d Directive, ok bool) {
+	text, found := strings.CutPrefix(c.Text, "//catcam:")
+	if !found {
+		return Directive{}, false
+	}
+	d.Pos = c.Pos()
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return d, true
+	}
+	verb, rest := fields[0], strings.TrimSpace(strings.TrimPrefix(text, fields[0]))
+	switch verb {
+	case "hotpath", "cycle-state", "mutator", "guarded-by":
+		d.Verb, d.Args = verb, rest
+	case "allow":
+		parts := strings.Fields(rest)
+		if len(parts) == 0 {
+			return d, true // malformed: no category
+		}
+		cat := parts[0]
+		reasonRaw := strings.TrimSpace(strings.TrimPrefix(rest, cat))
+		reason, err := strconv.Unquote(reasonRaw)
+		if err != nil || reason == "" {
+			return d, true // malformed: missing/unquoted reason
+		}
+		d.Verb, d.Category, d.Reason, d.Args = "allow", cat, reason, rest
+	}
+	return d, true
+}
+
+// Directives returns every well-formed //catcam: directive in the files.
+func Directives(files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if d, ok := parseDirective(c); ok && d.Verb != "" {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MalformedDirectives returns every //catcam: comment that failed to parse.
+func MalformedDirectives(files []*ast.File) []*ast.Comment {
+	var out []*ast.Comment
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if d, ok := parseDirective(c); ok && d.Verb == "" {
+					out = append(out, c)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// HasDirective reports whether the comment group contains the verb.
+func HasDirective(cg *ast.CommentGroup, verb string) bool {
+	_, ok := DirectiveArgs(cg, verb)
+	return ok
+}
+
+// DirectiveArgs returns the argument text of the first directive with
+// the given verb in the comment group.
+func DirectiveArgs(cg *ast.CommentGroup, verb string) (string, bool) {
+	if cg == nil {
+		return "", false
+	}
+	for _, c := range cg.List {
+		if d, ok := parseDirective(c); ok && d.Verb == verb {
+			return d.Args, true
+		}
+	}
+	return "", false
+}
+
+// Allows indexes //catcam:allow directives for suppression queries.
+type Allows struct {
+	fset *token.FileSet
+	// filename -> line -> category -> reason
+	m map[string]map[int]map[string]string
+}
+
+// NewAllows scans the files for allow directives.
+func NewAllows(fset *token.FileSet, files []*ast.File) *Allows {
+	a := &Allows{fset: fset, m: map[string]map[int]map[string]string{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c)
+				if !ok || d.Verb != "allow" {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				byLine := a.m[p.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]string{}
+					a.m[p.Filename] = byLine
+				}
+				cats := byLine[p.Line]
+				if cats == nil {
+					cats = map[string]string{}
+					byLine[p.Line] = cats
+				}
+				cats[d.Category] = d.Reason
+			}
+		}
+	}
+	return a
+}
+
+func (a *Allows) at(file string, line int, cat string) bool {
+	byLine := a.m[file]
+	if byLine == nil {
+		return false
+	}
+	cats := byLine[line]
+	if cats == nil {
+		return false
+	}
+	_, ok := cats[cat]
+	return ok
+}
+
+// Allowed reports whether a finding of the given category at pos is
+// suppressed. An allow directive applies to (a) the line it sits on,
+// (b) the statement starting on the directive's line or the line just
+// below it (comment-above style), for findings anywhere inside that
+// statement, and (c) the whole function when placed in the function's
+// doc comment. stack is the path of enclosing AST nodes, outermost
+// first; it may be nil, in which case only the line rule applies.
+func (a *Allows) Allowed(cat string, pos token.Pos, stack []ast.Node) bool {
+	p := a.fset.Position(pos)
+	if a.at(p.Filename, p.Line, cat) {
+		return true
+	}
+	for _, n := range stack {
+		switch n := n.(type) {
+		case ast.Stmt:
+			sl := a.fset.Position(n.Pos()).Line
+			if a.at(p.Filename, sl, cat) || a.at(p.Filename, sl-1, cat) {
+				return true
+			}
+		case *ast.FuncDecl:
+			if n.Doc != nil {
+				for _, c := range n.Doc.List {
+					if d, ok := parseDirective(c); ok && d.Verb == "allow" && d.Category == cat {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// WalkStack traverses root in depth-first order, calling visit with
+// each node and the stack of its ancestors (outermost first, not
+// including the node itself).
+func WalkStack(root ast.Node, visit func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		visit(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// ReceiverNamed returns the named base type of a method's receiver,
+// or nil for plain functions and methods on unnamed types.
+func ReceiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

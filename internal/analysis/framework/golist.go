@@ -1,0 +1,232 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the driver uses.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct {
+		Path      string
+		GoVersion string
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// Config configures a standalone (non-vettool) analysis run.
+type Config struct {
+	Dir      string   // directory to run `go list` in (any dir inside the target module)
+	Patterns []string // package patterns, e.g. ./...
+	Tags     []string // build tags, e.g. for the lint selftest package
+}
+
+// FlatDiag is a resolved diagnostic ready for printing or matching.
+type FlatDiag struct {
+	Position token.Position
+	Analyzer string
+	Category string
+	Message  string
+}
+
+func (d FlatDiag) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Position, d.Analyzer, d.Message)
+}
+
+// Run lists the requested packages plus their dependency closure,
+// type-checks every package of the enclosing module from source (in
+// dependency order, importing everything else from compiler export
+// data), runs the analyzers over each, and returns the diagnostics of
+// the packages that matched the patterns. Facts flow between module
+// packages in memory.
+func Run(cfg Config, analyzers []*Analyzer) ([]FlatDiag, error) {
+	pkgs, err := goList(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	byPath := map[string]*listPackage{}
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+
+	// Module membership: the module of the first non-DepOnly package.
+	// (All target packages come from the same module in our usage.)
+	module := ""
+	for _, p := range pkgs {
+		if !p.DepOnly && p.Module != nil {
+			module = p.Module.Path
+			break
+		}
+	}
+	if module == "" {
+		return nil, fmt.Errorf("analysis: no module found for patterns %v", cfg.Patterns)
+	}
+	inModule := func(p *listPackage) bool {
+		return p.Module != nil && p.Module.Path == module
+	}
+
+	fset := token.NewFileSet()
+	sourceLoaded := map[string]*types.Package{}
+
+	// Export-data importer for everything outside the module; the
+	// lookup indirection lets source-loaded module packages shadow it.
+	var imp types.Importer
+	gcImp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		p, ok := byPath[path]
+		if !ok || p.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(p.Export)
+	})
+	imp = importerFunc(func(path string) (*types.Package, error) {
+		if tp, ok := sourceLoaded[path]; ok {
+			return tp, nil
+		}
+		return gcImp.Import(path)
+	})
+
+	// Topologically order module packages by their in-module imports.
+	var moduleOrder []*listPackage
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *listPackage) error
+	visit = func(p *listPackage) error {
+		switch state[p.ImportPath] {
+		case 1:
+			return fmt.Errorf("import cycle through %s", p.ImportPath)
+		case 2:
+			return nil
+		}
+		state[p.ImportPath] = 1
+		for _, ip := range p.Imports {
+			if dep, ok := byPath[ip]; ok && inModule(dep) {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.ImportPath] = 2
+		moduleOrder = append(moduleOrder, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		if inModule(p) {
+			if err := visit(p); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	factsByPath := map[string]*PackageFacts{}
+	depFact := func(path string) *PackageFacts { return factsByPath[path] }
+
+	var out []FlatDiag
+	for _, p := range moduleOrder {
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("analysis: %s uses cgo, unsupported", p.ImportPath)
+		}
+		goVersion := ""
+		if p.Module != nil && p.Module.GoVersion != "" {
+			goVersion = "go" + p.Module.GoVersion
+		}
+		// go list reports GoFiles relative to the package directory.
+		goFiles := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			if filepath.IsAbs(f) {
+				goFiles[i] = f
+			} else {
+				goFiles[i] = filepath.Join(p.Dir, f)
+			}
+		}
+		lp, err := typecheck(fset, p.ImportPath, goFiles, imp, goVersion)
+		if err != nil {
+			return nil, err
+		}
+		sourceLoaded[p.ImportPath] = lp.Pkg
+		facts := NewPackageFacts()
+		diags, err := runAnalyzers(analyzers, lp, module, facts, depFact)
+		if err != nil {
+			return nil, err
+		}
+		factsByPath[p.ImportPath] = facts
+		if p.DepOnly {
+			continue // facts only; diagnostics are for the named packages
+		}
+		for _, d := range diags {
+			out = append(out, FlatDiag{
+				Position: fset.Position(d.Pos),
+				Analyzer: d.Analyzer,
+				Category: d.Category,
+				Message:  d.Message,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out, nil
+}
+
+func goList(cfg Config) ([]*listPackage, error) {
+	args := []string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,CgoFiles,Imports,Export,Standard,DepOnly,Module,Error"}
+	if len(cfg.Tags) > 0 {
+		args = append(args, "-tags", strings.Join(cfg.Tags, ","))
+	}
+	args = append(args, cfg.Patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,215 @@
+package framework
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+)
+
+// vetConfig mirrors the JSON configuration cmd/go writes for each
+// `go vet -vettool` invocation (cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main implements the vettool side of the `go vet -vettool` protocol
+// for the given analyzers, plus a standalone mode: invoked with
+// package patterns instead of a .cfg file it drives itself via
+// `go list`. module restricts analysis to packages of that module;
+// everything else only gets an (empty) facts file. Main never
+// returns; it exits 0 on success, 2 on findings, 1 on errors.
+func Main(module string, analyzers []*Analyzer) {
+	args := os.Args[1:]
+
+	// Protocol handshakes cmd/go performs before the real runs.
+	for _, a := range args {
+		switch {
+		case a == "-V=full":
+			printVersion()
+			os.Exit(0)
+		case a == "-flags":
+			printFlags()
+			os.Exit(0)
+		case strings.HasPrefix(a, "-V="):
+			fmt.Fprintf(os.Stderr, "unsupported flag %q\n", a)
+			os.Exit(1)
+		}
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		code, err := runUnit(args[0], module, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(code)
+	}
+
+	// Standalone: catcam-lint [-tags a,b] ./packages...
+	var tags []string
+	var patterns []string
+	for i := 0; i < len(args); i++ {
+		switch {
+		case args[i] == "-tags" && i+1 < len(args):
+			tags = strings.Split(args[i+1], ",")
+			i++
+		case strings.HasPrefix(args[i], "-tags="):
+			tags = strings.Split(strings.TrimPrefix(args[i], "-tags="), ",")
+		case strings.HasPrefix(args[i], "-"):
+			fmt.Fprintf(os.Stderr, "unknown flag %q\n", args[i])
+			os.Exit(1)
+		default:
+			patterns = append(patterns, args[i])
+		}
+	}
+	if len(patterns) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: catcam-lint [-tags taglist] packages...")
+		os.Exit(1)
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	diags, err := Run(Config{Dir: wd, Patterns: patterns, Tags: tags}, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// printVersion emits the line cmd/go's toolID parser expects from
+// `tool -V=full`: "<name> version devel ... buildID=<contenthash>".
+func printVersion() {
+	name := os.Args[0]
+	hash := [sha256.Size]byte{}
+	if f, err := os.Open(name); err == nil {
+		h := sha256.New()
+		_, _ = io.Copy(h, f)
+		f.Close()
+		h.Sum(hash[:0])
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", name, string(hash[:12]))
+}
+
+// printFlags emits the JSON flag description `go vet` queries; the
+// suite has no pass-through flags.
+func printFlags() {
+	fmt.Print("[]\n")
+}
+
+// runUnit performs one unitchecker-protocol run: analyze the single
+// package described by the .cfg file, print findings to stderr, and
+// write the package's facts to cfg.VetxOutput. Returns the process
+// exit code.
+func runUnit(cfgFile, module string, analyzers []*Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+	if cfg.VetxOutput == "" {
+		return 0, fmt.Errorf("%s: no VetxOutput", cfgFile)
+	}
+
+	// Packages outside the target module (the stdlib, other modules)
+	// are never analyzed: their invariants are not ours to check, and
+	// hotpath judges calls into them by safelist instead. They still
+	// need a facts file so cmd/go can cache the (empty) result.
+	if cfg.ModulePath != module {
+		if err := WriteFactsFile(cfg.VetxOutput, nil); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	lp, err := typecheck(fset, cfg.ImportPath, cfg.GoFiles, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			_ = WriteFactsFile(cfg.VetxOutput, nil)
+			return 0, nil
+		}
+		return 0, err
+	}
+
+	depFacts := map[string]*PackageFacts{}
+	depFact := func(path string) *PackageFacts {
+		if pf, ok := depFacts[path]; ok {
+			return pf
+		}
+		file, ok := cfg.PackageVetx[path]
+		if !ok {
+			return nil
+		}
+		pf, err := ReadFactsFile(file)
+		if err != nil {
+			pf = NewPackageFacts()
+		}
+		depFacts[path] = pf
+		return pf
+	}
+
+	facts := NewPackageFacts()
+	diags, err := runAnalyzers(analyzers, lp, module, facts, depFact)
+	if err != nil {
+		return 0, err
+	}
+	if err := WriteFactsFile(cfg.VetxOutput, facts); err != nil {
+		return 0, err
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}

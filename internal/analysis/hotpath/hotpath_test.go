@@ -1,0 +1,22 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"catcam/internal/analysis/analysistest"
+	"catcam/internal/analysis/framework"
+	"catcam/internal/analysis/hotpath"
+)
+
+func TestDirectCauses(t *testing.T) {
+	analysistest.Run(t, []*framework.Analyzer{hotpath.Analyzer}, "hot")
+}
+
+// TestFactPropagation checks that Allocates facts computed for a
+// dependency package surface at hot call sites in its importer — the
+// cross-package half of the "transitively call within the module"
+// guarantee. Both packages are named so lib's own hatch comments are
+// honored and use's wants are matched.
+func TestFactPropagation(t *testing.T) {
+	analysistest.Run(t, []*framework.Analyzer{hotpath.Analyzer}, "hotdep/lib", "hotdep/use")
+}

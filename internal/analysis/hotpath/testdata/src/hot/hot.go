@@ -1,0 +1,109 @@
+// Package hot exercises the hotpath analyzer's direct-cause rules:
+// every construct the analyzer must flag, the idioms it must accept,
+// and both allow-hatch placements.
+package hot
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+type buf struct {
+	words []uint64
+	n     atomic.Uint64
+	mu    sync.Mutex
+}
+
+func (b *buf) inc() { b.n.Add(1) }
+
+func sink(v any) { _ = v }
+
+func helper() []int {
+	return make([]int, 4) // the reason position reported at hot call sites
+}
+
+//catcam:hotpath
+func directCauses(b *buf, m map[int]int, a, s string, bs []byte) {
+	_ = make([]int, 4) // want `hot path: make allocates`
+	_ = new(int)       // want `hot path: new allocates`
+	_ = []int{1}       // want `hot path: slice literal allocates`
+	_ = map[int]int{}  // want `hot path: map literal allocates`
+	_ = &buf{}         // want `hot path: address of composite literal escapes to the heap`
+	var other []uint64
+	other = append(other, b.words[0]) // caller-buffer pattern on a fresh slice: accepted
+	_ = other
+	x := uint64(1)
+	f := func() uint64 { return x } // want `hot path: closure captures x and may escape to the heap`
+	_ = f
+	for k := range m { // want `hot path: ranges over a map`
+		_ = k
+	}
+	go b.inc()     // want `hot path: go statement allocates a goroutine`
+	_ = a + s      // want `hot path: string concatenation allocates`
+	_ = string(bs) // want `hot path: conversion to string allocates`
+	_ = []byte(a)  // want `hot path: conversion of string to slice allocates`
+	sink(3)        // want `hot path: argument boxes int into interface any \(allocates\)`
+	var i interface{}
+	i = 42 // want `hot path: assignment boxes int into interface`
+	_ = i
+	fmt.Sprintln(a) // want `hot path: calls fmt\.Sprintln, which is outside the module and not on the allocation-free safelist`
+	h := b.inc      // want `hot path: method value inc binds its receiver \(allocates\)`
+	_ = h
+}
+
+//catcam:hotpath
+func appendPattern(b *buf, other []uint64) {
+	b.words = b.words[:0]
+	b.words = append(b.words, other...) // caller-buffer pattern: accepted
+	b.words = append(b.words, 1, 2, 3)
+	bad := append(other, 9) // want `hot path: append outside the x = append\(x, \.\.\.\) caller-buffer pattern may allocate`
+	_ = bad
+}
+
+//catcam:hotpath
+func boxedReturn(v int) any {
+	return v // want `hot path: return boxes int into interface`
+}
+
+//catcam:hotpath
+func pointerIsNotBoxed(b *buf) any {
+	return b // single-word pointer: no allocation
+}
+
+//catcam:hotpath
+func dynamicCalls(g func(uint64) uint64, st fmt.Stringer) {
+	_ = g(1)        // want `hot path: dynamic call through g cannot be proven allocation-free`
+	_ = st.String() // want `hot path: call through interface method String cannot be proven allocation-free`
+}
+
+//catcam:hotpath
+func safelisted(b *buf) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n.Add(1)
+	return bits.OnesCount64(b.n.Load())
+}
+
+//catcam:hotpath
+func panicExempt(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("hot: negative %d", n)) // fail-stop last words are exempt
+	}
+}
+
+//catcam:hotpath
+func allowHatches() {
+	_ = make([]int, 8) //catcam:allow alloc "trailing-style hatch"
+	//catcam:allow alloc "comment-above hatch covers the whole statement"
+	if true {
+		_ = make([]int, 16)
+		_ = map[int]int{1: 2}
+	}
+}
+
+//catcam:hotpath
+func transitiveLocal() {
+	_ = helper() // want `hot path: calls hot\.helper, which allocates: make allocates at hot\.go:\d+`
+}

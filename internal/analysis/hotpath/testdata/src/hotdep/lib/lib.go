@@ -1,0 +1,32 @@
+// Package lib is the dependency side of the hotpath fact-propagation
+// test: its Allocates facts must flow into importers.
+package lib
+
+// Alloc allocates; importers calling it from hot paths must be flagged.
+func Alloc() []int {
+	return make([]int, 1)
+}
+
+// Clean is allocation-free.
+func Clean(x int) int { return x + 1 }
+
+// Gadget carries a caller-owned buffer.
+type Gadget struct {
+	buf []int
+}
+
+// Grow uses the caller-buffer append pattern and stays clean.
+func (g *Gadget) Grow() {
+	g.buf = append(g.buf, 1, 2, 3)
+}
+
+// Fill allocates a fresh buffer.
+func (g *Gadget) Fill() {
+	g.buf = make([]int, 16)
+}
+
+// Hatched allocates but the package accepts it with a written reason;
+// hot callers must NOT be flagged.
+func (g *Gadget) Hatched() {
+	g.buf = make([]int, 16) //catcam:allow alloc "deliberate warm-up allocation"
+}

@@ -1,0 +1,20 @@
+// Package use is the consumer side of the hotpath fact-propagation
+// test: allocation reasons computed for package lib must surface at
+// this package's hot call sites, including through a local
+// intermediate function.
+package use
+
+import "catcam/internal/analysis/hotpath/testdata/src/hotdep/lib"
+
+func mid() {
+	_ = lib.Alloc()
+}
+
+//catcam:hotpath
+func Hot(g *lib.Gadget) int {
+	g.Grow()    // clean via fact: caller-buffer append
+	g.Hatched() // clean via fact: allocation allowed inside lib
+	g.Fill()    // want `hot path: calls lib\.\(\*Gadget\)\.Fill, which allocates: make allocates at lib\.go:\d+`
+	mid()       // want `hot path: calls use\.mid, which allocates: calls lib\.Alloc \(make allocates at lib\.go:\d+\)`
+	return lib.Clean(1)
+}

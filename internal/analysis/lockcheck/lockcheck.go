@@ -1,0 +1,407 @@
+// Package lockcheck implements the catcam-lint analyzer that proves
+// mutex discipline on structs with //catcam:guarded-by annotations
+// (core.Device, cluster.Cluster):
+//
+//   - a method touching a guarded field must acquire the named mutex
+//     first (directly, or be an unexported helper only reachable from
+//     methods that hold it — checked transitively);
+//   - a write to a guarded field under an RWMutex requires the write
+//     lock, not RLock;
+//   - a method holding a mutex must not call another method of the
+//     same receiver that acquires the same mutex (self-deadlock).
+//
+// The analysis is flow-insensitive but position-ordered: an acquire
+// counts for every access after it in source order, and releases in
+// defer statements are treated as function-exit releases. Escape
+// hatch: //catcam:allow lock "reason".
+package lockcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"catcam/internal/analysis/framework"
+)
+
+// Analyzer is the lockcheck analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "lockcheck",
+	Doc:  "methods must hold the annotated mutex when touching //catcam:guarded-by fields",
+	Run:  run,
+}
+
+type guard struct {
+	mu         string
+	structName string
+}
+
+type lockEvent struct {
+	mu      string
+	pos     token.Pos
+	acquire bool
+	read    bool // RLock/RUnlock
+}
+
+type touch struct {
+	field *types.Var
+	mu    string
+	pos   token.Pos
+	write bool
+	stack []ast.Node
+}
+
+type mcall struct {
+	fn    *types.Func
+	pos   token.Pos
+	stack []ast.Node
+}
+
+type methodInfo struct {
+	decl    *ast.FuncDecl
+	obj     *types.Func
+	events  []lockEvent
+	touches []touch
+	calls   []mcall
+}
+
+func run(pass *framework.Pass) error {
+	allows := framework.NewAllows(pass.Fset, pass.Files)
+	info := pass.TypesInfo
+
+	// Guarded fields and the set of annotated structs.
+	guarded := map[*types.Var]guard{}
+	annotated := map[string]bool{} // struct type name -> has guarded fields
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				muName, ok := framework.DirectiveArgs(field.Doc, "guarded-by")
+				if !ok {
+					muName, ok = framework.DirectiveArgs(field.Comment, "guarded-by")
+				}
+				if !ok {
+					continue
+				}
+				if muName == "" {
+					pass.Reportf(field.Pos(), "lock", "//catcam:guarded-by needs a mutex field name")
+					continue
+				}
+				if !structHasMutex(info, st, muName) {
+					pass.Reportf(field.Pos(), "lock", "//catcam:guarded-by %s: %s has no sync.Mutex/RWMutex field named %s", muName, ts.Name.Name, muName)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := info.Defs[name].(*types.Var); ok {
+						guarded[v] = guard{mu: muName, structName: ts.Name.Name}
+						annotated[ts.Name.Name] = true
+					}
+				}
+			}
+			return false
+		})
+	}
+	if len(guarded) == 0 {
+		return nil
+	}
+
+	// Collect per-method lock events, guarded touches and
+	// same-receiver calls for methods of annotated structs.
+	var methods []*methodInfo
+	byObj := map[*types.Func]*methodInfo{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			named := framework.ReceiverNamed(obj)
+			if named == nil || !annotated[named.Obj().Name()] {
+				continue
+			}
+			mi := collectMethod(info, guarded, fd, obj, named)
+			methods = append(methods, mi)
+			byObj[obj] = mi
+		}
+	}
+	sort.Slice(methods, func(i, j int) bool { return methods[i].obj.Pos() < methods[j].obj.Pos() })
+
+	// acquires(m): mutexes m (transitively) acquires — for the
+	// self-deadlock rule.
+	acquires := map[*types.Func]map[string]bool{}
+	for _, mi := range methods {
+		set := map[string]bool{}
+		for _, e := range mi.events {
+			if e.acquire {
+				set[e.mu] = true
+			}
+		}
+		acquires[mi.obj] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, mi := range methods {
+			for _, c := range mi.calls {
+				for mu := range acquires[c.fn] {
+					if !acquires[mi.obj][mu] {
+						// Only propagate when the caller does not release
+						// before the call; coarse: propagate always — a
+						// transitive acquire is still an acquire.
+						acquires[mi.obj][mu] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// needs(m): mutexes m touches unprotected — must be held by callers.
+	needs := map[*types.Func]map[string]bool{}
+	for _, mi := range methods {
+		needs[mi.obj] = map[string]bool{}
+		for _, t := range mi.touches {
+			if heldAt(mi.events, t.mu, t.pos) == heldNone {
+				needs[mi.obj][t.mu] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, mi := range methods {
+			for _, c := range mi.calls {
+				for mu := range needs[c.fn] {
+					if heldAt(mi.events, mu, c.pos) == heldNone && !needs[mi.obj][mu] {
+						needs[mi.obj][mu] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, mi := range methods {
+		name := methodName(mi.obj)
+		exported := mi.obj.Exported()
+		for _, t := range mi.touches {
+			held := heldAt(mi.events, t.mu, t.pos)
+			switch {
+			case held == heldNone && exported:
+				if !allows.Allowed("lock", t.pos, t.stack) {
+					pass.Reportf(t.pos, "lock", "%s accesses %s (guarded by %s) without holding %s", name, t.field.Name(), t.mu, t.mu)
+				}
+			case held == heldRead && t.write:
+				if !allows.Allowed("lock", t.pos, t.stack) {
+					pass.Reportf(t.pos, "lock", "%s writes %s (guarded by %s) while holding only the read lock", name, t.field.Name(), t.mu)
+				}
+			}
+		}
+		for _, c := range mi.calls {
+			callee := methodName(c.fn)
+			for mu := range needs[c.fn] {
+				if exported && heldAt(mi.events, mu, c.pos) == heldNone && !allows.Allowed("lock", c.pos, c.stack) {
+					pass.Reportf(c.pos, "lock", "%s calls %s, which accesses fields guarded by %s, without holding %s", name, callee, mu, mu)
+				}
+			}
+			for mu := range acquires[c.fn] {
+				if heldAt(mi.events, mu, c.pos) != heldNone && !allows.Allowed("lock", c.pos, c.stack) {
+					pass.Reportf(c.pos, "lock", "%s calls %s while holding %s: %s acquires %s again (self-deadlock)", name, callee, mu, callee, mu)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+const (
+	heldNone = iota
+	heldRead
+	heldWrite
+)
+
+// heldAt replays the method's (source-ordered) lock events before pos
+// and returns the lock state of mu. Releases inside defer statements
+// were dropped at collection, so defer-unlock idioms keep the lock
+// held for the rest of the body.
+func heldAt(events []lockEvent, mu string, pos token.Pos) int {
+	state := heldNone
+	for _, e := range events {
+		if e.mu != mu || e.pos >= pos {
+			continue
+		}
+		switch {
+		case e.acquire && e.read:
+			state = heldRead
+		case e.acquire:
+			state = heldWrite
+		default:
+			state = heldNone
+		}
+	}
+	return state
+}
+
+func collectMethod(info *types.Info, guarded map[*types.Var]guard,
+	fd *ast.FuncDecl, obj *types.Func, named *types.Named) *methodInfo {
+
+	mi := &methodInfo{decl: fd, obj: obj}
+	recv := receiverVar(info, fd)
+	if recv == nil {
+		return mi
+	}
+
+	framework.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			// r.mu.Lock() and friends.
+			if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+				if isIdentFor(info, inner.X, recv) {
+					op := sel.Sel.Name
+					if op == "Lock" || op == "RLock" || op == "Unlock" || op == "RUnlock" {
+						if op == "Unlock" || op == "RUnlock" {
+							if _, ok := parentOf(stack).(*ast.DeferStmt); ok {
+								return // releases at function exit
+							}
+						}
+						mi.events = append(mi.events, lockEvent{
+							mu:      inner.Sel.Name,
+							pos:     n.Pos(),
+							acquire: op == "Lock" || op == "RLock",
+							read:    op == "RLock" || op == "RUnlock",
+						})
+						return
+					}
+				}
+			}
+			// r.helper(...) same-receiver method call.
+			if isIdentFor(info, sel.X, recv) {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+					if rn := framework.ReceiverNamed(fn); rn != nil && rn.Obj() == named.Obj() {
+						mi.calls = append(mi.calls, mcall{fn: fn, pos: n.Pos(), stack: append([]ast.Node(nil), stack...)})
+					}
+				}
+			}
+
+		case *ast.SelectorExpr:
+			if !isIdentFor(info, n.X, recv) {
+				return
+			}
+			v, ok := info.Uses[n.Sel].(*types.Var)
+			if !ok {
+				return
+			}
+			g, ok := guarded[v]
+			if !ok {
+				return
+			}
+			mi.touches = append(mi.touches, touch{
+				field: v,
+				mu:    g.mu,
+				pos:   n.Pos(),
+				write: isWrite(n, stack),
+				stack: append([]ast.Node(nil), stack...),
+			})
+		}
+	})
+	sort.Slice(mi.events, func(i, j int) bool { return mi.events[i].pos < mi.events[j].pos })
+	return mi
+}
+
+// isWrite reports whether the selector appears on the left-hand side
+// of an assignment, in an inc/dec statement, or under an address-of
+// (which may be used to write).
+func isWrite(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	node := ast.Node(sel)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if lhs.Pos() <= node.Pos() && node.End() <= lhs.End() {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return true
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				return true
+			}
+		case ast.Stmt:
+			return false
+		}
+	}
+	return false
+}
+
+func receiverVar(info *types.Info, fd *ast.FuncDecl) *types.Var {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, _ := info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}
+
+func isIdentFor(info *types.Info, e ast.Expr, v *types.Var) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id != nil && info.Uses[id] == v
+}
+
+// structHasMutex reports whether the struct literal declares a field
+// muName of type sync.Mutex or sync.RWMutex (value or pointer).
+func structHasMutex(info *types.Info, st *ast.StructType, muName string) bool {
+	for _, f := range st.Fields.List {
+		for _, name := range f.Names {
+			if name.Name != muName {
+				continue
+			}
+			v, ok := info.Defs[name].(*types.Var)
+			if !ok {
+				return false
+			}
+			t := v.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok || named.Obj().Pkg() == nil {
+				return false
+			}
+			if named.Obj().Pkg().Path() != "sync" {
+				return false
+			}
+			return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+		}
+	}
+	return false
+}
+
+func methodName(fn *types.Func) string {
+	if named := framework.ReceiverNamed(fn); named != nil {
+		return fmt.Sprintf("(*%s).%s", named.Obj().Name(), fn.Name())
+	}
+	return fn.Name()
+}
+
+func parentOf(stack []ast.Node) ast.Node {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}

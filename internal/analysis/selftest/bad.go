@@ -1,0 +1,61 @@
+//go:build catcamselftest
+
+package selftest
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// hotAlloc violates hotpath: a //catcam:hotpath function that
+// allocates on every call.
+//
+//catcam:hotpath
+func hotAlloc(n int) []int {
+	return make([]int, n)
+}
+
+// counter violates lockcheck: Bump touches the guarded field without
+// holding mu.
+type counter struct {
+	mu sync.Mutex
+	n  int //catcam:guarded-by mu
+}
+
+// Bump increments the counter (incorrectly, without the lock).
+func (c *counter) Bump() { c.n++ }
+
+// Locked is here so mu is not write-only; it locks correctly.
+func (c *counter) Locked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// hits violates atomiccheck: n is updated with sync/atomic but read
+// with a plain load.
+type hits struct{ n uint64 }
+
+func (h *hits) Add()         { atomic.AddUint64(&h.n, 1) }
+func (h *hits) Read() uint64 { return h.n }
+
+// arr violates cyclecheck: Sneak writes a cycle-state row without
+// touching any ...Cycles accounting field.
+type arr struct {
+	rows  []uint64 //catcam:cycle-state
+	stats struct{ Cycles uint64 }
+}
+
+// Sneak stores v without accounting the modeled write cycle.
+func (a *arr) Sneak(i int, v uint64) { a.rows[i] = v }
+
+// Write is the accounted counterpart, so stats is not dead weight.
+func (a *arr) Write(i int, v uint64) {
+	a.rows[i] = v
+	a.stats.Cycles++
+}
+
+// The annotation below violates directives: the verb is misspelled.
+//
+//catcam:gaurded-by mu
+var _ = 0

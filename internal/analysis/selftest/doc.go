@@ -1,0 +1,12 @@
+// Package selftest is the lint suite's canary. Its only real content
+// is bad.go — a deliberately broken file behind the catcamselftest
+// build tag that must trip every catcam-lint invariant analyzer. The
+// lint CI job runs the suite over this package with the tag enabled
+// and fails if any analyzer stays silent, which catches the failure
+// mode where a refactor makes an analyzer vacuously pass (wrong
+// directive spelling, broken fact plumbing, an always-empty result)
+// while the main tree still "lints clean".
+//
+// Without the tag the package compiles to just this doc, so regular
+// builds, tests and lint runs see nothing here.
+package selftest

@@ -1,0 +1,60 @@
+package selftest_test
+
+import (
+	"testing"
+
+	"catcam/internal/analysis/atomiccheck"
+	"catcam/internal/analysis/cyclecheck"
+	"catcam/internal/analysis/directives"
+	"catcam/internal/analysis/framework"
+	"catcam/internal/analysis/hotpath"
+	"catcam/internal/analysis/lockcheck"
+)
+
+var suite = []*framework.Analyzer{
+	hotpath.Analyzer,
+	lockcheck.Analyzer,
+	atomiccheck.Analyzer,
+	cyclecheck.Analyzer,
+	directives.Analyzer,
+}
+
+// TestBadFileTripsEveryAnalyzer is the canary's canary: running the
+// suite over this package with the selftest tag must produce at least
+// one finding from every analyzer. An analyzer that stays silent here
+// has gone vacuous and would rubber-stamp the real tree.
+func TestBadFileTripsEveryAnalyzer(t *testing.T) {
+	diags, err := framework.Run(framework.Config{
+		Dir:      ".",
+		Patterns: []string{"catcam/internal/analysis/selftest"},
+		Tags:     []string{"catcamselftest"},
+	}, suite)
+	if err != nil {
+		t.Fatalf("framework.Run: %v", err)
+	}
+	counts := make(map[string]int)
+	for _, d := range diags {
+		counts[d.Analyzer]++
+	}
+	for _, a := range suite {
+		if counts[a.Name] == 0 {
+			t.Errorf("analyzer %s reported nothing against bad.go; findings: %v", a.Name, diags)
+		}
+	}
+}
+
+// TestPackageCleanWithoutTag checks the flip side: with the tag off,
+// bad.go is out of the build and this package lints clean, so the
+// regular `make lint` run over ./... is unaffected by the canary.
+func TestPackageCleanWithoutTag(t *testing.T) {
+	diags, err := framework.Run(framework.Config{
+		Dir:      ".",
+		Patterns: []string{"catcam/internal/analysis/selftest"},
+	}, suite)
+	if err != nil {
+		t.Fatalf("framework.Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding without the selftest tag: %s", d)
+	}
+}

@@ -53,6 +53,8 @@ func (v *Vector) Words() []uint64 { return v.words }
 // Len are cleared). This is the hand-off point from the bit-sliced
 // match kernel, which accumulates into a scratch []uint64 and deposits
 // the result into a caller-owned vector without allocating.
+//
+//catcam:mutator
 func (v *Vector) LoadWords(ws []uint64) *Vector {
 	if len(ws) != len(v.words) {
 		panic(fmt.Sprintf("bitvec: word count %d != %d", len(ws), len(v.words)))
@@ -69,18 +71,24 @@ func (v *Vector) check(i int) {
 }
 
 // Set sets bit i to 1.
+//
+//catcam:mutator
 func (v *Vector) Set(i int) {
 	v.check(i)
 	v.words[i/wordBits] |= 1 << (i % wordBits)
 }
 
 // Clear sets bit i to 0.
+//
+//catcam:mutator
 func (v *Vector) Clear(i int) {
 	v.check(i)
 	v.words[i/wordBits] &^= 1 << (i % wordBits)
 }
 
 // SetBool sets bit i to b.
+//
+//catcam:mutator
 func (v *Vector) SetBool(i int, b bool) {
 	if b {
 		v.Set(i)
@@ -98,6 +106,8 @@ func (v *Vector) Get(i int) bool {
 // SetAll sets every bit (hardware: drive all word-lines). Used by the
 // max-priority trace trick, which runs a priority decision with an
 // all-true match vector.
+//
+//catcam:mutator
 func (v *Vector) SetAll() {
 	for i := range v.words {
 		v.words[i] = ^uint64(0)
@@ -106,6 +116,8 @@ func (v *Vector) SetAll() {
 }
 
 // Reset clears every bit.
+//
+//catcam:mutator
 func (v *Vector) Reset() {
 	for i := range v.words {
 		v.words[i] = 0
@@ -131,6 +143,8 @@ func (v *Vector) sameLen(o *Vector) {
 }
 
 // And sets v = v AND o and returns v.
+//
+//catcam:mutator
 func (v *Vector) And(o *Vector) *Vector {
 	v.sameLen(o)
 	for i := range v.words {
@@ -141,6 +155,8 @@ func (v *Vector) And(o *Vector) *Vector {
 
 // AndNot sets v = v AND NOT o and returns v. This is the core of the
 // priority decision: masking out every rule dominated by a matched row.
+//
+//catcam:mutator
 func (v *Vector) AndNot(o *Vector) *Vector {
 	v.sameLen(o)
 	for i := range v.words {
@@ -150,6 +166,8 @@ func (v *Vector) AndNot(o *Vector) *Vector {
 }
 
 // Or sets v = v OR o and returns v.
+//
+//catcam:mutator
 func (v *Vector) Or(o *Vector) *Vector {
 	v.sameLen(o)
 	for i := range v.words {
@@ -166,6 +184,8 @@ func (v *Vector) Copy() *Vector {
 }
 
 // CopyFrom overwrites v with the contents of o (same length) and returns v.
+//
+//catcam:mutator
 func (v *Vector) CopyFrom(o *Vector) *Vector {
 	v.sameLen(o)
 	copy(v.words, o.words)

@@ -129,15 +129,17 @@ type Cluster struct {
 
 	mu      sync.RWMutex
 	routeMu sync.Mutex
-	owner   map[int]ownedRule
-	bounds  []int
+	owner   map[int]ownedRule //catcam:guarded-by routeMu
+	bounds  []int             //catcam:guarded-by routeMu
 
-	// Fan-out working set, guarded by fanMu.
+	// Fan-out working set, guarded by fanMu. The workers read fanHdrs
+	// without the lock; the work-channel send/WaitGroup pair orders
+	// those reads against the dispatcher, which always holds fanMu.
 	fanMu   sync.Mutex
 	fanWG   sync.WaitGroup
 	fanHdrs []rules.Header
-	hdr1    [1]rules.Header
-	res1    []core.LookupResult
+	hdr1    [1]rules.Header     //catcam:guarded-by fanMu
+	res1    []core.LookupResult //catcam:guarded-by fanMu
 
 	closeOnce sync.Once
 
@@ -145,8 +147,8 @@ type Cluster struct {
 	aud *flightrec.Auditor
 
 	rebalMu     sync.Mutex
-	rebalPasses uint64
-	rebalMoved  uint64
+	rebalPasses uint64 //catcam:guarded-by rebalMu
+	rebalMoved  uint64 //catcam:guarded-by rebalMu
 }
 
 // shard is one device plus its fan-out worker plumbing.
@@ -210,6 +212,8 @@ func (c *Cluster) Close() {
 // this shard's private result slice. The channel receive orders the
 // read of fanHdrs after the dispatcher's write; the WaitGroup orders
 // the dispatcher's read of results after the write here.
+//
+//catcam:hotpath
 func (c *Cluster) worker(s *shard) {
 	for range s.work {
 		s.results = s.dev.LookupHeaderBatch(c.fanHdrs, s.results[:0])
@@ -248,17 +252,13 @@ func (c *Cluster) routeLocked(priority int) int {
 	return sort.SearchInts(c.bounds, priority)
 }
 
-// InsertRule routes the rule to its home shard — by priority interval
-// or ID hash — and inserts it there. Exactly one device is touched, so
-// the update cost is one device update: the cluster preserves the
-// paper's O(1) alteration end to end.
-func (c *Cluster) InsertRule(r rules.Rule) (core.UpdateResult, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+// routeInsert claims r's owner-map slot and returns its home shard —
+// by priority interval or ID hash. Rejects duplicate IDs.
+func (c *Cluster) routeInsert(r rules.Rule) (int, error) {
 	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
 	if _, dup := c.owner[r.ID]; dup {
-		c.routeMu.Unlock()
-		return core.UpdateResult{}, fmt.Errorf("%w: %d", ErrDuplicate, r.ID)
+		return 0, fmt.Errorf("%w: %d", ErrDuplicate, r.ID)
 	}
 	var sh int
 	if c.mode == ModeInterval {
@@ -267,7 +267,20 @@ func (c *Cluster) InsertRule(r rules.Rule) (core.UpdateResult, error) {
 		sh = hashShard(r.ID, len(c.shards))
 	}
 	c.owner[r.ID] = ownedRule{shard: sh, rule: r}
-	c.routeMu.Unlock()
+	return sh, nil
+}
+
+// InsertRule routes the rule to its home shard — by priority interval
+// or ID hash — and inserts it there. Exactly one device is touched, so
+// the update cost is one device update: the cluster preserves the
+// paper's O(1) alteration end to end.
+func (c *Cluster) InsertRule(r rules.Rule) (core.UpdateResult, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	sh, err := c.routeInsert(r)
+	if err != nil {
+		return core.UpdateResult{}, err
+	}
 
 	res, err := c.shards[sh].dev.InsertRule(r)
 	if err != nil {
@@ -316,6 +329,8 @@ func (c *Cluster) ModifyRule(ruleID int, newRule rules.Rule) (core.UpdateResult,
 }
 
 // Lookup classifies one header and returns the winning action.
+//
+//catcam:hotpath
 func (c *Cluster) Lookup(h rules.Header) (int, bool) {
 	c.fanMu.Lock()
 	c.hdr1[0] = h
@@ -336,6 +351,8 @@ func (c *Cluster) Lookup(h rules.Header) (int, bool) {
 // dst in input order. With a reused dst the steady-state path
 // allocates nothing — the fan-out working set is sized once and the
 // per-shard paths are the PR-2 allocation-free batch lookups.
+//
+//catcam:hotpath
 func (c *Cluster) LookupHeaderBatch(hs []rules.Header, dst []core.LookupResult) []core.LookupResult {
 	if len(hs) == 0 {
 		return dst
@@ -398,7 +415,7 @@ func (c *Cluster) reduce(i int) core.LookupResult {
 		}
 	}
 	if c.aud.SampleLookup() {
-		c.auditReduce(i, win)
+		c.auditReduce(i, win) //catcam:allow alloc "sampled arbiter cross-check; rate-gated off the steady-state path"
 	}
 	if win < 0 {
 		return core.LookupResult{}

@@ -110,41 +110,43 @@ type location struct {
 // vectors live in the device's scratch area and are reused.
 type Device struct {
 	mu     sync.Mutex
-	cfg    Config
-	subs   []*Subtable
-	global *sram.Array
+	cfg    Config      // immutable after NewDevice
+	subs   []*Subtable //catcam:guarded-by mu
+	global *sram.Array //catcam:guarded-by mu
 
 	// scratch holds the reusable lookup buffers; guarded by mu.
-	scratch lookupScratch
+	scratch lookupScratch //catcam:guarded-by mu
 
 	// meta is the metadata cache (§VI): per-subtable activity, maximum
 	// rank, and the rule locator.
-	active []bool
-	maxOf  []Rank
+	active []bool //catcam:guarded-by mu
+	maxOf  []Rank //catcam:guarded-by mu
 	// order lists active subtable IDs sorted ascending by max rank —
 	// the interval sequence. The firmware-free scheduler walks it.
-	order []int
+	order []int //catcam:guarded-by mu
 	// freeSubs holds inactive subtable IDs available for assignment.
-	freeSubs []int
+	freeSubs []int //catcam:guarded-by mu
 	// locs maps an entry key (ruleID, seq) to its location.
-	locs map[entryKey]location
+	locs map[entryKey]location //catcam:guarded-by mu
 	// seqCounter makes ranks unique across expansion entries.
-	seqCounter int
+	seqCounter int //catcam:guarded-by mu
 
-	stats Stats
+	stats Stats //catcam:guarded-by mu
 	// tel is the attached runtime telemetry; nil until AttachTelemetry.
-	tel *deviceTelemetry
+	tel *deviceTelemetry //catcam:guarded-by mu
 
 	// Flight-recorder instruments (see flightrec.go); all nil until
-	// attached, and every hook below is nil-safe.
+	// attached, and every hook below is nil-safe. The instruments
+	// themselves are internally synchronized, so the pointers are not
+	// mutex-guarded once attached.
 	rec     *flightrec.Recorder
 	aud     *flightrec.Auditor
 	shadow  *flightrec.Shadow
-	frTable int // flowtable ID carried on traces; -1 standalone
+	frTable int //catcam:guarded-by mu
 	// trace is the in-flight update's causal trace (nil when the
 	// current update is unsampled); guarded by mu like the update
 	// itself.
-	trace *flightrec.Trace
+	trace *flightrec.Trace //catcam:guarded-by mu
 }
 
 type entryKey struct {
@@ -291,6 +293,8 @@ func (d *Device) padKeyScratch(k ternary.Key) ternary.Key {
 // the global priority matrix; (3) the chosen subtable's local priority
 // matrix reduces its match vector to the report vector. Amortized one
 // cycle per lookup at full pipeline.
+//
+//catcam:hotpath
 func (d *Device) LookupKey(k ternary.Key) (Entry, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -311,7 +315,7 @@ func (d *Device) lookupLocked(k ternary.Key) (Entry, bool) {
 	for _, id := range d.order {
 		mv := d.scratch.locals[id]
 		if mv == nil {
-			mv = bitvec.New(d.cfg.SubtableCapacity)
+			mv = bitvec.New(d.cfg.SubtableCapacity) //catcam:allow alloc "one-time warm-up of a per-subtable scratch vector; steady state reuses it"
 			d.scratch.locals[id] = mv
 		}
 		d.subs[id].SearchInto(mv, k)
@@ -335,6 +339,7 @@ func (d *Device) lookupLocked(k ternary.Key) (Entry, bool) {
 		if d.aud == nil {
 			panic(fmt.Sprintf("core: global report not one-hot: %s", report))
 		}
+		//catcam:allow alloc "fail-report path for a broken hardware guarantee, never taken at steady state"
 		d.aud.Fail(flightrec.Violation{
 			Invariant: flightrec.InvReportOneHot, Table: -1, Subtable: -1, RuleID: -1,
 			Detail: fmt.Sprintf("global report %s has %d bits set", report, report.Count()),
@@ -349,7 +354,7 @@ func (d *Device) lookupLocked(k ternary.Key) (Entry, bool) {
 		return Entry{}, false
 	}
 	if d.aud.SampleLookup() {
-		d.auditLookup(oneHot, winner, slot)
+		d.auditLookup(oneHot, winner, slot) //catcam:allow alloc "sampled inline audit; rate-gated off the steady-state path"
 	}
 	return d.subs[winner].ReadEntryMeta(slot), true
 }
@@ -365,6 +370,8 @@ type LookupResult struct {
 // call allocation-free at steady state; the device lock is taken once
 // for the batch, which amortizes synchronization across high-rate
 // traffic the way the hardware pipeline amortizes its fill latency.
+//
+//catcam:hotpath
 func (d *Device) LookupBatch(keys []ternary.Key, dst []LookupResult) []LookupResult {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -379,6 +386,8 @@ func (d *Device) LookupBatch(keys []ternary.Key, dst []LookupResult) []LookupRes
 // encoded into the device's scratch key and classified, with one result
 // appended to dst per header. Like LookupBatch it holds the lock once
 // and allocates nothing when dst has capacity.
+//
+//catcam:hotpath
 func (d *Device) LookupHeaderBatch(hs []rules.Header, dst []LookupResult) []LookupResult {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -386,7 +395,7 @@ func (d *Device) LookupHeaderBatch(hs []rules.Header, dst []LookupResult) []Look
 		rules.EncodeHeaderInto(&d.scratch.encKey, h)
 		e, ok := d.lookupLocked(d.padKeyScratch(d.scratch.encKey))
 		if d.shadow.Sample() {
-			d.shadow.Observe(h, e.Action, ok)
+			d.shadow.Observe(h, e.Action, ok) //catcam:allow alloc "sampled shadow re-classification; rate-gated off the steady-state path"
 		}
 		dst = append(dst, LookupResult{Entry: e, OK: ok})
 	}
@@ -394,13 +403,15 @@ func (d *Device) LookupHeaderBatch(hs []rules.Header, dst []LookupResult) []Look
 }
 
 // Lookup classifies a packet header and returns the winning action.
+//
+//catcam:hotpath
 func (d *Device) Lookup(h rules.Header) (int, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	rules.EncodeHeaderInto(&d.scratch.encKey, h)
 	e, ok := d.lookupLocked(d.padKeyScratch(d.scratch.encKey))
 	if d.shadow.Sample() {
-		d.shadow.Observe(h, e.Action, ok)
+		d.shadow.Observe(h, e.Action, ok) //catcam:allow alloc "sampled shadow re-classification; rate-gated off the steady-state path"
 	}
 	if !ok {
 		return 0, false

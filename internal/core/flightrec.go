@@ -117,13 +117,14 @@ func (d *Device) auditEvictionBound(res UpdateResult) {
 func (d *Device) AuditSweep() flightrec.SweepInfo {
 	d.mu.Lock()
 	aud := d.aud
+	subs := d.subs // snapshot under mu; the slice header is stable after NewDevice
 	d.mu.Unlock()
 	if aud == nil {
 		return flightrec.SweepInfo{}
 	}
 	start := time.Now()
 	checks0, fails0 := aud.TotalChecks(), aud.TotalViolations()
-	for _, st := range d.subs {
+	for _, st := range subs {
 		d.mu.Lock()
 		d.sweepSubtable(st)
 		d.mu.Unlock()

@@ -103,6 +103,7 @@ func (st *Subtable) Decide(matchVec *bitvec.Vector) int {
 	if st.aud == nil {
 		panic(fmt.Sprintf("core: subtable %d report vector not one-hot: %s", st.id, report))
 	}
+	//catcam:allow alloc "fail-report path for a broken hardware guarantee, never taken at steady state"
 	st.aud.Fail(flightrec.Violation{
 		Invariant: flightrec.InvReportOneHot, Table: -1, Subtable: st.id, RuleID: -1,
 		Detail: fmt.Sprintf("local report %s has %d bits set", report, report.Count()),
@@ -113,6 +114,8 @@ func (st *Subtable) Decide(matchVec *bitvec.Vector) int {
 // bestMatched walks the match vector and returns the matched slot with
 // the highest stored rank — the metadata-derived answer the one-hot
 // hardware decision must agree with. Audit/fallback path only.
+//
+//catcam:allow alloc "audit/fallback path; the ForEach closure is off the steady-state decision"
 func (st *Subtable) bestMatched(matchVec *bitvec.Vector) int {
 	best := -1
 	var bestRank Rank

@@ -114,7 +114,7 @@ func (s *Stats) Add(o Stats) {
 // bitvec of Cols bits.
 type Array struct {
 	params Params
-	rows   []*bitvec.Vector
+	rows   []*bitvec.Vector //catcam:cycle-state
 	stats  Stats
 }
 
@@ -235,6 +235,8 @@ func (a *Array) ColumnNOR(active *bitvec.Vector) *bitvec.Vector {
 // destination vector (same length as active, which it must not alias),
 // so the steady-state lookup path performs no allocation. Cycle and
 // energy accounting are identical to ColumnNOR.
+//
+//catcam:hotpath
 func (a *Array) ColumnNORInto(dst, active *bitvec.Vector) *bitvec.Vector {
 	if a.params.Rows != a.params.Cols {
 		panic("sram: ColumnNOR requires a square array")
@@ -270,8 +272,8 @@ func (a *Array) ColumnNORInto(dst, active *bitvec.Vector) *bitvec.Vector {
 // independent of which representation the host touches.
 type TernaryArray struct {
 	params  Params
-	entries []ternary.Word
-	valid   *bitvec.Vector
+	entries []ternary.Word //catcam:cycle-state
+	valid   *bitvec.Vector //catcam:cycle-state
 	stats   Stats
 	// subarrays is how many physical subarrays one logical entry spans
 	// (the prototype splits a 640-bit key over 4 160-bit subarrays); it
@@ -284,13 +286,13 @@ type TernaryArray struct {
 	// order of ternary.Word.PlaneWords: position 0 is the least
 	// significant (right-most) ternary bit.
 	rowWords   int
-	planeValue []uint64
-	planeCare  []uint64
+	planeValue []uint64 //catcam:cycle-state
+	planeCare  []uint64 //catcam:cycle-state
 	// careAny marks positions where at least one entry has ever cared —
 	// all-wildcard columns (padding, flat port fields) are skipped by
 	// the kernel. Bits are set on write and conservatively never
 	// cleared on invalidate, which only costs a skipped optimization.
-	careAny []uint64
+	careAny []uint64 //catcam:cycle-state
 	// acc is the kernel's match accumulator scratch.
 	acc []uint64
 	// validCount caches valid.Count() so per-search energy accounting
@@ -386,6 +388,8 @@ func (t *TernaryArray) WriteEntry(r int, w ternary.Word) {
 // sliceEntry scatters w's (value, care) bit pairs into the transposed
 // planes at entry column r. Every position is written — set or cleared
 // — so stale planes from a previous occupant cannot survive.
+//
+//catcam:allow cycles "plane scatter is part of WriteEntry's single modeled write cycle"
 func (t *TernaryArray) sliceEntry(r int, w ternary.Word) {
 	value, care := w.PlaneWords()
 	wi, bit := r/64, uint64(1)<<(r%64)
@@ -461,6 +465,8 @@ func (t *TernaryArray) Search(k ternary.Key) *bitvec.Vector {
 // SearchInto is Search depositing the match vector into a
 // caller-provided vector of Rows bits, allocation-free. Accounting is
 // identical to Search.
+//
+//catcam:hotpath
 func (t *TernaryArray) SearchInto(dst *bitvec.Vector, k ternary.Key) *bitvec.Vector {
 	if k.Width() != t.Width() {
 		panic(fmt.Sprintf("sram: key width %d != %d", k.Width(), t.Width()))
@@ -489,6 +495,8 @@ func (t *TernaryArray) SearchInto(dst *bitvec.Vector, k ternary.Key) *bitvec.Vec
 // kernel4 is the match kernel specialized for 256-entry subtables
 // (four accumulator words, the paper's geometry): the accumulator
 // stays in registers across the whole search.
+//
+//catcam:hotpath
 func (t *TernaryArray) kernel4(kw []uint64) {
 	acc, pv, pc := t.acc, t.planeValue, t.planeCare
 	a0, a1, a2, a3 := acc[0], acc[1], acc[2], acc[3]
@@ -520,6 +528,8 @@ func (t *TernaryArray) kernel4(kw []uint64) {
 }
 
 // kernelN is the generic-width match kernel.
+//
+//catcam:hotpath
 func (t *TernaryArray) kernelN(kw []uint64) {
 	acc, pv, pc, rw := t.acc, t.planeValue, t.planeCare, t.rowWords
 	for pw := len(t.careAny) - 1; pw >= 0; pw-- {
@@ -608,6 +618,8 @@ func (t *TernaryArray) AuditPlanes() error {
 // row-major word — the seeded corruption the auditor tests use to prove
 // the plane and parity audits fire. Returns the flipped position, or -1
 // when the entry is invalid or fully wildcarded. Test hook only.
+//
+//catcam:allow cycles "deliberate corruption hook for auditor tests, not a modeled access"
 func (t *TernaryArray) InjectPlaneFault(r int) int {
 	t.checkRow(r)
 	if !t.valid.Get(r) {

@@ -106,6 +106,8 @@ func (w Word) check(i int) {
 
 // SetBit sets position i (0 = most significant, matching the left-to-right
 // string form used throughout the paper's figures).
+//
+//catcam:mutator
 func (w *Word) SetBit(i int, b Bit) {
 	w.check(i)
 	pos := w.width - 1 - i
@@ -140,6 +142,8 @@ func (w Word) BitAt(i int) Bit {
 }
 
 // SetKeyBit sets key bit i (0 = most significant) to b.
+//
+//catcam:mutator
 func (k *Key) SetKeyBit(i int, b bool) {
 	if i < 0 || i >= k.width {
 		panic(fmt.Sprintf("ternary: key bit %d out of range [0,%d)", i, k.width))
@@ -326,6 +330,8 @@ func (w Word) Copy() Word {
 // Slot writes word o into positions [off, off+o.width) of w (0 = most
 // significant), used to concatenate per-field encodings into one search
 // word. It panics if o does not fit.
+//
+//catcam:mutator
 func (w *Word) Slot(off int, o Word) {
 	if off < 0 || off+o.width > w.width {
 		panic(fmt.Sprintf("ternary: slot [%d,%d) outside width %d", off, off+o.width, w.width))
@@ -336,6 +342,8 @@ func (w *Word) Slot(off int, o Word) {
 }
 
 // SlotKey writes key o into positions [off, off+o.width) of k.
+//
+//catcam:mutator
 func (k *Key) SlotKey(off int, o Key) {
 	if off < 0 || off+o.width > k.width {
 		panic(fmt.Sprintf("ternary: slot [%d,%d) outside width %d", off, off+o.width, k.width))
@@ -350,6 +358,8 @@ func (k *Key) SlotKey(off int, o Key) {
 // result as zeroing k and calling SlotKey(0, o), but word-wise and
 // without allocating, so a device can keep one padded search-key
 // buffer across lookups. It panics if o is wider than k.
+//
+//catcam:mutator
 func (k *Key) LoadPadded(o Key) {
 	if o.width > k.width {
 		panic(fmt.Sprintf("ternary: pad source width %d exceeds %d", o.width, k.width))
@@ -375,6 +385,8 @@ func (k *Key) LoadPadded(o Key) {
 // [off, off+width), most significant first — SlotKey of KeyFromUint
 // without the intermediate allocation, used by the allocation-free
 // header encoder.
+//
+//catcam:mutator
 func (k *Key) SetUint(off, width int, v uint64) {
 	if off < 0 || width <= 0 || width > 64 || off+width > k.width {
 		panic(fmt.Sprintf("ternary: set-uint [%d,%d) outside width %d", off, off+width, k.width))
