@@ -33,13 +33,17 @@ type Result struct {
 }
 
 // Summary is the JSON document: a name→result map plus provenance.
-// GitSHA/GoVersion/GOMAXPROCS pin down which tree and toolchain
-// produced a committed baseline, so a drifted comparison is
-// recognizable as such.
+// GitSHA/GoVersion/NumCPU/GOMAXPROCS pin down which tree, toolchain
+// and machine class produced a committed baseline, so a drifted
+// comparison is recognizable as such — parallel benchmarks
+// (BenchmarkClusterLookupParallel and friends) scale with the core
+// count, and a delta against a baseline from a different machine class
+// measures the hardware, not the change.
 type Summary struct {
 	Note       string            `json:"note"`
 	GitSHA     string            `json:"git_sha,omitempty"`
 	GoVersion  string            `json:"go_version,omitempty"`
+	NumCPU     int               `json:"num_cpu,omitempty"`
 	GOMAXPROCS int               `json:"gomaxprocs,omitempty"`
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
@@ -106,8 +110,15 @@ func compare(baselinePath string, fresh map[string]Result) error {
 		return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
 	}
 	if base.GitSHA != "" || base.GoVersion != "" {
-		fmt.Printf("baseline: commit %s, %s, GOMAXPROCS=%d\n",
-			base.GitSHA, base.GoVersion, base.GOMAXPROCS)
+		fmt.Printf("baseline: commit %s, %s, %d CPUs, GOMAXPROCS=%d\n",
+			base.GitSHA, base.GoVersion, base.NumCPU, base.GOMAXPROCS)
+	}
+	switch {
+	case base.NumCPU == 0:
+		fmt.Println("warning: baseline has no CPU provenance (num_cpu missing); regenerate it with `make bench` before trusting parallel deltas")
+	case base.NumCPU != runtime.NumCPU() || base.GOMAXPROCS != runtime.GOMAXPROCS(0):
+		fmt.Printf("warning: CPU mismatch: baseline ran on %d CPUs (GOMAXPROCS=%d), this host has %d (GOMAXPROCS=%d); parallel ns/op deltas compare machines, not code\n",
+			base.NumCPU, base.GOMAXPROCS, runtime.NumCPU(), runtime.GOMAXPROCS(0))
 	}
 	names := make([]string, 0, len(fresh))
 	for name := range fresh {
@@ -168,6 +179,7 @@ func main() {
 		Note:       "host benchmark figures (go test -bench -benchmem); machine-dependent, for trend comparison via `make bench-compare`, not gating",
 		GitSHA:     gitSHA(),
 		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Benchmarks: results,
 	}

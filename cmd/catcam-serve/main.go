@@ -11,17 +11,24 @@
 //
 // Endpoints:
 //
-//	/metrics       Prometheus text exposition (counters, gauges,
-//	               catcam_update_cycles histograms with p50/p99/p999)
-//	/metrics.json  JSON snapshot of the same registry
-//	/events        recent structured update events (?kind= ?n= filters)
-//	/healthz       liveness plus occupancy, audit summary and (in
-//	               cluster mode) per-shard entries, bounds and
-//	               rebalancer accounting
-//	/debug/trace   sampled causal update traces (?op= ?n= filters)
-//	/debug/audit   invariant auditor report (checks, violations, sweeps)
-//	/debug/vars    expvar (includes the telemetry snapshot)
-//	/debug/pprof/  net/http/pprof profiles
+//	/metrics        Prometheus text exposition (counters, gauges,
+//	                catcam_update_cycles histograms with p50/p99/p999)
+//	/metrics.json   JSON snapshot of the same registry, with per-bucket
+//	                trace-ID exemplars on the serve latency histogram
+//	/events         recent structured update events (?kind= ?n= filters)
+//	/healthz        liveness plus occupancy, audit summary, SLO verdict
+//	                and (in cluster mode) per-shard entries, bounds and
+//	                rebalancer accounting
+//	/slo            SLO burn-rate status (objectives, fast/slow burn,
+//	                paging verdict), evaluated at request time
+//	/debug/trace    sampled causal update traces (?op= ?n= filters)
+//	/debug/timeline sampled request span trees as Chrome trace-event
+//	                JSON — load directly in Perfetto (?trace=<hex id>)
+//	/debug/blame    tail-latency attribution: the slowest traces
+//	                decomposed by stage and shard/subtable self-time
+//	/debug/audit    invariant auditor report (checks, violations, sweeps)
+//	/debug/vars     expvar (includes the telemetry snapshot)
+//	/debug/pprof/   net/http/pprof profiles
 //
 // Usage:
 //
@@ -31,6 +38,9 @@
 //	             [-rebalance-batch 64]
 //	             [-trace-every 0] [-trace-ring 1024] [-audit-every 0]
 //	             [-audit-interval 0] [-shadow-every 0] [-duration 0]
+//	             [-span-every 0] [-span-ring 256] [-slo-interval 5s]
+//	             [-slo-latency-ns 1048576] [-escalation-window 30s]
+//	             [-final-dir ""]
 //
 // The churn loop mirrors the paper's update methodology: inserts and
 // deletes split evenly so the table stays near its provisioned
@@ -47,6 +57,21 @@
 // -duration D runs the churn for D, then performs a final sweep and
 // exits — nonzero if any invariant violation was detected. That is the
 // CI soak mode.
+//
+// The span layer rides on top: -span-every N samples every Nth classify
+// batch into a full end-to-end span trace (fan-out dispatch, per-shard
+// kernels, per-key device lookups, focus-key SRAM kernel searches,
+// arbiter merge) retained in a ring of -span-ring traces, served at
+// /debug/timeline and /debug/blame, and linked from the
+// catcam_serve_lookup_ns histogram's bucket exemplars. The SLO engine
+// evaluates three objectives every -slo-interval — batch latency under
+// -slo-latency-ns, audit-violation rate, shadow-divergence rate — over
+// fast (5m) and slow (1h) burn windows. When both windows burn, the
+// escalation raises every sampling knob (span traces, causal traces,
+// inline audits, shadows) to 1-in-1 and captures a CPU profile for
+// -escalation-window, then restores the configured rates. -final-dir D
+// writes metrics.json, slo.json and timeline.json there at shutdown for
+// CI artifact upload.
 //
 // SIGINT or SIGTERM triggers a graceful shutdown in either mode: the
 // churn loop drains, background sweepers and the rebalancer stop, one
@@ -66,6 +91,8 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"syscall"
@@ -76,8 +103,10 @@ import (
 	"catcam/internal/core"
 	"catcam/internal/flightrec"
 	"catcam/internal/rules"
+	"catcam/internal/slo"
 	"catcam/internal/swclass"
 	"catcam/internal/telemetry"
+	"catcam/internal/trace"
 )
 
 // options collects the parsed command line.
@@ -102,6 +131,13 @@ type options struct {
 	auditInterval time.Duration
 	shadowEvery   uint64
 	duration      time.Duration
+
+	spanEvery    uint64
+	spanRing     int
+	sloInterval  time.Duration
+	sloLatencyNs uint64
+	escWindow    time.Duration
+	finalDir     string
 }
 
 func main() {
@@ -124,6 +160,12 @@ func main() {
 	flag.DurationVar(&o.auditInterval, "audit-interval", 0, "background invariant sweep period (0 = off)")
 	flag.Uint64Var(&o.shadowEvery, "shadow-every", 0, "shadow-check every Nth lookup against the software classifier (0 = off)")
 	flag.DurationVar(&o.duration, "duration", 0, "run for this long, final-sweep and exit; nonzero exit on violations (0 = serve until signalled)")
+	flag.Uint64Var(&o.spanEvery, "span-every", 0, "span-trace every Nth classify batch end-to-end (0 = off)")
+	flag.IntVar(&o.spanRing, "span-ring", 256, "span trace ring capacity")
+	flag.DurationVar(&o.sloInterval, "slo-interval", 5*time.Second, "SLO sample/evaluate period")
+	flag.Uint64Var(&o.sloLatencyNs, "slo-latency-ns", 1<<20, "classify-batch latency budget for the p999 objective (ns)")
+	flag.DurationVar(&o.escWindow, "escalation-window", 30*time.Second, "how long an SLO burn holds sampling at 100% and the CPU profile running")
+	flag.StringVar(&o.finalDir, "final-dir", "", "write metrics.json, slo.json and timeline.json here at shutdown")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -138,6 +180,7 @@ type engine interface {
 	InsertRule(rules.Rule) (core.UpdateResult, error)
 	DeleteRule(ruleID int) (core.UpdateResult, error)
 	LookupHeaderBatch(hs []rules.Header, dst []core.LookupResult) []core.LookupResult
+	LookupHeaderBatchTraced(tr *trace.Trace, hs []rules.Header, dst []core.LookupResult) []core.LookupResult
 	AttachTelemetry(reg *telemetry.Registry, ring *telemetry.EventRing, labels telemetry.Labels)
 	AttachFlightRecorder(rec *flightrec.Recorder, table int)
 	AttachAuditor(aud *flightrec.Auditor)
@@ -211,10 +254,20 @@ func run(o options) error {
 		}
 	}
 
+	// Span layer: the tracer samples whole classify batches end-to-end;
+	// the serve latency histogram carries per-bucket exemplars linking
+	// /metrics.json tail buckets to retained traces.
+	tracer := trace.NewTracer(o.spanRing)
+	tracer.SetSampleEvery(o.spanEvery)
+	lookupHist := reg.Histogram("catcam_serve_lookup_ns",
+		"wall-clock latency of one batched classify call", telemetry.DefaultLatencyBuckets, nil)
+
 	c, err := newChurner(eng, fam, o.size, o.seed)
 	if err != nil {
 		return err
 	}
+	c.tracer = tracer
+	c.lookupHist = lookupHist
 	// The bulk load is warmup; serve steady-state quantiles only.
 	eng.ResetStats()
 	churnDone := make(chan struct{})
@@ -248,12 +301,116 @@ func run(o options) error {
 		stopRebal = cl.StartRebalancer(o.rebalance, o.rebalanceBatch)
 	}
 
+	// SLO engine: three objectives over the serving telemetry, gated on
+	// fast/slow burn windows. A confirmed burn triggers the bounded
+	// escalation — every sampling knob to 1-in-1 and a CPU profile for
+	// the escalation window — so the flight data is at full fidelity
+	// exactly while the service is burning budget.
+	var profMu sync.Mutex
+	var profFile *os.File
+	stopProfile := func() {
+		profMu.Lock()
+		defer profMu.Unlock()
+		if profFile != nil {
+			pprof.StopCPUProfile()
+			fmt.Printf("catcam-serve: escalation: CPU profile written to %s\n", profFile.Name())
+			_ = profFile.Close()
+			profFile = nil
+		}
+	}
+	esc := &slo.Escalation{
+		Window: o.escWindow,
+		Raise: func() {
+			tracer.SetSampleEvery(1)
+			rec.SetSampleEvery(1)
+			aud.SetLookupSampleEvery(1)
+			for _, sh := range shadows {
+				sh.SetSampleEvery(1)
+			}
+			profMu.Lock()
+			defer profMu.Unlock()
+			dir := o.finalDir
+			if dir == "" {
+				dir = os.TempDir()
+			}
+			f, err := os.CreateTemp(dir, "catcam-burn-*.pprof")
+			if err == nil {
+				if pprof.StartCPUProfile(f) == nil {
+					profFile = f
+				} else {
+					_ = f.Close()
+				}
+			}
+			fmt.Println("catcam-serve: escalation raised: sampling at 100%, CPU profile running")
+		},
+		Restore: func() {
+			tracer.SetSampleEvery(o.spanEvery)
+			rec.SetSampleEvery(o.traceEvery)
+			aud.SetLookupSampleEvery(o.auditEvery)
+			for _, sh := range shadows {
+				sh.SetSampleEvery(o.shadowEvery)
+			}
+			stopProfile()
+			fmt.Println("catcam-serve: escalation restored: configured sampling rates back in effect")
+		},
+	}
+	sloEng := slo.New(slo.Config{
+		OnBurnStart: func(name string) {
+			fmt.Printf("catcam-serve: SLO %s burning: fast and slow windows over threshold\n", name)
+			esc.Trigger(time.Now())
+		},
+		OnBurnEnd: func(name string) {
+			fmt.Printf("catcam-serve: SLO %s recovered\n", name)
+		},
+	})
+	sloEng.Add(slo.Objective{
+		Name:        "lookup_latency",
+		Description: fmt.Sprintf("99.9%% of classify batches under %dns", o.sloLatencyNs),
+		Target:      0.999,
+		Source: func() (uint64, uint64) {
+			return lookupHist.CountAbove(o.sloLatencyNs), lookupHist.Count()
+		},
+	})
+	sloEng.Add(slo.Objective{
+		Name:        "audit_violations",
+		Description: "99.99% of audited invariant checks pass",
+		Target:      0.9999,
+		Source:      func() (uint64, uint64) { return aud.TotalViolations(), aud.TotalChecks() },
+	})
+	sloEng.Add(slo.Objective{
+		Name:        "shadow_divergence",
+		Description: "99.99% of shadow-classified lookups match the software reference",
+		Target:      0.9999,
+		Source: func() (uint64, uint64) {
+			return aud.ViolationCount(flightrec.InvShadowMatch), aud.Checks(flightrec.InvShadowMatch)
+		},
+	})
+	bgWG.Add(1)
+	go func() {
+		defer bgWG.Done()
+		t := time.NewTicker(o.sloInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-sweepDone:
+				return
+			case now := <-t.C:
+				sloEng.Sample(now)
+				sloEng.Evaluate(now)
+				esc.Tick(now)
+			}
+		}
+	}()
+
 	start := time.Now()
 	http.Handle("/metrics", reg.MetricsHandler())
 	http.Handle("/metrics.json", reg.JSONHandler())
 	http.Handle("/events", ring.Handler())
 	http.Handle("/debug/trace", rec.Handler())
 	http.Handle("/debug/audit", aud.Handler())
+	http.Handle("/slo", sloEng.Handler())
+	http.Handle("/debug/timeline", tracer.TimelineHandler())
+	http.Handle("/debug/blame", tracer.BlameHandler())
 	http.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		body := map[string]any{
@@ -264,6 +421,10 @@ func run(o options) error {
 			"audit_checks":     aud.TotalChecks(),
 			"audit_violations": aud.TotalViolations(),
 			"traces_recorded":  rec.Total(),
+			"span_traces":      tracer.Total(),
+			"slo_healthy":      sloEng.Healthy(),
+			"escalations":      esc.Count(),
+			"escalation_live":  esc.Active(),
 			"shards":           o.shards,
 		}
 		if cl != nil {
@@ -292,7 +453,7 @@ func run(o options) error {
 	}
 	fmt.Printf("catcam-serve: %s %d rules on %s, churn %d updates/s\n",
 		fam, o.size, engDesc, o.rate)
-	fmt.Printf("catcam-serve: listening on %s (/metrics /metrics.json /events /healthz /debug/trace /debug/audit /debug/vars /debug/pprof)\n", o.addr)
+	fmt.Printf("catcam-serve: listening on %s (/metrics /metrics.json /events /healthz /slo /debug/trace /debug/timeline /debug/blame /debug/audit /debug/vars /debug/pprof)\n", o.addr)
 
 	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSig()
@@ -322,14 +483,37 @@ func run(o options) error {
 	bgWG.Wait()
 	stopRebal()
 
+	stopProfile()
 	auditErr := finalAudit(eng, aud, shadows)
 	if cl != nil {
 		passes, moved := cl.RebalanceStats()
 		fmt.Printf("catcam-serve: rebalancer: %d passes, %d rules moved, shard entries %v\n",
 			passes, moved, cl.ShardEntries())
 	}
-	if err := json.NewEncoder(os.Stdout).Encode(reg.Snapshot()); err != nil {
+
+	// Final flush: one last SLO evaluation over the quiescent counters,
+	// then the combined telemetry+SLO snapshot to stdout, and (for CI
+	// artifact upload) the metrics, SLO and timeline JSON to -final-dir.
+	finalNow := time.Now()
+	sloEng.Sample(finalNow)
+	sloStatus := sloEng.Evaluate(finalNow)
+	if sloStatus.Healthy {
+		fmt.Println("catcam-serve: SLO verdict: healthy, no objective burning")
+	} else {
+		fmt.Println("catcam-serve: SLO verdict: BURNING at shutdown")
+	}
+	snap := reg.Snapshot()
+	if err := json.NewEncoder(os.Stdout).Encode(map[string]any{
+		"telemetry": snap, "slo": sloStatus,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "catcam-serve: telemetry flush:", err)
+	}
+	if o.finalDir != "" {
+		if err := writeFinalArtifacts(o.finalDir, snap, sloStatus, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "catcam-serve: final artifacts:", err)
+		} else {
+			fmt.Printf("catcam-serve: final artifacts written to %s\n", o.finalDir)
+		}
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -337,6 +521,43 @@ func run(o options) error {
 		fmt.Fprintln(os.Stderr, "catcam-serve: http shutdown:", err)
 	}
 	return auditErr
+}
+
+// writeFinalArtifacts dumps the shutdown state for CI upload: the full
+// metrics snapshot, the SLO status, and every retained span trace as a
+// Perfetto-loadable timeline.
+func writeFinalArtifacts(dir string, snap any, st slo.Status, tracer *trace.Tracer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	writeJSON := func(name string, v any) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			_ = f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := writeJSON("metrics.json", snap); err != nil {
+		return err
+	}
+	if err := writeJSON("slo.json", st); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "timeline.json"))
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteTimeline(f, tracer.Snapshot()); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // finalAudit runs one last sweep after the churn drains and reports the
@@ -377,6 +598,10 @@ type churner struct {
 	// traffic allocates nothing at steady state.
 	hdrBatch []rules.Header
 	results  []core.LookupResult
+	// span layer: sampled batches carry a trace through every layer and
+	// stamp the latency histogram's bucket exemplar with their trace ID.
+	tracer     *trace.Tracer
+	lookupHist *telemetry.Histogram
 }
 
 func newChurner(eng engine, fam classbench.Family, size int, seed int64) (*churner, error) {
@@ -428,6 +653,10 @@ func (c *churner) step() {
 
 // lookups classifies the next n trace headers in one batched engine
 // call (one update : one lookup overall, same as before batching).
+// Every batch's wall latency lands in the serve histogram; a sampled
+// batch additionally carries a span trace end-to-end and stamps its
+// trace ID onto the bucket it lands in, so a tail bucket in
+// /metrics.json links to a retrievable span tree.
 func (c *churner) lookups(n int) {
 	if len(c.headers) == 0 {
 		return
@@ -437,7 +666,16 @@ func (c *churner) lookups(n int) {
 		c.hdrBatch = append(c.hdrBatch, c.headers[c.hdr%len(c.headers)])
 		c.hdr++
 	}
-	c.results = c.eng.LookupHeaderBatch(c.hdrBatch, c.results[:0])
+	tr := c.tracer.Start("classify")
+	startNs := trace.Nanos()
+	c.results = c.eng.LookupHeaderBatchTraced(tr, c.hdrBatch, c.results[:0])
+	durNs := trace.Nanos() - startNs
+	if tr != nil {
+		c.tracer.Finish(tr)
+		c.lookupHist.ObserveExemplar(durNs, tr.ID)
+	} else {
+		c.lookupHist.Observe(durNs)
+	}
 }
 
 // loop paces the churn at the requested rate in 10ms batches: a burst

@@ -38,6 +38,7 @@ import (
 	"catcam/internal/core"
 	"catcam/internal/flightrec"
 	"catcam/internal/rules"
+	"catcam/internal/trace"
 )
 
 // Mode selects how rules are partitioned across shards.
@@ -138,8 +139,12 @@ type Cluster struct {
 	fanMu   sync.Mutex
 	fanWG   sync.WaitGroup
 	fanHdrs []rules.Header
-	hdr1    [1]rules.Header     //catcam:guarded-by fanMu
-	res1    []core.LookupResult //catcam:guarded-by fanMu
+	// fanTrace is the current fan-out round's span sink (nil on every
+	// untraced round). Workers read it like fanHdrs: without the lock,
+	// ordered by the work-channel send and the WaitGroup.
+	fanTrace *trace.Trace
+	hdr1     [1]rules.Header     //catcam:guarded-by fanMu
+	res1     []core.LookupResult //catcam:guarded-by fanMu
 
 	closeOnce sync.Once
 
@@ -176,6 +181,7 @@ func New(cfg Config) *Cluster {
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		s := &shard{id: i, dev: core.NewDevice(cfg.Device), work: make(chan struct{})}
+		s.dev.SetTraceShard(i)
 		c.shards = append(c.shards, s)
 		go c.worker(s)
 	}
@@ -216,7 +222,14 @@ func (c *Cluster) Close() {
 //catcam:hotpath
 func (c *Cluster) worker(s *shard) {
 	for range s.work {
-		s.results = s.dev.LookupHeaderBatch(c.fanHdrs, s.results[:0])
+		if tr := c.fanTrace; tr != nil {
+			start := trace.Nanos()
+			s.results = s.dev.LookupHeaderBatchTraced(tr, c.fanHdrs, s.results[:0])
+			//catcam:allow alloc "sampled trace span; rate-gated off the steady-state path"
+			tr.Span(trace.StageShardKernel, -1, s.id, -1, -1, start, 0)
+		} else {
+			s.results = s.dev.LookupHeaderBatch(c.fanHdrs, s.results[:0])
+		}
 		c.fanWG.Done()
 	}
 }
@@ -363,6 +376,30 @@ func (c *Cluster) LookupHeaderBatch(hs []rules.Header, dst []core.LookupResult) 
 	return dst
 }
 
+// LookupHeaderBatchTraced is LookupHeaderBatch recording spans for one
+// sampled batch into tr: a fanout_dispatch span around the whole
+// fan-out (wake every worker, wait for the last), one shard_kernel
+// span per shard (recorded by that shard's worker, on the shard's own
+// timeline lane), the per-shard device/sram spans beneath them, and an
+// arbiter_merge span around the reduce loop. A nil tr degrades to the
+// untraced path.
+//
+//catcam:hotpath
+func (c *Cluster) LookupHeaderBatchTraced(tr *trace.Trace, hs []rules.Header, dst []core.LookupResult) []core.LookupResult {
+	if tr == nil {
+		return c.LookupHeaderBatch(hs, dst)
+	}
+	if len(hs) == 0 {
+		return dst
+	}
+	c.fanMu.Lock()
+	c.fanTrace = tr
+	dst = c.lookupBatchLocked(hs, dst)
+	c.fanTrace = nil
+	c.fanMu.Unlock()
+	return dst
+}
+
 // lookupBatchLocked runs one fan-out round; callers hold fanMu.
 func (c *Cluster) lookupBatchLocked(hs []rules.Header, dst []core.LookupResult) []core.LookupResult {
 	c.mu.RLock()
@@ -372,14 +409,31 @@ func (c *Cluster) lookupBatchLocked(hs []rules.Header, dst []core.LookupResult) 
 	if t != nil {
 		start = time.Now()
 	}
+	tr := c.fanTrace
+	var dispatchStart uint64
+	if tr != nil {
+		dispatchStart = trace.Nanos()
+	}
 	c.fanHdrs = hs
 	c.fanWG.Add(len(c.shards))
 	for _, s := range c.shards {
 		s.work <- struct{}{}
 	}
 	c.fanWG.Wait()
+	if tr != nil {
+		//catcam:allow alloc "sampled trace span; rate-gated off the steady-state path"
+		tr.Span(trace.StageFanoutDispatch, -1, -1, -1, -1, dispatchStart, 0)
+	}
+	var mergeStart uint64
+	if tr != nil {
+		mergeStart = trace.Nanos()
+	}
 	for i := range hs {
 		dst = append(dst, c.reduce(i))
+	}
+	if tr != nil {
+		//catcam:allow alloc "sampled trace span; rate-gated off the steady-state path"
+		tr.Span(trace.StageArbiterMerge, -1, -1, -1, -1, mergeStart, 0)
 	}
 	if t != nil {
 		t.lookups.Add(uint64(len(hs)))

@@ -12,6 +12,7 @@ import (
 	"catcam/internal/sram"
 	"catcam/internal/telemetry"
 	"catcam/internal/ternary"
+	tracepkg "catcam/internal/trace"
 )
 
 // ErrFull is returned when no subtable can accommodate an insertion.
@@ -147,6 +148,17 @@ type Device struct {
 	// current update is unsampled); guarded by mu like the update
 	// itself.
 	trace *flightrec.Trace //catcam:guarded-by mu
+
+	// Span-layer lookup tracing (see trace.go): trSpan is the in-flight
+	// traced batch's span sink (nil on every untraced batch), trKey the
+	// batch index of its focus key and trFocus whether the key being
+	// looked up right now is that focus key — the gate for the
+	// per-subtable sram_kernel spans inside lookupLocked. trShard is
+	// the cluster shard ID carried on emitted spans (-1 standalone).
+	trSpan  *tracepkg.Trace //catcam:guarded-by mu
+	trKey   int             //catcam:guarded-by mu
+	trFocus bool            //catcam:guarded-by mu
+	trShard int             //catcam:guarded-by mu
 }
 
 type entryKey struct {
@@ -198,6 +210,7 @@ func NewDevice(cfg Config) *Device {
 		maxOf:   make([]Rank, cfg.Subtables),
 		locs:    make(map[entryKey]location),
 		frTable: -1,
+		trShard: -1,
 	}
 	for i := range d.subs {
 		d.subs[i] = NewSubtable(i, cfg.SubtableCapacity, cfg.KeyWidth, matchP, prioP)
@@ -310,6 +323,12 @@ func (d *Device) lookupLocked(k ternary.Key) (Entry, bool) {
 		t.lookups.Inc()
 	}
 
+	// traceKernel gates the per-subtable sram_kernel spans: only the
+	// traced batch's one focus key records them, so a sampled batch adds
+	// at most active-subtables spans per shard. One bool test per lookup
+	// when a trace is in flight, one pointer-backed bool otherwise.
+	traceKernel := d.trFocus && d.trSpan != nil
+
 	globalMatch := d.scratch.globalMatch
 	globalMatch.Reset()
 	for _, id := range d.order {
@@ -318,7 +337,15 @@ func (d *Device) lookupLocked(k ternary.Key) (Entry, bool) {
 			mv = bitvec.New(d.cfg.SubtableCapacity) //catcam:allow alloc "one-time warm-up of a per-subtable scratch vector; steady state reuses it"
 			d.scratch.locals[id] = mv
 		}
+		var kernelStart uint64
+		if traceKernel {
+			kernelStart = tracepkg.Nanos()
+		}
 		d.subs[id].SearchInto(mv, k)
+		if traceKernel {
+			//catcam:allow alloc "sampled trace span; rate-gated off the steady-state path"
+			d.trSpan.Span(tracepkg.StageSRAMKernel, d.frTable, d.trShard, id, d.trKey, kernelStart, 1)
+		}
 		if mv.Any() {
 			globalMatch.Set(id)
 		}

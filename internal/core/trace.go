@@ -1,0 +1,70 @@
+package core
+
+import (
+	"catcam/internal/rules"
+	"catcam/internal/trace"
+)
+
+// This file wires the span layer (internal/trace) into the device's
+// batched classify path. Unlike the flight recorder — which the device
+// holds a long-lived pointer to — the trace context arrives *with the
+// request*: LookupHeaderBatchTraced carries one sampled batch's
+// *trace.Trace down into the lookup core, which records one
+// device_lookup span per key plus, for the trace's single focus key,
+// one sram_kernel span per active subtable — the per-subtable search
+// detail /debug/blame aggregates.
+//
+// An untraced call (nil trace, the overwhelmingly common case) takes
+// the exact code path of LookupHeaderBatch with one extra nil test;
+// lookup_test.go's AllocsPerRun guard covers the traced-entry-point-
+// with-nil-trace path staying allocation-free.
+
+// SetTraceShard sets the cluster shard ID carried on spans this device
+// emits (-1, the default, for a standalone device). The cluster calls
+// this once per shard at construction.
+func (d *Device) SetTraceShard(shard int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.trShard = shard
+}
+
+// LookupHeaderBatchTraced is LookupHeaderBatch recording spans for one
+// sampled batch into tr. Per key it emits a device_lookup span carrying
+// the winning subtable and the modeled cycle cost; for the batch's
+// focus key (tr.Focus(), default key 0) the lookup core additionally
+// emits one sram_kernel span per active subtable searched. A nil tr
+// degrades to the untraced path.
+//
+//catcam:hotpath
+func (d *Device) LookupHeaderBatchTraced(tr *trace.Trace, hs []rules.Header, dst []LookupResult) []LookupResult {
+	if tr == nil {
+		return d.LookupHeaderBatch(hs, dst)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.trSpan = tr
+	focus := tr.Focus()
+	for i, h := range hs {
+		d.trFocus = i == focus
+		d.trKey = i
+		start := trace.Nanos()
+		cyc0 := d.stats.LookupCycles
+		rules.EncodeHeaderInto(&d.scratch.encKey, h)
+		e, ok := d.lookupLocked(d.padKeyScratch(d.scratch.encKey))
+		sub := -1
+		if ok {
+			if loc, found := d.locs[entryKey{ruleID: e.Rank.RuleID, seq: e.Rank.Seq}]; found {
+				sub = loc.st
+			}
+		}
+		//catcam:allow alloc "sampled trace span; rate-gated off the steady-state path"
+		tr.Span(trace.StageDeviceLookup, d.frTable, d.trShard, sub, i, start, d.stats.LookupCycles-cyc0)
+		if d.shadow.Sample() {
+			d.shadow.Observe(h, e.Action, ok) //catcam:allow alloc "sampled shadow re-classification; rate-gated off the steady-state path"
+		}
+		dst = append(dst, LookupResult{Entry: e, OK: ok})
+	}
+	d.trSpan = nil
+	d.trFocus = false
+	return dst
+}

@@ -27,6 +27,7 @@ import (
 	"catcam/internal/flightrec"
 	"catcam/internal/rules"
 	"catcam/internal/telemetry"
+	tracepkg "catcam/internal/trace"
 )
 
 // Backend is the match-stage engine behind one flow table: the
@@ -37,6 +38,7 @@ type Backend interface {
 	InsertRule(rules.Rule) (core.UpdateResult, error)
 	DeleteRule(ruleID int) (core.UpdateResult, error)
 	LookupHeaderBatch(hs []rules.Header, dst []core.LookupResult) []core.LookupResult
+	LookupHeaderBatchTraced(tr *tracepkg.Trace, hs []rules.Header, dst []core.LookupResult) []core.LookupResult
 	AttachTelemetry(reg *telemetry.Registry, ring *telemetry.EventRing, labels telemetry.Labels)
 	AttachFlightRecorder(rec *flightrec.Recorder, table int)
 	AttachAuditor(aud *flightrec.Auditor)
@@ -396,6 +398,19 @@ func (p *Pipeline) classify(h rules.Header) (int, []Trace, error) {
 // dst the call allocates nothing at steady state. Traces are not
 // collected; use Classify for per-packet diagnostics.
 func (p *Pipeline) ClassifyBatch(hs []rules.Header, dst []int) []int {
+	return p.ClassifyBatchTraced(nil, hs, dst)
+}
+
+// ClassifyBatchTraced is ClassifyBatch recording spans for one sampled
+// batch into tr: one table_classify span per table wave (all packets
+// parked at that table classified in one batched backend call), with
+// the backend's own fan-out/shard/kernel spans beneath it. A nil tr is
+// exactly ClassifyBatch — the untraced path adds one nil test per wave.
+// (Like ClassifyBatch, this is not a hotpath analyzer root: the
+// backend calls go through the Backend interface, which the analyzer
+// cannot prove through; the proven roots are the concrete device and
+// cluster batch lookups underneath.)
+func (p *Pipeline) ClassifyBatchTraced(tr *tracepkg.Trace, hs []rules.Header, dst []int) []int {
 	base := len(dst)
 	s := &p.scratch
 	s.cur, s.depth = s.cur[:0], s.depth[:0]
@@ -417,7 +432,14 @@ func (p *Pipeline) ClassifyBatch(hs []rules.Header, dst []int) []int {
 		if len(s.hdrs) == 0 {
 			continue
 		}
-		s.results = t.dev.LookupHeaderBatch(s.hdrs, s.results[:0])
+		if tr != nil {
+			waveStart := tracepkg.Nanos()
+			s.results = t.dev.LookupHeaderBatchTraced(tr, s.hdrs, s.results[:0])
+			//catcam:allow alloc "sampled trace span; rate-gated off the steady-state path"
+			tr.Span(tracepkg.StageTableClassify, id, -1, -1, -1, waveStart, 0)
+		} else {
+			s.results = t.dev.LookupHeaderBatch(s.hdrs, s.results[:0])
+		}
 		for j, r := range s.results {
 			i := s.idxs[j]
 			s.depth[i]++

@@ -20,6 +20,7 @@ import (
 	"catcam/internal/flightrec"
 	"catcam/internal/rules"
 	"catcam/internal/telemetry"
+	"catcam/internal/trace"
 )
 
 // ErrQueueFull is returned when the request FIFO is at capacity.
@@ -108,6 +109,10 @@ type Engine struct {
 	// AttachFlightRecorder. Sampled requests record a queue_wait +
 	// execute trace on completion.
 	rec *flightrec.Recorder
+	// tracer is the attached span layer; nil until AttachTracer.
+	// Sampled requests publish a span-layer trace carrying the same
+	// queue_wait/execute decomposition as modeled-cycle spans.
+	tracer *trace.Tracer
 
 	// Lookup batching scratch: consecutive lookups at the FIFO head are
 	// classified in one batched device call (one lock, no allocation),
@@ -175,16 +180,29 @@ func (e *Engine) AttachFlightRecorder(rec *flightrec.Recorder) {
 	e.rec = rec
 }
 
+// AttachTracer starts sampling span-layer traces into tt: each sampled
+// request publishes a trace whose queue_wait and execute spans carry
+// the engine's modeled cycle costs (host-time span durations are zero
+// — the timing model is the clock here). Passing nil detaches.
+func (e *Engine) AttachTracer(tt *trace.Tracer) {
+	e.tracer = tt
+}
+
 // traceRequest records one completed request's timing trace when
 // sampled.
 //
 //catcam:allow alloc "sampled trace emission; an unsampled or nil recorder records nothing"
 func (e *Engine) traceRequest(req Request, ruleID int, issue, execCycles uint64, err error) {
+	wait := issue - req.enqueued
+	if st := e.tracer.Start(pipeOps[req.Kind]); st != nil {
+		st.CycleSpan(trace.StageQueueWait, -1, -1, wait)
+		st.CycleSpan(trace.StageExecute, -1, -1, execCycles)
+		e.tracer.Finish(st)
+	}
 	tr := e.rec.Start(pipeOps[req.Kind], -1, ruleID)
 	if tr == nil {
 		return
 	}
-	wait := issue - req.enqueued
 	tr.Step(flightrec.StepQueueWait, -1, -1, wait)
 	tr.Step(flightrec.StepExecute, -1, -1, execCycles)
 	e.rec.Finish(tr, wait+execCycles, err)

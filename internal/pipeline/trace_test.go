@@ -1,0 +1,78 @@
+package pipeline
+
+import (
+	"testing"
+
+	"catcam/internal/rules"
+	"catcam/internal/trace"
+)
+
+// TestEngineTracer checks the span-layer wiring: sampled requests
+// publish traces whose queue_wait/execute spans carry the engine's
+// modeled cycle costs.
+func TestEngineTracer(t *testing.T) {
+	e := New(testDevice(t), 8)
+	tt := trace.NewTracer(32)
+	tt.SetSampleEvery(1)
+	e.AttachTracer(tt)
+
+	reqs := []Request{
+		lookupReq(1, 0x00000001),
+		lookupReq(2, 0x01000001),
+		{Kind: Insert, Tag: 3, Rule: rules.Rule{
+			ID: 9, Priority: 40, Action: 40,
+			SrcIP:   rules.Prefix{Addr: 0x05000000, Len: 8},
+			SrcPort: rules.FullPortRange(), DstPort: rules.FullPortRange(),
+			ProtoWildcard: true,
+		}},
+	}
+	if _, err := e.Run(reqs); err != nil {
+		t.Fatal(err)
+	}
+	if tt.Total() != uint64(len(reqs)) {
+		t.Fatalf("published %d traces, want %d", tt.Total(), len(reqs))
+	}
+	kinds := map[string]int{}
+	for _, tr := range tt.Snapshot() {
+		kinds[tr.Kind]++
+		var wait, exec int
+		var execCycles uint64
+		for _, sp := range tr.Spans {
+			switch sp.Stage {
+			case trace.StageQueueWait:
+				wait++
+			case trace.StageExecute:
+				exec++
+				execCycles = sp.Cycles
+			default:
+				t.Fatalf("unexpected stage %s in an engine trace", sp.Stage)
+			}
+			if sp.DurNs != 0 {
+				t.Fatalf("engine cycle spans must carry no host duration: %+v", sp)
+			}
+		}
+		if wait != 1 || exec != 1 {
+			t.Fatalf("trace %q has %d queue_wait / %d execute spans, want 1/1", tr.Kind, wait, exec)
+		}
+		if tr.Kind == "pipeline_lookup" && execCycles != lookupLatency {
+			t.Fatalf("lookup execute span carries %d cycles, want pipeline depth %d", execCycles, lookupLatency)
+		}
+		if tr.Kind == "pipeline_insert" && execCycles == 0 {
+			t.Fatal("insert execute span lost its cycle class")
+		}
+	}
+	if kinds["pipeline_lookup"] != 2 || kinds["pipeline_insert"] != 1 {
+		t.Fatalf("trace kinds = %v", kinds)
+	}
+
+	// Detached (or unsampled) engines publish nothing.
+	e2 := New(testDevice(t), 8)
+	tt2 := trace.NewTracer(4)
+	e2.AttachTracer(tt2) // sampling left at 0
+	if _, err := e2.Run([]Request{lookupReq(1, 0x00000001)}); err != nil {
+		t.Fatal(err)
+	}
+	if tt2.Total() != 0 {
+		t.Fatal("unsampled engine published traces")
+	}
+}

@@ -1,0 +1,71 @@
+package slo
+
+import (
+	"sync"
+	"time"
+)
+
+// Escalation is a bounded-window observability boost: Trigger runs
+// Raise (once) and arms a deadline; Tick runs Restore when the
+// deadline passes. Repeated triggers while active extend the deadline
+// without re-raising, so a sustained burn holds the boost up rather
+// than toggling it. Like the engine, it is time-injected: callers pass
+// now so tests can drive the full raise/extend/restore cycle with a
+// fake clock.
+type Escalation struct {
+	// Window is how long the boost stays up past the latest trigger.
+	Window time.Duration
+	// Raise turns the boost on (e.g. sampling to 1, start a CPU
+	// profile). Called once per activation, outside the lock.
+	Raise func()
+	// Restore turns it back off. Called once per deactivation.
+	Restore func()
+
+	mu       sync.Mutex
+	deadline time.Time
+	active   bool
+	count    uint64
+}
+
+// Trigger activates (or extends) the escalation as of now.
+func (es *Escalation) Trigger(now time.Time) {
+	es.mu.Lock()
+	raise := !es.active
+	es.active = true
+	es.deadline = now.Add(es.Window)
+	if raise {
+		es.count++
+	}
+	es.mu.Unlock()
+	if raise && es.Raise != nil {
+		es.Raise()
+	}
+}
+
+// Tick expires the escalation if its window has passed. Call it from
+// the same loop that samples the SLO engine.
+func (es *Escalation) Tick(now time.Time) {
+	es.mu.Lock()
+	restore := es.active && now.After(es.deadline)
+	if restore {
+		es.active = false
+	}
+	es.mu.Unlock()
+	if restore && es.Restore != nil {
+		es.Restore()
+	}
+}
+
+// Active reports whether the boost is currently raised.
+func (es *Escalation) Active() bool {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	return es.active
+}
+
+// Count is the number of distinct activations so far.
+func (es *Escalation) Count() uint64 {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	return es.count
+}

@@ -1,0 +1,240 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// Exporter edge cases: Prometheus label-value escaping, empty
+// registries, /events filter combinations, and the exemplar surface.
+
+// TestPrometheusLabelEscaping pins the text-format escaping rules for
+// hostile label values: the 0.0.4 exposition format requires backslash,
+// double-quote and newline escaped inside quoted label values, and
+// nothing else. The registry renders labels with %q, whose escapes for
+// those three bytes coincide with the Prometheus spec — this test is
+// the tripwire if the rendering ever changes.
+func TestPrometheusLabelEscaping(t *testing.T) {
+	cases := []struct {
+		value string
+		want  string // expected rendered label value, inside the quotes
+	}{
+		{`plain`, `plain`},
+		{`with"quote`, `with\"quote`},
+		{`back\slash`, `back\\slash`},
+		{"line\nbreak", `line\nbreak`},
+		{"tab\tchar", `tab\tchar`}, // %q escapes more than the spec requires; that is allowed
+		{`both\"`, `both\\\"`},
+	}
+	reg := NewRegistry()
+	for i, c := range cases {
+		reg.Counter("catcam_escape_test", "h", Labels{"v": c.value}).Add(uint64(i + 1))
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, c := range cases {
+		want := `catcam_escape_test{v="` + c.want + `"}`
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered text missing %q\ngot:\n%s", want, text)
+		}
+	}
+	// No raw (unescaped) newline may appear inside a label value: every
+	// line must be a comment or a complete sample.
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, " ") {
+			t.Errorf("broken sample line (label value leaked a newline?): %q", line)
+		}
+	}
+}
+
+func TestEmptyRegistryExport(t *testing.T) {
+	reg := NewRegistry()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty registry rendered %q, want nothing", buf.String())
+	}
+	snap := reg.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatalf("empty registry snapshot not empty: %+v", snap)
+	}
+	buf.Reset()
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("empty registry JSON invalid: %v", err)
+	}
+	// A nil registry exports nothing and does not panic.
+	var nilReg *Registry
+	if err := nilReg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEventsFilterCombinations drives the /events handler through the
+// ?kind= and ?n= combinations: single kind, multi-kind, kind+n, n
+// alone, empty segments, and the 400 paths.
+func TestEventsFilterCombinations(t *testing.T) {
+	ring := NewEventRing(32)
+	for i := 0; i < 5; i++ {
+		ring.Emit(Event{Kind: EvInsert, RuleID: i})
+	}
+	for i := 0; i < 3; i++ {
+		ring.Emit(Event{Kind: EvRealloc, RuleID: 100 + i})
+	}
+	ring.Emit(Event{Kind: EvDelete, RuleID: 999})
+	h := ring.Handler()
+
+	get := func(query string) (int, []Event) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/events"+query, nil))
+		if rec.Code != 200 {
+			return rec.Code, nil
+		}
+		var resp struct {
+			Events []Event `json:"events"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("%s: bad JSON: %v", query, err)
+		}
+		return rec.Code, resp.Events
+	}
+
+	if _, evs := get(""); len(evs) != 9 {
+		t.Fatalf("no filter: %d events, want 9", len(evs))
+	}
+	if _, evs := get("?kind=insert"); len(evs) != 5 {
+		t.Fatalf("kind=insert: %d events, want 5", len(evs))
+	}
+	if _, evs := get("?kind=insert,realloc"); len(evs) != 8 {
+		t.Fatalf("kind=insert,realloc: %d events, want 8", len(evs))
+	}
+	// Empty segments in the list are ignored.
+	if _, evs := get("?kind=,insert,"); len(evs) != 5 {
+		t.Fatalf("kind=,insert,: %d events, want 5", len(evs))
+	}
+	if _, evs := get("?n=2"); len(evs) != 2 || evs[1].RuleID != 999 {
+		t.Fatalf("n=2: got %+v, want the 2 most recent ending in rule 999", evs)
+	}
+	if _, evs := get("?n=0"); len(evs) != 0 {
+		t.Fatalf("n=0: %d events, want 0", len(evs))
+	}
+	if _, evs := get("?n=100"); len(evs) != 9 {
+		t.Fatalf("n>len: %d events, want all 9", len(evs))
+	}
+	// kind+n compose: filter first, then keep most recent n.
+	if _, evs := get("?kind=insert&n=2"); len(evs) != 2 || evs[0].Kind != EvInsert || evs[0].RuleID != 3 {
+		t.Fatalf("kind=insert&n=2: got %+v, want inserts 3,4", evs)
+	}
+	for _, bad := range []string{"?kind=nonsense", "?kind=insert,nope", "?n=-1", "?n=x"} {
+		if code, _ := get(bad); code != 400 {
+			t.Fatalf("%s: code %d, want 400", bad, code)
+		}
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100, 1000})
+	if got := h.Exemplars(); len(got) != 4 {
+		t.Fatalf("exemplar slots = %d, want 4 (3 bounds + Inf)", len(got))
+	}
+	h.Observe(5) // plain observation leaves no exemplar
+	for _, e := range h.Exemplars() {
+		if e != nil {
+			t.Fatal("plain Observe must not record an exemplar")
+		}
+	}
+	h.ObserveExemplar(5, 0xabc)
+	h.ObserveExemplar(7, 0xdef) // same bucket: most recent wins
+	h.ObserveExemplar(5000, 0x123)
+	ex := h.Exemplars()
+	if ex[0] == nil || ex[0].Value != 7 || ex[0].TraceID != 0xdef {
+		t.Fatalf("bucket 0 exemplar = %+v, want value 7 trace 0xdef", ex[0])
+	}
+	if ex[3] == nil || ex[3].TraceID != 0x123 {
+		t.Fatalf("+Inf exemplar = %+v, want trace 0x123", ex[3])
+	}
+	if h.Count() != 4 { // ObserveExemplar also observes
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	// Snapshot rendering: bucket indices and hex trace IDs.
+	snaps := h.exemplarSnapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("exemplar snapshots = %+v, want 2", snaps)
+	}
+	if snaps[0].Bucket != 0 || snaps[0].TraceID != "0000000000000def" {
+		t.Fatalf("snapshot[0] = %+v", snaps[0])
+	}
+	if snaps[1].Bucket != 3 || snaps[1].Value != 5000 {
+		t.Fatalf("snapshot[1] = %+v", snaps[1])
+	}
+	h.Reset()
+	for _, e := range h.Exemplars() {
+		if e != nil {
+			t.Fatal("Reset must clear exemplars")
+		}
+	}
+	// Nil safety.
+	var nilH *Histogram
+	nilH.ObserveExemplar(1, 1)
+	if nilH.Exemplars() != nil || nilH.CountAbove(0) != 0 {
+		t.Fatal("nil histogram exemplar accessors not zero")
+	}
+}
+
+func TestExemplarsInRegistrySnapshot(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("catcam_lookup_ns", "h", []uint64{100, 1000}, nil)
+	h.ObserveExemplar(5000, 42)
+	snap := reg.Snapshot()
+	hs, ok := snap.Histograms["catcam_lookup_ns"]
+	if !ok {
+		t.Fatalf("histogram missing from snapshot: %v", snap.Histograms)
+	}
+	if len(hs.Exemplars) != 1 || hs.Exemplars[0].TraceID != "000000000000002a" {
+		t.Fatalf("snapshot exemplars = %+v", hs.Exemplars)
+	}
+	// The exemplar survives a JSON round trip (the /metrics.json path).
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "000000000000002a") {
+		t.Fatalf("JSON export lacks the exemplar trace id:\n%s", buf.String())
+	}
+}
+
+func TestCountAbove(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100, 1000})
+	for _, v := range []uint64{1, 10, 50, 100, 500, 5000} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		bound uint64
+		want  uint64
+	}{
+		{10, 4},    // 50, 100, 500, 5000
+		{100, 2},   // 500, 5000
+		{1000, 1},  // 5000
+		{0, 6},     // everything sits in buckets above bound 0? bucket le=10 holds 1,10 — above 0 means all buckets
+		{99999, 1}, // only +Inf bucket remains
+	}
+	for _, c := range cases {
+		if got := h.CountAbove(c.bound); got != c.want {
+			t.Errorf("CountAbove(%d) = %d, want %d", c.bound, got, c.want)
+		}
+	}
+}

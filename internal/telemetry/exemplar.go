@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"fmt"
+	"time"
+)
+
+// Exemplars link histogram buckets back to causal traces: each bucket
+// retains the most recent sampled observation that landed in it,
+// together with the trace ID the span layer assigned to that request.
+// A p999 spike in /metrics.json then carries the ID of a concrete
+// retained trace — retrievable at /debug/timeline?trace=<id> — instead
+// of only a count.
+//
+// ObserveExemplar is sampled-path only: it allocates one small record
+// per call (the atomic.Pointer publication needs a fresh value) and so
+// must never appear on an untraced hot path. Plain Observe stays
+// allocation-free; the unsampled path through instrumented code calls
+// Observe, not ObserveExemplar.
+
+// Exemplar is the retained witness for one bucket.
+type Exemplar struct {
+	Value   uint64 // the observed value
+	TraceID uint64 // span-layer trace ID (0 = none)
+	UnixNs  int64  // wall-clock capture time
+}
+
+// ExemplarSnapshot is the JSON form: bucket index into the snapshot's
+// Buckets array (last = +Inf) plus the trace ID rendered the way
+// /debug/timeline?trace= spells it.
+type ExemplarSnapshot struct {
+	Bucket  int    `json:"bucket"`
+	Value   uint64 `json:"value"`
+	TraceID string `json:"trace_id"`
+	UnixNs  int64  `json:"unix_ns"`
+}
+
+// ObserveExemplar records v like Observe and additionally publishes
+// (v, traceID) as the containing bucket's exemplar. Nil-receiver safe.
+// A zero traceID records the value without a trace link (the bucket
+// still learns its most recent sampled magnitude).
+func (h *Histogram) ObserveExemplar(v, traceID uint64) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, UnixNs: time.Now().UnixNano()})
+}
+
+// Exemplars returns the retained per-bucket exemplars (nil entries
+// where a bucket has never seen a sampled observation). Index layout
+// matches BucketCounts: last entry is the +Inf bucket.
+func (h *Histogram) Exemplars() []*Exemplar {
+	if h == nil {
+		return nil
+	}
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
+}
+
+// exemplarSnapshots renders the non-empty exemplars for export.
+func (h *Histogram) exemplarSnapshots() []ExemplarSnapshot {
+	var out []ExemplarSnapshot
+	for i, e := range h.Exemplars() {
+		if e == nil {
+			continue
+		}
+		out = append(out, ExemplarSnapshot{
+			Bucket:  i,
+			Value:   e.Value,
+			TraceID: fmt.Sprintf("%016x", e.TraceID),
+			UnixNs:  e.UnixNs,
+		})
+	}
+	return out
+}
+
+// CountAbove returns how many observations landed in buckets entirely
+// above the given bound — the "bad events" numerator for a latency SLO
+// with threshold at a bucket boundary. Resolution is bucket-granular:
+// pick SLO thresholds that are histogram bounds (the caller's bucket
+// layout is chosen for exactly this). Nil-receiver safe.
+func (h *Histogram) CountAbove(bound uint64) uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		if i == len(h.bounds) || h.bounds[i] > bound {
+			n += h.counts[i].Load()
+		}
+	}
+	return n
+}

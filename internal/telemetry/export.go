@@ -113,6 +113,10 @@ type HistogramSnapshot struct {
 	P999    float64  `json:"p999"`
 	Bounds  []uint64 `json:"bounds"`
 	Buckets []uint64 `json:"buckets"` // non-cumulative; last is +Inf
+	// Exemplars carry the most recent sampled observation per bucket
+	// with its trace ID — the link from a tail bucket to its retained
+	// span tree at /debug/timeline?trace=<id>.
+	Exemplars []ExemplarSnapshot `json:"exemplars,omitempty"`
 }
 
 // Snapshot is a point-in-time JSON-friendly view of a registry.
@@ -138,16 +142,17 @@ func (r *Registry) Snapshot() Snapshot {
 			snap.Gauges[key] = s.g.Value()
 		case typeHistogram:
 			snap.Histograms[key] = HistogramSnapshot{
-				Count:   s.h.Count(),
-				Sum:     s.h.Sum(),
-				Min:     s.h.Min(),
-				Max:     s.h.Max(),
-				Mean:    s.h.Mean(),
-				P50:     s.h.Quantile(0.50),
-				P99:     s.h.Quantile(0.99),
-				P999:    s.h.Quantile(0.999),
-				Bounds:  s.h.Bounds(),
-				Buckets: s.h.BucketCounts(),
+				Count:     s.h.Count(),
+				Sum:       s.h.Sum(),
+				Min:       s.h.Min(),
+				Max:       s.h.Max(),
+				Mean:      s.h.Mean(),
+				P50:       s.h.Quantile(0.50),
+				P99:       s.h.Quantile(0.99),
+				P999:      s.h.Quantile(0.999),
+				Bounds:    s.h.Bounds(),
+				Buckets:   s.h.BucketCounts(),
+				Exemplars: s.h.exemplarSnapshots(),
 			}
 		}
 	})

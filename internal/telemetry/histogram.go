@@ -33,12 +33,13 @@ var DefaultLatencyBuckets = []uint64{
 // semantics; values above the last bound land in the implicit +Inf
 // bucket.
 type Histogram struct {
-	bounds []uint64        // strictly increasing upper bounds
-	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
-	sum    atomic.Uint64
-	count  atomic.Uint64
-	max    atomic.Uint64
-	min    atomic.Uint64 // stored as ^value so zero means "unset"
+	bounds    []uint64                   // strictly increasing upper bounds
+	counts    []atomic.Uint64            // len(bounds)+1; last is +Inf
+	exemplars []atomic.Pointer[Exemplar] // per-bucket most recent sampled observation
+	sum       atomic.Uint64
+	count     atomic.Uint64
+	max       atomic.Uint64
+	min       atomic.Uint64 // stored as ^value so zero means "unset"
 }
 
 // NewHistogram builds a histogram with the given bucket upper bounds
@@ -53,8 +54,9 @@ func NewHistogram(bounds []uint64) *Histogram {
 		}
 	}
 	return &Histogram{
-		bounds: append([]uint64(nil), bounds...),
-		counts: make([]atomic.Uint64, len(bounds)+1),
+		bounds:    append([]uint64(nil), bounds...),
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 }
 
@@ -211,6 +213,7 @@ func (h *Histogram) Reset() {
 	}
 	for i := range h.counts {
 		h.counts[i].Store(0)
+		h.exemplars[i].Store(nil)
 	}
 	h.sum.Store(0)
 	h.count.Store(0)
