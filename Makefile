@@ -11,13 +11,21 @@ BENCH_JSON ?= BENCH_lookup.json
 BENCHES_CLUSTER ?= BenchmarkClusterLookupParallel$$|BenchmarkClusterShardScaling
 BENCH_CLUSTER_JSON ?= BENCH_cluster.json
 
+# Benchmarks tracked in BENCH_parallel.json: goroutine scaling of the
+# lock-free classify path on ONE device (the PR-7 epoch-snapshot
+# figure). Scaling figures are only meaningful against a baseline from
+# the same machine class, so the compare target passes
+# -require-same-cpu (hard error on mismatch, not a warning).
+BENCHES_PARALLEL ?= BenchmarkDeviceLookupParallel
+BENCH_PARALLEL_JSON ?= BENCH_parallel.json
+
 # Pinned versions for the networked lint extras (CI installs these;
 # they are NOT required locally — lint and lint-selftest are
 # self-contained).
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race vet fmt lint lint-selftest staticcheck govulncheck bench bench-compare bench-cluster bench-cluster-compare
+.PHONY: all build test race vet fmt lint lint-selftest staticcheck govulncheck bench bench-compare bench-cluster bench-cluster-compare bench-parallel bench-parallel-compare
 
 all: build lint test
 
@@ -90,3 +98,18 @@ bench-cluster:
 bench-cluster-compare:
 	$(GO) test -run '^$$' -bench '$(BENCHES_CLUSTER)' -benchmem -benchtime=1s -count 1 . \
 		| $(GO) run ./cmd/bench-json -baseline $(BENCH_CLUSTER_JSON)
+
+# bench-parallel refreshes the committed goroutine-scaling baseline of
+# the lock-free classify path.
+bench-parallel:
+	$(GO) test -run '^$$' -bench '$(BENCHES_PARALLEL)' -benchmem -benchtime=1s -count 1 . \
+		| $(GO) run ./cmd/bench-json -out $(BENCH_PARALLEL_JSON)
+	@cat $(BENCH_PARALLEL_JSON)
+
+# bench-parallel-compare prints deltas against the committed scaling
+# baseline — and HARD-ERRORS when the baseline came from a different
+# CPU count or GOMAXPROCS, because goroutine-scaling deltas across
+# machine classes measure the hardware, not the change.
+bench-parallel-compare:
+	$(GO) test -run '^$$' -bench '$(BENCHES_PARALLEL)' -benchmem -benchtime=1s -count 1 . \
+		| $(GO) run ./cmd/bench-json -baseline $(BENCH_PARALLEL_JSON) -require-same-cpu

@@ -7,6 +7,7 @@ package catcam_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"catcam"
@@ -201,8 +202,9 @@ func BenchmarkDeviceLookup(b *testing.B) {
 }
 
 // BenchmarkDeviceLookupBatch is BenchmarkDeviceLookup through the
-// batched API: one device lock per 256 packets, one result append per
-// packet, zero allocations at steady state.
+// batched API: one snapshot load and one pooled-scratch checkout per
+// 256 packets, one result append per packet, zero allocations at
+// steady state.
 func BenchmarkDeviceLookupBatch(b *testing.B) {
 	dev := catcam.New(catcam.Compact())
 	rs := classbench.Generate(classbench.Config{Family: classbench.ACL, Size: 1000, Seed: 5})
@@ -220,6 +222,60 @@ func BenchmarkDeviceLookupBatch(b *testing.B) {
 		results = dev.LookupHeaderBatch(headers, results[:0])
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(headers)), "ns/lookup")
+}
+
+// BenchmarkDeviceLookupParallel measures the lock-free classify path
+// under goroutine scaling: g goroutines split b.N batched lookups over
+// ONE device on the BenchmarkDeviceLookup workload. Before the
+// epoch-snapshot path (PR 7) every variant serialized on the device
+// mutex; now each goroutine loads the published snapshot and traverses
+// it with pooled scratch, so on a multi-core host throughput should
+// scale near-linearly until memory bandwidth binds (acceptance target:
+// >= 3x at g=4 vs g=1 on a 4+ core machine). ns/op is per lookup.
+// Single-core hosts will show flat (slightly degraded) scaling — the
+// figure measures the machine; compare only same-CPU baselines
+// (bench-json -require-same-cpu enforces this).
+func BenchmarkDeviceLookupParallel(b *testing.B) {
+	dev := catcam.New(catcam.Compact())
+	rs := classbench.Generate(classbench.Config{Family: classbench.ACL, Size: 1000, Seed: 5})
+	for _, r := range rs.Rules {
+		if _, err := dev.InsertRule(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	headers := classbench.PacketTrace(rs, 256, 0.9, 6)
+	for _, g := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			var warm sync.WaitGroup
+			for w := 0; w < g; w++ {
+				warm.Add(1)
+				go func() { // warm one pooled scratch per goroutine
+					defer warm.Done()
+					dev.LookupHeaderBatch(headers, nil)
+				}()
+			}
+			warm.Wait()
+			b.ReportAllocs()
+			b.ResetTimer()
+			batches := (b.N + len(headers) - 1) / len(headers)
+			var wg sync.WaitGroup
+			for w := 0; w < g; w++ {
+				share := batches / g
+				if w < batches%g {
+					share++
+				}
+				wg.Add(1)
+				go func(share int) {
+					defer wg.Done()
+					var results []catcam.LookupResult
+					for i := 0; i < share; i++ {
+						results = dev.LookupHeaderBatch(headers, results[:0])
+					}
+				}(share)
+			}
+			wg.Wait()
+		})
+	}
 }
 
 // clusterBenchSetup loads the BenchmarkDeviceLookup workload (same

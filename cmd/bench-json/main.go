@@ -9,7 +9,11 @@
 //
 // The comparison is informational (benchstat-style deltas, always exit
 // 0): host benchmark numbers vary across machines, so regressions are
-// flagged for a human, not gated in CI.
+// flagged for a human, not gated in CI. The exception is
+// -require-same-cpu, used by the parallel-scaling figures
+// (BENCH_parallel.json): goroutine-scaling deltas are meaningless
+// across machine classes, so a CPU-count or GOMAXPROCS mismatch with
+// the baseline is a hard error rather than a warning.
 package main
 
 import (
@@ -100,7 +104,7 @@ func parse(r *bufio.Scanner) (map[string]Result, error) {
 	return out, r.Err()
 }
 
-func compare(baselinePath string, fresh map[string]Result) error {
+func compare(baselinePath string, fresh map[string]Result, requireSameCPU bool) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return err
@@ -115,8 +119,15 @@ func compare(baselinePath string, fresh map[string]Result) error {
 	}
 	switch {
 	case base.NumCPU == 0:
+		if requireSameCPU {
+			return fmt.Errorf("baseline %s has no CPU provenance (num_cpu missing): parallel figures cannot be compared; regenerate the baseline", baselinePath)
+		}
 		fmt.Println("warning: baseline has no CPU provenance (num_cpu missing); regenerate it with `make bench` before trusting parallel deltas")
 	case base.NumCPU != runtime.NumCPU() || base.GOMAXPROCS != runtime.GOMAXPROCS(0):
+		if requireSameCPU {
+			return fmt.Errorf("CPU mismatch: baseline ran on %d CPUs (GOMAXPROCS=%d), this host has %d (GOMAXPROCS=%d): parallel ns/op deltas would compare machines, not code",
+				base.NumCPU, base.GOMAXPROCS, runtime.NumCPU(), runtime.GOMAXPROCS(0))
+		}
 		fmt.Printf("warning: CPU mismatch: baseline ran on %d CPUs (GOMAXPROCS=%d), this host has %d (GOMAXPROCS=%d); parallel ns/op deltas compare machines, not code\n",
 			base.NumCPU, base.GOMAXPROCS, runtime.NumCPU(), runtime.GOMAXPROCS(0))
 	}
@@ -155,6 +166,8 @@ func compare(baselinePath string, fresh map[string]Result) error {
 func main() {
 	out := flag.String("out", "", "write the JSON summary to this file")
 	baseline := flag.String("baseline", "", "compare against this baseline JSON instead of writing")
+	requireSameCPU := flag.Bool("require-same-cpu", false,
+		"with -baseline: hard-error unless the baseline was recorded on the same CPU count and GOMAXPROCS (for parallel-scaling figures)")
 	flag.Parse()
 
 	results, err := parse(bufio.NewScanner(os.Stdin))
@@ -168,7 +181,7 @@ func main() {
 	}
 
 	if *baseline != "" {
-		if err := compare(*baseline, results); err != nil {
+		if err := compare(*baseline, results, *requireSameCPU); err != nil {
 			fmt.Fprintln(os.Stderr, "bench-json:", err)
 			os.Exit(1)
 		}

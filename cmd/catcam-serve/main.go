@@ -35,7 +35,7 @@
 //	catcam-serve [-addr :9090] [-family ACL] [-size 1000] [-rate 10000]
 //	             [-subtables 256] [-slots 256] [-ring 4096] [-seed 1]
 //	             [-shards 1] [-partition interval] [-rebalance 0]
-//	             [-rebalance-batch 64]
+//	             [-rebalance-batch 64] [-classify-workers 0]
 //	             [-trace-every 0] [-trace-ring 1024] [-audit-every 0]
 //	             [-audit-interval 0] [-shadow-every 0] [-duration 0]
 //	             [-span-every 0] [-span-ring 256] [-slo-interval 5s]
@@ -47,6 +47,14 @@
 // occupancy, reinsertions draw fresh priorities (policy churn), and
 // one lookup is issued per update. -rate throttles updates per second
 // (0 means unthrottled).
+//
+// -classify-workers N adds N free-running classify goroutines that
+// replay the packet trace concurrently with the churn loop — readers
+// racing the writer through the lock-free epoch-snapshot path. In
+// cluster mode the same N also sizes each shard's fan-out worker pool,
+// so concurrent rounds overlap inside every shard. /healthz reports
+// the device's current snapshot epoch (per shard in cluster mode), a
+// live view of publication progress.
 //
 // The flight-recorder flags turn on the observability layer:
 // -trace-every N samples every Nth update into the /debug/trace ring;
@@ -120,10 +128,11 @@ type options struct {
 	slots     int
 	ringCap   int
 
-	shards         int
-	partition      string
-	rebalance      time.Duration
-	rebalanceBatch int
+	shards          int
+	partition       string
+	rebalance       time.Duration
+	rebalanceBatch  int
+	classifyWorkers int
 
 	traceEvery    uint64
 	traceRing     int
@@ -154,6 +163,7 @@ func main() {
 	flag.StringVar(&o.partition, "partition", "interval", "cluster partition mode: interval or hash")
 	flag.DurationVar(&o.rebalance, "rebalance", 0, "cluster rebalance pass period (0 = off)")
 	flag.IntVar(&o.rebalanceBatch, "rebalance-batch", 64, "max entries migrated per rebalance pass")
+	flag.IntVar(&o.classifyWorkers, "classify-workers", 0, "extra concurrent classify goroutines replaying the trace against the lock-free path; in cluster mode also the per-shard fan-out worker count (0 = churn-loop lookups only)")
 	flag.Uint64Var(&o.traceEvery, "trace-every", 0, "record a causal trace for every Nth update (0 = off)")
 	flag.IntVar(&o.traceRing, "trace-ring", 1024, "causal trace ring capacity")
 	flag.Uint64Var(&o.auditEvery, "audit-every", 0, "audit every Nth lookup inline (0 = off)")
@@ -218,7 +228,8 @@ func run(o options) error {
 	var cl *cluster.Cluster
 	var dev *core.Device
 	if o.shards >= 2 {
-		cl = cluster.New(cluster.Config{Shards: o.shards, Mode: mode, Device: devCfg})
+		cl = cluster.New(cluster.Config{Shards: o.shards, Mode: mode, Device: devCfg,
+			FanWorkers: o.classifyWorkers})
 		defer cl.Close()
 		eng = cl
 	} else {
@@ -277,6 +288,17 @@ func run(o options) error {
 		defer churnWG.Done()
 		c.loop(o.rate, churnDone)
 	}()
+	// Concurrent readers: classify traffic racing the churn writer
+	// through the epoch-snapshot path. Pure load generation — their
+	// latencies stay out of the SLO histogram, which tracks the paced
+	// churn-loop batches.
+	for w := 0; w < o.classifyWorkers; w++ {
+		churnWG.Add(1)
+		go func(w int) {
+			defer churnWG.Done()
+			c.readLoop(w, churnDone)
+		}(w)
+	}
 
 	sweepDone := make(chan struct{})
 	var bgWG sync.WaitGroup
@@ -434,12 +456,18 @@ func run(o options) error {
 			body["shard_entries"] = cl.ShardEntries()
 			body["rebalance_passes"] = passes
 			body["rebalance_moved"] = moved
+			epochs := make([]uint64, cl.NumShards())
+			for i := range epochs {
+				epochs[i] = cl.Shard(i).Epoch()
+			}
+			body["shard_epochs"] = epochs
 			if cl.Mode() == cluster.ModeInterval {
 				body["bounds"] = cl.Bounds()
 			}
 		} else {
 			body["entries"] = reg.Gauge("catcam_entries", "", nil).Value()
 			body["active_subtables"] = reg.Gauge("catcam_active_subtables", "", nil).Value()
+			body["epoch"] = dev.Epoch()
 		}
 		_ = json.NewEncoder(w).Encode(body)
 	})
@@ -675,6 +703,32 @@ func (c *churner) lookups(n int) {
 		c.lookupHist.ObserveExemplar(durNs, tr.ID)
 	} else {
 		c.lookupHist.Observe(durNs)
+	}
+}
+
+// readLoop replays the packet trace in 64-header batches until done
+// closes: the classify side of the readers-vs-writer race that the
+// epoch-snapshot path makes safe. Each reader owns its batch and
+// result scratch; the header slice itself is shared read-only.
+func (c *churner) readLoop(worker int, done <-chan struct{}) {
+	if len(c.headers) == 0 {
+		return
+	}
+	var results []core.LookupResult
+	batch := make([]rules.Header, 0, 64)
+	next := worker * 64 // stagger the readers across the trace
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		batch = batch[:0]
+		for i := 0; i < 64; i++ {
+			batch = append(batch, c.headers[next%len(c.headers)])
+			next++
+		}
+		results = c.eng.LookupHeaderBatch(batch, results[:0])
 	}
 }
 

@@ -86,7 +86,7 @@ func (p *Pass) InModule(pkg *types.Package) bool {
 // Directive is one parsed //catcam: comment.
 type Directive struct {
 	Pos      token.Pos
-	Verb     string // "hotpath", "guarded-by", "cycle-state", "mutator", "allow"
+	Verb     string // "hotpath", "guarded-by", "write-guarded-by", "immutable", "cycle-state", "mutator", "allow"
 	Args     string // raw text after the verb
 	Category string // for allow: the suppressed category
 	Reason   string // for allow: the quoted justification
@@ -107,7 +107,7 @@ func parseDirective(c *ast.Comment) (d Directive, ok bool) {
 	}
 	verb, rest := fields[0], strings.TrimSpace(strings.TrimPrefix(text, fields[0]))
 	switch verb {
-	case "hotpath", "cycle-state", "mutator", "guarded-by":
+	case "hotpath", "cycle-state", "mutator", "guarded-by", "write-guarded-by", "immutable":
 		d.Verb, d.Args = verb, rest
 	case "allow":
 		parts := strings.Fields(rest)

@@ -372,6 +372,10 @@ func safeExternal(fn *types.Func) bool {
 	switch pkg {
 	case "sync/atomic", "math/bits":
 		return true
+	case "math":
+		// Bit-pattern conversions are compiler intrinsics (one MOV).
+		return name == "Float64bits" || name == "Float64frombits" ||
+			name == "Float32bits" || name == "Float32frombits"
 	case "runtime":
 		return name == "KeepAlive" || name == "Gosched"
 	case "time":

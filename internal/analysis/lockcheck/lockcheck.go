@@ -10,10 +10,26 @@
 //   - a method holding a mutex must not call another method of the
 //     same receiver that acquires the same mutex (self-deadlock).
 //
+// Two sibling annotations prove the epoch-publication discipline of
+// the lock-free classify path (internal/core/snapshot.go):
+//
+//   - //catcam:write-guarded-by <mu> is guarded-by for RCU-published
+//     fields: writes — plain assignment, or an atomic mutator call
+//     (Store/Swap/CompareAndSwap) on the field — require the named
+//     mutex, while reads and Load calls are deliberately free. This is
+//     exactly the single-publisher contract of Device.snap: only the
+//     update side (under d.mu) may publish, any reader may Load.
+//   - //catcam:immutable marks snapshot fields that are assignable
+//     only in composite literals at construction; any field write
+//     anywhere in the package is an error. This proves published
+//     snapshot state is never mutated in place — the reason readers
+//     can traverse it without synchronization.
+//
 // The analysis is flow-insensitive but position-ordered: an acquire
 // counts for every access after it in source order, and releases in
 // defer statements are treated as function-exit releases. Escape
-// hatch: //catcam:allow lock "reason".
+// hatches: //catcam:allow lock "reason" for the mutex rules,
+// //catcam:allow immutable "reason" for the immutability rule.
 package lockcheck
 
 import (
@@ -50,6 +66,7 @@ type touch struct {
 	mu    string
 	pos   token.Pos
 	write bool
+	wg    bool // field is write-guarded-by (touch is always a write)
 	stack []ast.Node
 }
 
@@ -71,9 +88,12 @@ func run(pass *framework.Pass) error {
 	allows := framework.NewAllows(pass.Fset, pass.Files)
 	info := pass.TypesInfo
 
-	// Guarded fields and the set of annotated structs.
+	// Guarded, write-guarded and immutable fields, plus the set of
+	// structs whose methods need lock analysis.
 	guarded := map[*types.Var]guard{}
-	annotated := map[string]bool{} // struct type name -> has guarded fields
+	wguarded := map[*types.Var]guard{}
+	immutable := map[*types.Var]bool{}
+	annotated := map[string]bool{} // struct type name -> has (write-)guarded fields
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			ts, ok := n.(*ast.TypeSpec)
@@ -85,32 +105,74 @@ func run(pass *framework.Pass) error {
 				return true
 			}
 			for _, field := range st.Fields.List {
-				muName, ok := framework.DirectiveArgs(field.Doc, "guarded-by")
-				if !ok {
-					muName, ok = framework.DirectiveArgs(field.Comment, "guarded-by")
+				for _, verb := range [...]string{"guarded-by", "write-guarded-by"} {
+					muName, ok := framework.DirectiveArgs(field.Doc, verb)
+					if !ok {
+						muName, ok = framework.DirectiveArgs(field.Comment, verb)
+					}
+					if !ok {
+						continue
+					}
+					if muName == "" {
+						pass.Reportf(field.Pos(), "lock", "//catcam:%s needs a mutex field name", verb)
+						continue
+					}
+					if !structHasMutex(info, st, muName) {
+						pass.Reportf(field.Pos(), "lock", "//catcam:%s %s: %s has no sync.Mutex/RWMutex field named %s", verb, muName, ts.Name.Name, muName)
+						continue
+					}
+					for _, name := range field.Names {
+						if v, ok := info.Defs[name].(*types.Var); ok {
+							if verb == "guarded-by" {
+								guarded[v] = guard{mu: muName, structName: ts.Name.Name}
+							} else {
+								wguarded[v] = guard{mu: muName, structName: ts.Name.Name}
+							}
+							annotated[ts.Name.Name] = true
+						}
+					}
 				}
-				if !ok {
-					continue
-				}
-				if muName == "" {
-					pass.Reportf(field.Pos(), "lock", "//catcam:guarded-by needs a mutex field name")
-					continue
-				}
-				if !structHasMutex(info, st, muName) {
-					pass.Reportf(field.Pos(), "lock", "//catcam:guarded-by %s: %s has no sync.Mutex/RWMutex field named %s", muName, ts.Name.Name, muName)
-					continue
-				}
-				for _, name := range field.Names {
-					if v, ok := info.Defs[name].(*types.Var); ok {
-						guarded[v] = guard{mu: muName, structName: ts.Name.Name}
-						annotated[ts.Name.Name] = true
+				if framework.HasDirective(field.Doc, "immutable") || framework.HasDirective(field.Comment, "immutable") {
+					for _, name := range field.Names {
+						if v, ok := info.Defs[name].(*types.Var); ok {
+							immutable[v] = true
+						}
 					}
 				}
 			}
 			return false
 		})
 	}
-	if len(guarded) == 0 {
+
+	// Immutable fields are checked across every function in the
+	// package, methods or not: the only legal assignment is through a
+	// composite literal (which names the field as a key, not a
+	// selector), so any selector write is a violation.
+	if len(immutable) > 0 {
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				framework.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return
+					}
+					v, ok := info.Uses[sel.Sel].(*types.Var)
+					if !ok || !immutable[v] || !isWrite(sel, stack) {
+						return
+					}
+					if !allows.Allowed("immutable", sel.Pos(), stack) {
+						pass.Reportf(sel.Pos(), "immutable", "%s writes %s, declared //catcam:immutable (assignable only in composite literals at snapshot construction)", fd.Name.Name, v.Name())
+					}
+				})
+			}
+		}
+	}
+
+	if len(guarded) == 0 && len(wguarded) == 0 {
 		return nil
 	}
 
@@ -132,7 +194,7 @@ func run(pass *framework.Pass) error {
 			if named == nil || !annotated[named.Obj().Name()] {
 				continue
 			}
-			mi := collectMethod(info, guarded, fd, obj, named)
+			mi := collectMethod(info, guarded, wguarded, fd, obj, named)
 			methods = append(methods, mi)
 			byObj[obj] = mi
 		}
@@ -197,14 +259,22 @@ func run(pass *framework.Pass) error {
 		exported := mi.obj.Exported()
 		for _, t := range mi.touches {
 			held := heldAt(mi.events, t.mu, t.pos)
+			kind := "guarded"
+			if t.wg {
+				kind = "write-guarded"
+			}
 			switch {
 			case held == heldNone && exported:
 				if !allows.Allowed("lock", t.pos, t.stack) {
-					pass.Reportf(t.pos, "lock", "%s accesses %s (guarded by %s) without holding %s", name, t.field.Name(), t.mu, t.mu)
+					if t.wg {
+						pass.Reportf(t.pos, "lock", "%s writes %s (write-guarded by %s) without holding %s: snapshot publication outside the update path", name, t.field.Name(), t.mu, t.mu)
+					} else {
+						pass.Reportf(t.pos, "lock", "%s accesses %s (guarded by %s) without holding %s", name, t.field.Name(), t.mu, t.mu)
+					}
 				}
 			case held == heldRead && t.write:
 				if !allows.Allowed("lock", t.pos, t.stack) {
-					pass.Reportf(t.pos, "lock", "%s writes %s (guarded by %s) while holding only the read lock", name, t.field.Name(), t.mu)
+					pass.Reportf(t.pos, "lock", "%s writes %s (%s by %s) while holding only the read lock", name, t.field.Name(), kind, t.mu)
 				}
 			}
 		}
@@ -253,7 +323,7 @@ func heldAt(events []lockEvent, mu string, pos token.Pos) int {
 	return state
 }
 
-func collectMethod(info *types.Info, guarded map[*types.Var]guard,
+func collectMethod(info *types.Info, guarded, wguarded map[*types.Var]guard,
 	fd *ast.FuncDecl, obj *types.Func, named *types.Named) *methodInfo {
 
 	mi := &methodInfo{decl: fd, obj: obj}
@@ -269,7 +339,8 @@ func collectMethod(info *types.Info, guarded map[*types.Var]guard,
 			if !ok {
 				return
 			}
-			// r.mu.Lock() and friends.
+			// r.mu.Lock() and friends; r.field.Store(...) and the other
+			// atomic mutators on write-guarded fields.
 			if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
 				if isIdentFor(info, inner.X, recv) {
 					op := sel.Sel.Name
@@ -286,6 +357,18 @@ func collectMethod(info *types.Info, guarded map[*types.Var]guard,
 							read:    op == "RLock" || op == "RUnlock",
 						})
 						return
+					}
+					if op == "Store" || op == "Swap" || op == "CompareAndSwap" {
+						if v, ok := info.Uses[inner.Sel].(*types.Var); ok {
+							if g, ok := wguarded[v]; ok {
+								mi.touches = append(mi.touches, touch{
+									field: v, mu: g.mu, pos: n.Pos(),
+									write: true, wg: true,
+									stack: append([]ast.Node(nil), stack...),
+								})
+								return
+							}
+						}
 					}
 				}
 			}
@@ -306,21 +389,49 @@ func collectMethod(info *types.Info, guarded map[*types.Var]guard,
 			if !ok {
 				return
 			}
-			g, ok := guarded[v]
-			if !ok {
+			if g, ok := guarded[v]; ok {
+				mi.touches = append(mi.touches, touch{
+					field: v,
+					mu:    g.mu,
+					pos:   n.Pos(),
+					write: isWrite(n, stack),
+					stack: append([]ast.Node(nil), stack...),
+				})
 				return
 			}
-			mi.touches = append(mi.touches, touch{
-				field: v,
-				mu:    g.mu,
-				pos:   n.Pos(),
-				write: isWrite(n, stack),
-				stack: append([]ast.Node(nil), stack...),
-			})
+			// Write-guarded fields: only plain-assignment writes count
+			// as touches (reads and Load calls are free by design; the
+			// atomic mutators are caught in the CallExpr case above).
+			if g, ok := wguarded[v]; ok && isWrite(n, stack) && !isAtomicMutatorBase(n, stack) {
+				mi.touches = append(mi.touches, touch{
+					field: v,
+					mu:    g.mu,
+					pos:   n.Pos(),
+					write: true, wg: true,
+					stack: append([]ast.Node(nil), stack...),
+				})
+			}
 		}
 	})
 	sort.Slice(mi.events, func(i, j int) bool { return mi.events[i].pos < mi.events[j].pos })
 	return mi
+}
+
+// isAtomicMutatorBase reports whether sel is the base of an atomic
+// mutator call — sel is the r.field in r.field.Store(...) — which the
+// CallExpr case already recorded as a touch. (isWrite sees the
+// address-of the method's pointer receiver takes and would otherwise
+// double-count it.)
+func isAtomicMutatorBase(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	p, ok := parentOf(stack).(*ast.SelectorExpr)
+	if !ok || p.X != sel {
+		return false
+	}
+	switch p.Sel.Name {
+	case "Store", "Swap", "CompareAndSwap", "Load":
+		return true
+	}
+	return false
 }
 
 // isWrite reports whether the selector appears on the left-hand side

@@ -55,6 +55,36 @@ func (a *arr) Write(i int, v uint64) {
 	a.stats.Cycles++
 }
 
+// pub violates the write-guarded-by rule: Publish stores a new
+// snapshot pointer without holding the update mutex — the exact bug
+// class the epoch-publication annotation exists to catch.
+type pub struct {
+	mu   sync.Mutex
+	snap atomic.Pointer[int] //catcam:write-guarded-by mu
+}
+
+// Publish swaps in a new snapshot without the update lock (bad).
+func (p *pub) Publish(v *int) { p.snap.Store(v) }
+
+// Current loads lock-free — legal by design, must NOT trip lockcheck.
+func (p *pub) Current() *int { return p.snap.Load() }
+
+// PublishLocked is the correct counterpart, so mu is not write-only.
+func (p *pub) PublishLocked(v *int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.snap.Store(v)
+}
+
+// view violates the immutable rule: Mutate reassigns a field declared
+// assignable only in composite literals at construction.
+type view struct {
+	rows []uint64 //catcam:immutable
+}
+
+// Mutate rewrites published snapshot state in place (bad).
+func (v *view) Mutate(rs []uint64) { v.rows = rs }
+
 // The annotation below violates directives: the verb is misspelled.
 //
 //catcam:gaurded-by mu

@@ -1,6 +1,7 @@
 package selftest_test
 
 import (
+	"strings"
 	"testing"
 
 	"catcam/internal/analysis/atomiccheck"
@@ -33,13 +34,29 @@ func TestBadFileTripsEveryAnalyzer(t *testing.T) {
 		t.Fatalf("framework.Run: %v", err)
 	}
 	counts := make(map[string]int)
+	var sawWriteGuarded, sawImmutable bool
 	for _, d := range diags {
 		counts[d.Analyzer]++
+		if d.Analyzer == "lockcheck" && strings.Contains(d.Message, "write-guarded") {
+			sawWriteGuarded = true
+		}
+		if d.Analyzer == "lockcheck" && d.Category == "immutable" {
+			sawImmutable = true
+		}
 	}
 	for _, a := range suite {
 		if counts[a.Name] == 0 {
 			t.Errorf("analyzer %s reported nothing against bad.go; findings: %v", a.Name, diags)
 		}
+	}
+	// The epoch-publication canaries must trip their specific rules: an
+	// unlocked Store to a //catcam:write-guarded-by field and an
+	// in-place write to a //catcam:immutable field.
+	if !sawWriteGuarded {
+		t.Errorf("unlocked snapshot publication (pub.Publish) not flagged by the write-guarded-by rule; findings: %v", diags)
+	}
+	if !sawImmutable {
+		t.Errorf("immutable-field write (view.Mutate) not flagged; findings: %v", diags)
 	}
 }
 

@@ -165,6 +165,22 @@ func (v *Vector) AndNot(o *Vector) *Vector {
 	return v
 }
 
+// AndNotWords sets v = v AND NOT ws, where ws is a raw word slice of
+// exactly the backing length. This is AndNot against a row stored as
+// bare words — the form immutable snapshot matrices keep their rows in
+// — without wrapping each row in a Vector.
+//
+//catcam:mutator
+func (v *Vector) AndNotWords(ws []uint64) *Vector {
+	if len(ws) != len(v.words) {
+		panic(fmt.Sprintf("bitvec: word count %d != %d", len(ws), len(v.words)))
+	}
+	for i := range v.words {
+		v.words[i] &^= ws[i]
+	}
+	return v
+}
+
 // Or sets v = v OR o and returns v.
 //
 //catcam:mutator

@@ -10,18 +10,20 @@
 // Updates route to exactly one shard, so the O(1)-update story holds
 // end to end: a cluster insert is one device insert.
 //
-// # Why parallel classify needs no device-lock changes
+// # Concurrent fan-out rounds
 //
-// Each shard is a complete core.Device with its own mutex and its own
-// private lookupScratch (the PR-2 allocation-free working set). The
-// fan-out runs one long-lived worker goroutine per shard; a worker
-// only ever touches its own shard's device — whose lock it takes via
-// LookupHeaderBatch — and its own result slice, which no other
-// goroutine reads until the fan-out WaitGroup synchronizes. There is
-// no cross-shard shared mutable state on the classify path, so N
-// shards classify with N-way parallelism while every device-level
-// guarantee (locking, zero allocation, audit hooks) carries over
-// unchanged.
+// Each shard is a complete core.Device whose classify path is
+// lock-free (epoch-published snapshots, see internal/core/snapshot.go
+// and DESIGN.md §13), so nothing below the cluster serializes
+// concurrent lookups. The cluster matches that: every classify call
+// checks a complete working set — headers, per-shard result slices, a
+// WaitGroup — out of a sync.Pool as a fanRound, dispatches it to the
+// per-shard worker channels, and returns it after the reduce. Rounds
+// carry all their own state, so any number of batches fan out
+// concurrently; Config.FanWorkers workers per shard (default 1) bound
+// how many rounds one shard serves at once. Steady state allocates
+// nothing: the pool recycles rounds and each round's slices are
+// reused across checkouts.
 //
 // Live rebalancing migrates rules from hot/full shards to cold ones in
 // bounded batches (see rebalance.go), and snapshot/restore round-trips
@@ -98,6 +100,11 @@ type Config struct {
 	// for ClassBench-style uniform priorities; the rebalancer adapts
 	// the bounds to whatever the workload actually is.
 	Bounds []int
+	// FanWorkers is the number of classify workers per shard — the
+	// number of fan-out rounds one shard can serve concurrently. The
+	// device classify path is lock-free, so workers on the same shard
+	// genuinely run in parallel. <= 0 means 1.
+	FanWorkers int
 }
 
 // ownedRule is the cluster's control-plane record of one installed
@@ -113,16 +120,16 @@ type ownedRule struct {
 // Cluster is a sharded CATCAM: N devices, one arbiter.
 //
 // Lock order (never take a later lock while holding an earlier one in
-// reverse): fanMu -> mu -> routeMu -> per-shard device mutexes.
+// reverse): mu -> routeMu -> per-shard device mutexes.
 //
 //   - mu (RWMutex) is the migration epoch: classify and updates hold
 //     RLock, so they run concurrently with each other; a rebalance
 //     batch, snapshot restore and attach calls hold Lock, so a rule is
 //     never observed mid-flight between shards.
 //   - routeMu guards the routing state (owner map, interval bounds).
-//   - fanMu serializes fan-outs: the per-shard workers and result
-//     slices are a single reusable working set, like a device's
-//     lookupScratch one level down.
+//   - Fan-outs take no cluster-wide lock: each round checks its own
+//     working set (a fanRound) out of roundPool, so concurrent
+//     classify batches proceed independently.
 type Cluster struct {
 	cfg    Config
 	mode   Mode
@@ -133,18 +140,10 @@ type Cluster struct {
 	owner   map[int]ownedRule //catcam:guarded-by routeMu
 	bounds  []int             //catcam:guarded-by routeMu
 
-	// Fan-out working set, guarded by fanMu. The workers read fanHdrs
-	// without the lock; the work-channel send/WaitGroup pair orders
-	// those reads against the dispatcher, which always holds fanMu.
-	fanMu   sync.Mutex
-	fanWG   sync.WaitGroup
-	fanHdrs []rules.Header
-	// fanTrace is the current fan-out round's span sink (nil on every
-	// untraced round). Workers read it like fanHdrs: without the lock,
-	// ordered by the work-channel send and the WaitGroup.
-	fanTrace *trace.Trace
-	hdr1     [1]rules.Header     //catcam:guarded-by fanMu
-	res1     []core.LookupResult //catcam:guarded-by fanMu
+	// roundPool recycles fanRound working sets so the steady-state
+	// classify path allocates nothing. Rounds are self-contained: a
+	// checked-out round is owned by exactly one classify call.
+	roundPool sync.Pool
 
 	closeOnce sync.Once
 
@@ -160,30 +159,70 @@ type Cluster struct {
 type shard struct {
 	id  int
 	dev *core.Device
-	// work wakes the worker for one fan-out round; results is the
-	// worker-owned per-round output, synchronized by the fan-out
-	// WaitGroup.
-	work    chan struct{}
-	results []core.LookupResult
+	// work carries fan-out rounds to this shard's workers. Each round
+	// is sent to every shard once; whichever of the shard's FanWorkers
+	// workers receives it classifies the round's headers against this
+	// device into the round's per-shard result slot.
+	work chan *fanRound
 }
 
-// New builds a cluster of cfg.Shards devices and starts one fan-out
-// worker per shard. Call Close to stop the workers when done.
+// fanRound is one fan-out's complete working set: the batch headers,
+// the optional span sink, one result slice per shard, and the
+// WaitGroup that orders the workers' writes before the dispatcher's
+// reduce. Rounds live in Cluster.roundPool; because every round owns
+// all of its mutable state, any number of rounds may be in flight
+// concurrently — the per-shard classify underneath is lock-free.
+type fanRound struct {
+	hdrs []rules.Header
+	// tr is this round's span sink (nil on untraced rounds). Workers
+	// read it like hdrs: ownership transfers with the channel send and
+	// returns with the WaitGroup.
+	tr      *trace.Trace
+	results [][]core.LookupResult // indexed by shard ID
+	// epochs records each shard's snapshot epoch as observed by its
+	// worker just before classifying. auditReduce compares against the
+	// shard's current epoch to detect that an update published between
+	// classify and audit — the owner-map cross-check is skipped for
+	// such stale rounds (same suppression the shadow applies), because
+	// comparing time-T results against a time-T+δ owner map would
+	// report churn as corruption.
+	epochs []uint64 // indexed by shard ID
+	wg     sync.WaitGroup
+	hdr1   [1]rules.Header     // Lookup's single-header batch
+	res1   []core.LookupResult // Lookup's reduce output
+}
+
+// New builds a cluster of cfg.Shards devices and starts
+// cfg.FanWorkers (default 1) fan-out workers per shard. Call Close to
+// stop the workers when done.
 func New(cfg Config) *Cluster {
 	if cfg.Shards < 1 {
 		panic(fmt.Sprintf("cluster: invalid shard count %d", cfg.Shards))
+	}
+	workers := cfg.FanWorkers
+	if workers < 1 {
+		workers = 1
 	}
 	c := &Cluster{
 		cfg:   cfg,
 		mode:  cfg.Mode,
 		owner: make(map[int]ownedRule),
-		res1:  make([]core.LookupResult, 0, 1),
+	}
+	c.roundPool.New = func() any {
+		return &fanRound{
+			results: make([][]core.LookupResult, cfg.Shards),
+			epochs:  make([]uint64, cfg.Shards),
+		}
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		s := &shard{id: i, dev: core.NewDevice(cfg.Device), work: make(chan struct{})}
+		// The channel is buffered one slot per worker so a dispatcher
+		// never blocks behind another round's send when a worker is free.
+		s := &shard{id: i, dev: core.NewDevice(cfg.Device), work: make(chan *fanRound, workers)}
 		s.dev.SetTraceShard(i)
 		c.shards = append(c.shards, s)
-		go c.worker(s)
+		for w := 0; w < workers; w++ {
+			go c.worker(s)
+		}
 	}
 	if cfg.Mode == ModeInterval {
 		if cfg.Bounds != nil {
@@ -213,24 +252,31 @@ func (c *Cluster) Close() {
 	})
 }
 
-// worker is one shard's long-lived fan-out goroutine: each wake-up
-// classifies the current fan-out batch against this shard only, into
-// this shard's private result slice. The channel receive orders the
-// read of fanHdrs after the dispatcher's write; the WaitGroup orders
-// the dispatcher's read of results after the write here.
+// worker is one of a shard's long-lived fan-out goroutines: each
+// received round is classified against this shard only, into the
+// round's per-shard result slot. The channel receive orders the read
+// of the round's headers after the dispatcher's write; the round's
+// WaitGroup orders the dispatcher's read of the results after the
+// write here. The device path underneath is lock-free, so workers on
+// the same shard serving different rounds run in parallel.
 //
 //catcam:hotpath
 func (c *Cluster) worker(s *shard) {
-	for range s.work {
-		if tr := c.fanTrace; tr != nil {
+	for r := range s.work {
+		// Stamp the epoch BEFORE loading the classify snapshot: if the
+		// shard's epoch still equals this stamp at audit time, no
+		// publication happened in between, so the snapshot classified
+		// against was exactly this epoch's.
+		r.epochs[s.id] = s.dev.Epoch()
+		if tr := r.tr; tr != nil {
 			start := trace.Nanos()
-			s.results = s.dev.LookupHeaderBatchTraced(tr, c.fanHdrs, s.results[:0])
+			r.results[s.id] = s.dev.LookupHeaderBatchTraced(tr, r.hdrs, r.results[s.id][:0])
 			//catcam:allow alloc "sampled trace span; rate-gated off the steady-state path"
 			tr.Span(trace.StageShardKernel, -1, s.id, -1, -1, start, 0)
 		} else {
-			s.results = s.dev.LookupHeaderBatch(c.fanHdrs, s.results[:0])
+			r.results[s.id] = s.dev.LookupHeaderBatch(r.hdrs, r.results[s.id][:0])
 		}
-		c.fanWG.Done()
+		r.wg.Done()
 	}
 }
 
@@ -345,34 +391,50 @@ func (c *Cluster) ModifyRule(ruleID int, newRule rules.Rule) (core.UpdateResult,
 //
 //catcam:hotpath
 func (c *Cluster) Lookup(h rules.Header) (int, bool) {
-	c.fanMu.Lock()
-	c.hdr1[0] = h
-	res := c.lookupBatchLocked(c.hdr1[:], c.res1[:0])
-	c.res1 = res[:0]
+	r := c.getRound()
+	r.hdr1[0] = h
+	res := c.lookupBatch(r, r.hdr1[:], r.res1[:0])
+	r.res1 = res[:0]
 	e, ok := res[0].Entry, res[0].OK
-	c.fanMu.Unlock()
+	c.putRound(r)
 	if !ok {
 		return 0, false
 	}
 	return e.Action, true
 }
 
+// getRound checks a fan-out working set out of the pool.
+//
+//catcam:hotpath
+func (c *Cluster) getRound() *fanRound {
+	return c.roundPool.Get().(*fanRound) //catcam:allow alloc "sync.Pool checkout; allocates only while the pool is cold"
+}
+
+// putRound returns a round to the pool for the next classify call.
+//
+//catcam:hotpath
+func (c *Cluster) putRound(r *fanRound) {
+	r.hdrs = nil
+	r.tr = nil
+	c.roundPool.Put(r) //catcam:allow alloc "sync.Pool return; the checkin itself does not allocate"
+}
+
 // LookupHeaderBatch classifies headers through the whole cluster: the
 // batch fans out to every shard in parallel (each worker classifies
-// against its own device with its own scratch), then the arbiter
-// reduces the per-shard winners to one result per header, appended to
-// dst in input order. With a reused dst the steady-state path
-// allocates nothing — the fan-out working set is sized once and the
-// per-shard paths are the PR-2 allocation-free batch lookups.
+// against its own device, lock-free, with pooled scratch), then the
+// arbiter reduces the per-shard winners to one result per header,
+// appended to dst in input order. Concurrent batches proceed
+// independently — each checks its own fanRound out of the pool. With a
+// reused dst the steady-state path allocates nothing.
 //
 //catcam:hotpath
 func (c *Cluster) LookupHeaderBatch(hs []rules.Header, dst []core.LookupResult) []core.LookupResult {
 	if len(hs) == 0 {
 		return dst
 	}
-	c.fanMu.Lock()
-	dst = c.lookupBatchLocked(hs, dst)
-	c.fanMu.Unlock()
+	r := c.getRound()
+	dst = c.lookupBatch(r, hs, dst)
+	c.putRound(r)
 	return dst
 }
 
@@ -392,16 +454,17 @@ func (c *Cluster) LookupHeaderBatchTraced(tr *trace.Trace, hs []rules.Header, ds
 	if len(hs) == 0 {
 		return dst
 	}
-	c.fanMu.Lock()
-	c.fanTrace = tr
-	dst = c.lookupBatchLocked(hs, dst)
-	c.fanTrace = nil
-	c.fanMu.Unlock()
+	r := c.getRound()
+	r.tr = tr
+	dst = c.lookupBatch(r, hs, dst)
+	c.putRound(r)
 	return dst
 }
 
-// lookupBatchLocked runs one fan-out round; callers hold fanMu.
-func (c *Cluster) lookupBatchLocked(hs []rules.Header, dst []core.LookupResult) []core.LookupResult {
+// lookupBatch runs one fan-out round through the round's own working
+// set. Takes only mu.RLock (the migration epoch) — concurrent rounds
+// do not serialize against each other.
+func (c *Cluster) lookupBatch(r *fanRound, hs []rules.Header, dst []core.LookupResult) []core.LookupResult {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	var start time.Time
@@ -409,17 +472,17 @@ func (c *Cluster) lookupBatchLocked(hs []rules.Header, dst []core.LookupResult) 
 	if t != nil {
 		start = time.Now()
 	}
-	tr := c.fanTrace
+	tr := r.tr
 	var dispatchStart uint64
 	if tr != nil {
 		dispatchStart = trace.Nanos()
 	}
-	c.fanHdrs = hs
-	c.fanWG.Add(len(c.shards))
+	r.hdrs = hs
+	r.wg.Add(len(c.shards))
 	for _, s := range c.shards {
-		s.work <- struct{}{}
+		s.work <- r
 	}
-	c.fanWG.Wait()
+	r.wg.Wait()
 	if tr != nil {
 		//catcam:allow alloc "sampled trace span; rate-gated off the steady-state path"
 		tr.Span(trace.StageFanoutDispatch, -1, -1, -1, -1, dispatchStart, 0)
@@ -429,7 +492,7 @@ func (c *Cluster) lookupBatchLocked(hs []rules.Header, dst []core.LookupResult) 
 		mergeStart = trace.Nanos()
 	}
 	for i := range hs {
-		dst = append(dst, c.reduce(i))
+		dst = append(dst, c.reduce(r, i))
 	}
 	if tr != nil {
 		//catcam:allow alloc "sampled trace span; rate-gated off the steady-state path"
@@ -449,32 +512,32 @@ func (c *Cluster) lookupBatchLocked(hs []rules.Header, dst []core.LookupResult) 
 // priorities interleave across shards, so the arbiter compares the
 // winners' ranks. Sampled classifications additionally verify the
 // arbiter against an independent rank walk (InvArbiterWinner).
-func (c *Cluster) reduce(i int) core.LookupResult {
+func (c *Cluster) reduce(r *fanRound, i int) core.LookupResult {
 	win := -1
 	if c.mode == ModeInterval {
 		for s := len(c.shards) - 1; s >= 0; s-- {
-			if c.shards[s].results[i].OK {
+			if r.results[s][i].OK {
 				win = s
 				break
 			}
 		}
 	} else {
 		for s := range c.shards {
-			if !c.shards[s].results[i].OK {
+			if !r.results[s][i].OK {
 				continue
 			}
-			if win < 0 || c.shards[win].results[i].Entry.Rank.Less(c.shards[s].results[i].Entry.Rank) {
+			if win < 0 || r.results[win][i].Entry.Rank.Less(r.results[s][i].Entry.Rank) {
 				win = s
 			}
 		}
 	}
 	if c.aud.SampleLookup() {
-		c.auditReduce(i, win) //catcam:allow alloc "sampled arbiter cross-check; rate-gated off the steady-state path"
+		c.auditReduce(r, i, win) //catcam:allow alloc "sampled arbiter cross-check; rate-gated off the steady-state path"
 	}
 	if win < 0 {
 		return core.LookupResult{}
 	}
-	return c.shards[win].results[i]
+	return r.results[win][i]
 }
 
 // auditReduce cross-checks one sampled arbitration: the arbiter's
@@ -482,13 +545,13 @@ func (c *Cluster) reduce(i int) core.LookupResult {
 // the winning rule's owner-map record must name the shard that
 // reported it. Cold path; runs under mu.RLock with the fan-out results
 // still live.
-func (c *Cluster) auditReduce(i, win int) {
+func (c *Cluster) auditReduce(r *fanRound, i, win int) {
 	best := -1
 	for s := range c.shards {
-		if !c.shards[s].results[i].OK {
+		if !r.results[s][i].OK {
 			continue
 		}
-		if best < 0 || c.shards[best].results[i].Entry.Rank.Less(c.shards[s].results[i].Entry.Rank) {
+		if best < 0 || r.results[best][i].Entry.Rank.Less(r.results[s][i].Entry.Rank) {
 			best = s
 		}
 	}
@@ -501,7 +564,16 @@ func (c *Cluster) auditReduce(i, win int) {
 	if win < 0 {
 		return
 	}
-	id := c.shards[win].results[i].Entry.Rank.RuleID
+	// The owner-map cross-check compares the round's results against
+	// shared mutable state, so it is only meaningful when the winning
+	// shard has not published a new epoch since its worker classified:
+	// a concurrent delete removes the owner record after the round
+	// answered, and flagging that window would report churn as
+	// corruption. The epoch stamp detects exactly that window.
+	if c.shards[win].dev.Epoch() != r.epochs[win] {
+		return
+	}
+	id := r.results[win][i].Entry.Rank.RuleID
 	c.routeMu.Lock()
 	o, ok := c.owner[id]
 	c.routeMu.Unlock()

@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"catcam/internal/classbench"
@@ -271,6 +273,72 @@ func TestClusterAuditSweep(t *testing.T) {
 	}
 	if aud.ViolationCount(flightrec.InvShardInterval) == 0 {
 		t.Fatal("violation not attributed to InvShardInterval")
+	}
+}
+
+// TestClusterChurnVsClassify races concurrent classify rounds (two
+// fan-out workers per shard, several dispatcher goroutines) against
+// rule churn, with the arbiter cross-check auditing every reduced
+// header. Each round's epoch stamps must suppress the owner-map check
+// exactly for the rounds a concurrent update overtook — a violation
+// here means the audit reports churn as corruption (or a real arbiter
+// bug). Run with -race for the memory-model half of the claim.
+func TestClusterChurnVsClassify(t *testing.T) {
+	for _, mode := range []Mode{ModeInterval, ModeHash} {
+		t.Run(mode.String(), func(t *testing.T) {
+			rs := classbench.Generate(classbench.Config{Family: classbench.ACL, Size: 150, Seed: 71})
+			c := New(Config{Shards: 4, Mode: mode, Device: testDeviceConfig(), FanWorkers: 2})
+			defer c.Close()
+			aud := flightrec.NewAuditor(nil, nil, 64, nil)
+			aud.SetLookupSampleEvery(1)
+			c.AttachAuditor(aud)
+
+			half := len(rs.Rules) / 2
+			for _, r := range rs.Rules[:half] {
+				if _, err := c.InsertRule(r); err != nil {
+					t.Fatalf("preload: %v", err)
+				}
+			}
+			headers := classbench.PacketTrace(rs, 64, 0.9, 72)
+
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for g := 0; g < 3; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					var results []core.LookupResult
+					for !stop.Load() {
+						results = c.LookupHeaderBatch(headers, results[:0])
+						c.Lookup(headers[g%len(headers)])
+					}
+				}(g)
+			}
+			for iter := 0; iter < 10; iter++ {
+				for _, r := range rs.Rules[half:] {
+					if _, err := c.InsertRule(r); err != nil {
+						t.Errorf("churn insert: %v", err)
+					}
+				}
+				for _, r := range rs.Rules[half:] {
+					if _, err := c.DeleteRule(r.ID); err != nil {
+						t.Errorf("churn delete: %v", err)
+					}
+				}
+			}
+			stop.Store(true)
+			wg.Wait()
+
+			if n := aud.TotalViolations(); n != 0 {
+				for _, v := range aud.Violations() {
+					t.Logf("violation: %+v", v)
+				}
+				t.Fatalf("%d audit violations under cluster churn-vs-classify", n)
+			}
+			if err := c.CheckInvariant(); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"catcam/internal/bitvec"
 	"catcam/internal/flightrec"
@@ -12,7 +13,6 @@ import (
 	"catcam/internal/sram"
 	"catcam/internal/telemetry"
 	"catcam/internal/ternary"
-	tracepkg "catcam/internal/trace"
 )
 
 // ErrFull is returned when no subtable can accommodate an insertion.
@@ -104,18 +104,44 @@ type location struct {
 
 // Device is a complete CATCAM instance.
 //
-// All exported methods are safe for concurrent use: one mutex guards
-// the device, so goroutines serialize rather than corrupt state. The
-// hot classify path holds the lock only for the duration of the lookup
-// and performs no allocation at steady state — per-lookup working
-// vectors live in the device's scratch area and are reused.
+// All exported methods are safe for concurrent use. Updates serialize
+// on one mutex; the classify path (LookupKey, Lookup, LookupBatch,
+// LookupHeaderBatch and the *Traced variants) acquires no lock at all —
+// it loads the current epoch snapshot (d.snap) with one atomic pointer
+// read and traverses the frozen structure with per-goroutine pooled
+// scratch, so concurrent lookups scale with cores. The hot path
+// performs no allocation at steady state. See snapshot.go for the
+// publication scheme and DESIGN.md §13 for why torn reads are
+// impossible.
 type Device struct {
 	mu     sync.Mutex
 	cfg    Config      // immutable after NewDevice
 	subs   []*Subtable //catcam:guarded-by mu
 	global *sram.Array //catcam:guarded-by mu
 
-	// scratch holds the reusable lookup buffers; guarded by mu.
+	// snap is the published read snapshot: built and stored only on the
+	// update side (under mu, by publishLocked), loaded freely by the
+	// lock-free classify path.
+	snap atomic.Pointer[snapshot] //catcam:write-guarded-by mu
+	// dirty marks subtables whose arrays changed since the last
+	// publish; publishLocked re-materializes exactly these views.
+	dirty []bool //catcam:guarded-by mu
+	// globalDirty marks the global relation matrix changed (subtable
+	// assignment/release) since the last publish.
+	globalDirty bool //catcam:guarded-by mu
+
+	// readPool holds per-goroutine readScratch working sets for the
+	// lock-free classify path.
+	readPool sync.Pool
+	// rdMatch/rdPrio/rdGlobal accumulate array activity generated on
+	// the lock-free path (the live arrays' own counters are only
+	// mutated under mu); ArrayStats merges both sides.
+	rdMatch  atomicArrayStats
+	rdPrio   atomicArrayStats
+	rdGlobal atomicArrayStats
+
+	// scratch holds the legacy locked path's reusable lookup buffers;
+	// guarded by mu.
 	scratch lookupScratch //catcam:guarded-by mu
 
 	// meta is the metadata cache (§VI): per-subtable activity, maximum
@@ -132,8 +158,12 @@ type Device struct {
 	// seqCounter makes ranks unique across expansion entries.
 	seqCounter int //catcam:guarded-by mu
 
-	stats Stats //catcam:guarded-by mu
+	// stats fields are atomic: update-side counters are written only
+	// under mu, lookup counters are flushed from read scratches, and
+	// Stats() reads everything without taking the lock.
+	stats deviceStats
 	// tel is the attached runtime telemetry; nil until AttachTelemetry.
+	// Written under mu; the read path uses the snapshot's copy.
 	tel *deviceTelemetry //catcam:guarded-by mu
 
 	// Flight-recorder instruments (see flightrec.go); all nil until
@@ -149,16 +179,12 @@ type Device struct {
 	// itself.
 	trace *flightrec.Trace //catcam:guarded-by mu
 
-	// Span-layer lookup tracing (see trace.go): trSpan is the in-flight
-	// traced batch's span sink (nil on every untraced batch), trKey the
-	// batch index of its focus key and trFocus whether the key being
-	// looked up right now is that focus key — the gate for the
-	// per-subtable sram_kernel spans inside lookupLocked. trShard is
-	// the cluster shard ID carried on emitted spans (-1 standalone).
-	trSpan  *tracepkg.Trace //catcam:guarded-by mu
-	trKey   int             //catcam:guarded-by mu
-	trFocus bool            //catcam:guarded-by mu
-	trShard int             //catcam:guarded-by mu
+	// trShard is the cluster shard ID carried on emitted spans (-1
+	// standalone); written under mu, read via the snapshot. The rest of
+	// the span-layer trace context (which batch, which focus key)
+	// arrives with the request and travels through lookup arguments —
+	// see trace.go.
+	trShard int //catcam:guarded-by mu
 }
 
 type entryKey struct {
@@ -166,10 +192,13 @@ type entryKey struct {
 	seq    int
 }
 
-// lookupScratch is the device's reusable per-lookup working set. The
-// paper's lookup allocates nothing — it drives fixed wires — and the
-// simulator's steady-state path mirrors that: every vector and key
-// buffer below is sized once at construction and reused per lookup.
+// lookupScratch is the legacy locked path's reusable per-lookup
+// working set, kept for the mutex-serialized reference lookup the
+// differential tests compare the lock-free path against. The paper's
+// lookup allocates nothing — it drives fixed wires — and both lookup
+// paths mirror that: every vector and key buffer is sized once and
+// reused per lookup (the lock-free path keeps its equivalent in pooled
+// readScratch, see snapshot.go).
 type lookupScratch struct {
 	encKey      ternary.Key      // header-encode buffer (rules.TupleBits wide)
 	padKey      ternary.Key      // key padded to the device width
@@ -208,10 +237,12 @@ func NewDevice(cfg Config) *Device {
 		global:  sram.NewArray(globalP),
 		active:  make([]bool, cfg.Subtables),
 		maxOf:   make([]Rank, cfg.Subtables),
+		dirty:   make([]bool, cfg.Subtables),
 		locs:    make(map[entryKey]location),
 		frTable: -1,
 		trShard: -1,
 	}
+	d.readPool.New = func() any { return d.newReadScratch() }
 	for i := range d.subs {
 		d.subs[i] = NewSubtable(i, cfg.SubtableCapacity, cfg.KeyWidth, matchP, prioP)
 	}
@@ -225,45 +256,46 @@ func NewDevice(cfg Config) *Device {
 		report:      bitvec.New(cfg.Subtables),
 		locals:      make([]*bitvec.Vector, cfg.Subtables),
 	}
+	d.mu.Lock()
+	d.publishLocked() // epoch 0: the empty device
+	d.mu.Unlock()
 	return d
 }
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
 
-// Stats returns a copy of the accumulated statistics.
+// Stats returns a copy of the accumulated statistics. Served entirely
+// from atomics — monitoring never contends with classify or updates.
 func (d *Device) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	return d.stats.snapshot()
 }
 
 // ResetStats zeroes device statistics (array stats are separate; see
 // ArrayStats) and any attached telemetry, so a benchmark warmup phase
 // does not pollute reported quantiles. Safe to call while lookups are
-// in flight on other goroutines; the reset lands between lookups.
+// in flight on other goroutines; in-flight batches may flush their
+// batch-local counts after the reset.
 func (d *Device) ResetStats() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.stats = Stats{}
+	d.stats.reset()
 	d.resetTelemetry()
 }
 
-// Len returns the number of stored entries (post range expansion).
+// Len returns the number of stored entries (post range expansion), as
+// of the last published epoch. Served from the snapshot, no lock.
 func (d *Device) Len() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.locs)
+	return d.snap.Load().count
 }
 
 // CapacityEntries returns total entry slots.
 func (d *Device) CapacityEntries() int { return d.cfg.Subtables * d.cfg.SubtableCapacity }
 
-// ActiveSubtables returns the number of subtables in use.
+// ActiveSubtables returns the number of subtables in use, as of the
+// last published epoch. Served from the snapshot, no lock.
 func (d *Device) ActiveSubtables() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.order)
+	return len(d.snap.Load().order)
 }
 
 // CyclesToNanos converts cycles to nanoseconds at the configured clock.
@@ -305,47 +337,39 @@ func (d *Device) padKeyScratch(k ternary.Key) ternary.Key {
 // match vector — one bit per subtable with any local match — traverses
 // the global priority matrix; (3) the chosen subtable's local priority
 // matrix reduces its match vector to the report vector. Amortized one
-// cycle per lookup at full pipeline.
+// cycle per lookup at full pipeline. Lock-free: runs against the
+// published epoch snapshot.
 //
 //catcam:hotpath
 func (d *Device) LookupKey(k ternary.Key) (Entry, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.lookupLocked(d.padKeyScratch(k))
+	s := d.snap.Load()
+	sc := d.getScratch()
+	e, _, ok := s.lookup(sc, s.padKey(sc, k), nil, 0, false)
+	d.putScratch(sc, s)
+	return e, ok
 }
 
-// lookupLocked is the allocation-free lookup core; callers hold d.mu
-// and pass a key already padded to the device width.
+// lookupLocked is the legacy mutex-serialized lookup core, retained as
+// the reference implementation the differential tests replay against
+// the lock-free snapshot path. Callers hold d.mu and pass a key
+// already padded to the device width. Production entry points no
+// longer route here.
 func (d *Device) lookupLocked(k ternary.Key) (Entry, bool) {
-	d.stats.Lookups++
-	d.stats.LookupCycles++
+	d.stats.lookups.Add(1)
+	d.stats.lookupCycles.Add(1)
 	if t := d.tel; t != nil {
 		t.lookups.Inc()
 	}
-
-	// traceKernel gates the per-subtable sram_kernel spans: only the
-	// traced batch's one focus key records them, so a sampled batch adds
-	// at most active-subtables spans per shard. One bool test per lookup
-	// when a trace is in flight, one pointer-backed bool otherwise.
-	traceKernel := d.trFocus && d.trSpan != nil
 
 	globalMatch := d.scratch.globalMatch
 	globalMatch.Reset()
 	for _, id := range d.order {
 		mv := d.scratch.locals[id]
 		if mv == nil {
-			mv = bitvec.New(d.cfg.SubtableCapacity) //catcam:allow alloc "one-time warm-up of a per-subtable scratch vector; steady state reuses it"
+			mv = bitvec.New(d.cfg.SubtableCapacity)
 			d.scratch.locals[id] = mv
 		}
-		var kernelStart uint64
-		if traceKernel {
-			kernelStart = tracepkg.Nanos()
-		}
 		d.subs[id].SearchInto(mv, k)
-		if traceKernel {
-			//catcam:allow alloc "sampled trace span; rate-gated off the steady-state path"
-			d.trSpan.Span(tracepkg.StageSRAMKernel, d.frTable, d.trShard, id, d.trKey, kernelStart, 1)
-		}
 		if mv.Any() {
 			globalMatch.Set(id)
 		}
@@ -366,7 +390,6 @@ func (d *Device) lookupLocked(k ternary.Key) (Entry, bool) {
 		if d.aud == nil {
 			panic(fmt.Sprintf("core: global report not one-hot: %s", report))
 		}
-		//catcam:allow alloc "fail-report path for a broken hardware guarantee, never taken at steady state"
 		d.aud.Fail(flightrec.Violation{
 			Invariant: flightrec.InvReportOneHot, Table: -1, Subtable: -1, RuleID: -1,
 			Detail: fmt.Sprintf("global report %s has %d bits set", report, report.Count()),
@@ -381,9 +404,25 @@ func (d *Device) lookupLocked(k ternary.Key) (Entry, bool) {
 		return Entry{}, false
 	}
 	if d.aud.SampleLookup() {
-		d.auditLookup(oneHot, winner, slot) //catcam:allow alloc "sampled inline audit; rate-gated off the steady-state path"
+		d.auditLookup(oneHot, winner, slot)
 	}
 	return d.subs[winner].ReadEntryMeta(slot), true
+}
+
+// lookupKeyLegacy is the locked reference lookup — the differential
+// test's oracle for the lock-free path.
+func (d *Device) lookupKeyLegacy(k ternary.Key) (Entry, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lookupLocked(d.padKeyScratch(k))
+}
+
+// lookupHeaderLegacy is the locked reference header lookup.
+func (d *Device) lookupHeaderLegacy(h rules.Header) (Entry, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rules.EncodeHeaderInto(&d.scratch.encKey, h)
+	return d.lookupLocked(d.padKeyScratch(d.scratch.encKey))
 }
 
 // LookupResult is one LookupBatch outcome.
@@ -394,52 +433,58 @@ type LookupResult struct {
 
 // LookupBatch classifies keys in order, appending one result per key
 // to dst and returning it. Passing a reused dst[:0] keeps the whole
-// call allocation-free at steady state; the device lock is taken once
-// for the batch, which amortizes synchronization across high-rate
-// traffic the way the hardware pipeline amortizes its fill latency.
+// call allocation-free at steady state. The epoch snapshot is loaded
+// once and the scratch checked out once for the batch, which amortizes
+// the pool round-trip and stats flush across high-rate traffic the way
+// the hardware pipeline amortizes its fill latency; concurrent batches
+// proceed in parallel, never serializing on a lock.
 //
 //catcam:hotpath
 func (d *Device) LookupBatch(keys []ternary.Key, dst []LookupResult) []LookupResult {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	s := d.snap.Load()
+	sc := d.getScratch()
 	for _, k := range keys {
-		e, ok := d.lookupLocked(d.padKeyScratch(k))
+		e, _, ok := s.lookup(sc, s.padKey(sc, k), nil, 0, false)
 		dst = append(dst, LookupResult{Entry: e, OK: ok})
 	}
+	d.putScratch(sc, s)
 	return dst
 }
 
 // LookupHeaderBatch is LookupBatch over packet headers: each header is
-// encoded into the device's scratch key and classified, with one result
-// appended to dst per header. Like LookupBatch it holds the lock once
-// and allocates nothing when dst has capacity.
+// encoded into the scratch key and classified, with one result
+// appended to dst per header. Allocates nothing when dst has capacity;
+// safe for any number of concurrent callers.
 //
 //catcam:hotpath
 func (d *Device) LookupHeaderBatch(hs []rules.Header, dst []LookupResult) []LookupResult {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	s := d.snap.Load()
+	sc := d.getScratch()
 	for _, h := range hs {
-		rules.EncodeHeaderInto(&d.scratch.encKey, h)
-		e, ok := d.lookupLocked(d.padKeyScratch(d.scratch.encKey))
-		if d.shadow.Sample() {
-			d.shadow.Observe(h, e.Action, ok) //catcam:allow alloc "sampled shadow re-classification; rate-gated off the steady-state path"
+		rules.EncodeHeaderInto(&sc.encKey, h)
+		e, _, ok := s.lookup(sc, s.padKey(sc, sc.encKey), nil, 0, false)
+		if s.shadow.Sample() {
+			s.shadow.ObserveEpoch(h, e.Action, ok, s.epoch) //catcam:allow alloc "sampled shadow re-classification; rate-gated off the steady-state path"
 		}
 		dst = append(dst, LookupResult{Entry: e, OK: ok})
 	}
+	d.putScratch(sc, s)
 	return dst
 }
 
 // Lookup classifies a packet header and returns the winning action.
+// Lock-free: runs against the published epoch snapshot.
 //
 //catcam:hotpath
 func (d *Device) Lookup(h rules.Header) (int, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	rules.EncodeHeaderInto(&d.scratch.encKey, h)
-	e, ok := d.lookupLocked(d.padKeyScratch(d.scratch.encKey))
-	if d.shadow.Sample() {
-		d.shadow.Observe(h, e.Action, ok) //catcam:allow alloc "sampled shadow re-classification; rate-gated off the steady-state path"
+	s := d.snap.Load()
+	sc := d.getScratch()
+	rules.EncodeHeaderInto(&sc.encKey, h)
+	e, _, ok := s.lookup(sc, s.padKey(sc, sc.encKey), nil, 0, false)
+	if s.shadow.Sample() {
+		s.shadow.ObserveEpoch(h, e.Action, ok, s.epoch) //catcam:allow alloc "sampled shadow re-classification; rate-gated off the steady-state path"
 	}
+	d.putScratch(sc, s)
 	if !ok {
 		return 0, false
 	}
@@ -462,6 +507,8 @@ type UpdateResult struct {
 func (d *Device) InsertRule(r rules.Rule) (UpdateResult, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.publishLocked()
+	d.shadow.BeginEpoch()
 	d.trace = d.rec.Start("insert", d.frTable, r.ID)
 	res, err := d.insertRule(r)
 	d.rec.Finish(d.trace, res.Cycles, err)
@@ -508,6 +555,8 @@ func (d *Device) insertRule(r rules.Rule) (UpdateResult, error) {
 func (d *Device) InsertWord(w ternary.Word, priority, ruleID, action int) (UpdateResult, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.publishLocked()
+	d.shadow.BeginEpoch()
 	d.trace = d.rec.Start("insert_word", d.frTable, ruleID)
 	seq := d.seqCounter
 	d.seqCounter++
@@ -529,6 +578,8 @@ func (d *Device) InsertWord(w ternary.Word, priority, ruleID, action int) (Updat
 func (d *Device) DeleteRule(ruleID int) (UpdateResult, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	defer d.publishLocked()
+	d.shadow.BeginEpoch()
 	d.trace = d.rec.Start("delete", d.frTable, ruleID)
 	res, err := d.deleteRule(ruleID)
 	d.rec.Finish(d.trace, res.Cycles, err)
@@ -572,6 +623,8 @@ func (d *Device) ModifyRule(ruleID int, newRule rules.Rule) (UpdateResult, error
 	if newRule.ID != ruleID {
 		return UpdateResult{}, fmt.Errorf("core: modify must keep rule ID %d, got %d", ruleID, newRule.ID)
 	}
+	defer d.publishLocked()
+	d.shadow.BeginEpoch()
 	d.trace = d.rec.Start("modify", d.frTable, ruleID)
 	del, err := d.deleteRule(ruleID)
 	if err != nil {
@@ -673,6 +726,7 @@ func (d *Device) insertEntry(e Entry) (UpdateResult, error) {
 	d.trace.Step(flightrec.StepEvictLocate, target, maxSlot, 1)
 	evicted := st.ReadEntry(maxSlot)
 	st.Delete(maxSlot)
+	d.dirty[target] = true
 	d.forgetLoc(evicted)
 	if t := d.tel; t != nil {
 		t.reallocs.Inc()
@@ -707,13 +761,13 @@ func (d *Device) insertEntry(e Entry) (UpdateResult, error) {
 		} else {
 			// The cascaded insert self-accounted as its own request;
 			// fold its costs into ours and undo the double count.
-			d.stats.Inserts--
+			atomicSub(&d.stats.inserts, 1)
 			if sub.Class == ClassInsertRealloc {
-				d.stats.ReallocInserts--
+				atomicSub(&d.stats.reallocInserts, 1)
 			} else {
-				d.stats.DirectInserts--
+				atomicSub(&d.stats.directInserts, 1)
 			}
-			d.stats.UpdateCycles -= sub.Cycles
+			atomicSub(&d.stats.updateCycles, sub.Cycles)
 			res.Reallocated += sub.Reallocated
 			res.FreshTables += sub.FreshTables
 			res.Cycles += sub.Cycles
@@ -726,7 +780,7 @@ func (d *Device) insertEntry(e Entry) (UpdateResult, error) {
 		// chain's extra cycles on top for both the result and the
 		// device counter.
 		res.Cycles += extra
-		d.stats.UpdateCycles += extra
+		d.stats.updateCycles.Add(extra)
 		if t := d.tel; t != nil {
 			t.event(telemetry.Event{Kind: telemetry.EvChain, Subtable: target,
 				RuleID: e.Rank.RuleID, Cycles: res.Cycles, Depth: res.Reallocated})
@@ -773,16 +827,16 @@ func (d *Device) chainFeasible(pos int) bool {
 // account finalizes cycle bookkeeping for an insert result.
 func (d *Device) account(res *UpdateResult) {
 	res.Cycles = res.Class.Cycles()
-	d.stats.Inserts++
-	d.stats.UpdateCycles += res.Cycles
+	d.stats.inserts.Add(1)
+	d.stats.updateCycles.Add(res.Cycles)
 	switch res.Class {
 	case ClassInsertDirect:
-		d.stats.DirectInserts++
+		d.stats.directInserts.Add(1)
 	case ClassInsertRealloc:
-		d.stats.ReallocInserts++
-		d.stats.Reallocations++
+		d.stats.reallocInserts.Add(1)
+		d.stats.reallocations.Add(1)
 	}
-	d.stats.FreshSubtables += uint64(res.FreshTables)
+	d.stats.freshSubtables.Add(uint64(res.FreshTables))
 }
 
 // placeEntry inserts e into any free slot of subtable id and returns
@@ -798,6 +852,7 @@ func (d *Device) placeEntry(id int, e Entry) int {
 
 func (d *Device) placeEntryAt(id, slot int, e Entry) {
 	d.subs[id].Insert(slot, e)
+	d.dirty[id] = true
 	d.locs[entryKey{e.Rank.RuleID, e.Rank.Seq}] = location{st: id, slot: slot}
 }
 
@@ -817,6 +872,7 @@ func (d *Device) assignSubtable(max Rank, pos int) (int, bool) {
 	d.freeSubs = d.freeSubs[:len(d.freeSubs)-1]
 	d.active[id] = true
 	d.maxOf[id] = max
+	d.dirty[id] = true
 
 	d.order = append(d.order, 0)
 	copy(d.order[pos+1:], d.order[pos:])
@@ -847,9 +903,11 @@ func (d *Device) releaseSubtable(id int) {
 	d.active[id] = false
 	d.maxOf[id] = Rank{}
 	d.freeSubs = append(d.freeSubs, id)
+	d.dirty[id] = true
 	// Clear row and column so the matrix matches the metadata exactly.
 	d.global.WriteRow(id, bitvec.New(d.cfg.Subtables))
 	d.global.WriteColumn(id, bitvec.New(d.cfg.Subtables))
+	d.globalDirty = true
 }
 
 // writeGlobalRelations writes subtable id's row and column of the
@@ -870,6 +928,7 @@ func (d *Device) writeGlobalRelations(id int) {
 	}
 	d.global.WriteRow(id, row)
 	d.global.WriteColumn(id, col)
+	d.globalDirty = true
 }
 
 // setMax raises subtable id's max rank (its position in the order is
@@ -905,10 +964,11 @@ func (d *Device) deleteEntry(k entryKey) {
 	st := d.subs[loc.st]
 	r, _ := st.Rank(loc.slot)
 	st.Delete(loc.slot)
+	d.dirty[loc.st] = true
 	d.trace.Step(flightrec.StepDelete, loc.st, loc.slot, ClassDelete.Cycles())
 	delete(d.locs, k)
-	d.stats.Deletes++
-	d.stats.UpdateCycles += ClassDelete.Cycles()
+	d.stats.deletes.Add(1)
+	d.stats.updateCycles.Add(ClassDelete.Cycles())
 	if r == d.maxOf[loc.st] {
 		d.refreshMax(loc.st)
 	}
@@ -920,18 +980,23 @@ func (d *Device) deleteEntry(k entryKey) {
 // model.
 func (d *Device) ArrayStats() (match, prio, global sram.Stats) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	for _, st := range d.subs {
 		m, p := st.Stats()
 		match.Add(m)
 		prio.Add(p)
 	}
 	global = d.global.Stats()
+	d.mu.Unlock()
+	// Fold in the activity generated on the lock-free classify path,
+	// which accumulates device-level rather than per-array.
+	match.Add(d.rdMatch.load())
+	prio.Add(d.rdPrio.load())
+	global.Add(d.rdGlobal.load())
 	return match, prio, global
 }
 
-// ResetArrayStats zeroes every array's counters and any attached
-// telemetry.
+// ResetArrayStats zeroes every array's counters, the lock-free path's
+// accumulators, and any attached telemetry.
 func (d *Device) ResetArrayStats() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -939,14 +1004,16 @@ func (d *Device) ResetArrayStats() {
 		st.ResetStats()
 	}
 	d.global.ResetStats()
+	d.rdMatch.reset()
+	d.rdPrio.reset()
+	d.rdGlobal.reset()
 	d.resetTelemetry()
 }
 
-// Occupancy returns stored entries / total slots.
+// Occupancy returns stored entries / total slots, as of the last
+// published epoch. Served from the snapshot, no lock.
 func (d *Device) Occupancy() float64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return float64(len(d.locs)) / float64(d.CapacityEntries())
+	return float64(d.snap.Load().count) / float64(d.CapacityEntries())
 }
 
 // CheckInvariant verifies the scheduler's structural invariants: the

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"catcam/internal/classbench"
+	"catcam/internal/flightrec"
+	"catcam/internal/rules"
+	"catcam/internal/swclass"
+)
+
+// TestEpochAdvancesAndSharesCleanViews pins the copy-on-write
+// granularity of snapshot publication: every update publishes exactly
+// one new epoch, the touched subtable gets a fresh immutable view, and
+// the untouched subtables' views are shared by reference with the
+// previous epoch (no O(device) copying per update).
+func TestEpochAdvancesAndSharesCleanViews(t *testing.T) {
+	d, _ := loadedDevice(t, 100)
+	s1 := d.snap.Load()
+
+	extra := rules.Rule{ID: 1 << 20, Priority: 777,
+		SrcPort: rules.PortRange{Lo: 5, Hi: 5}, DstPort: rules.PortRange{Lo: 7, Hi: 7},
+		ProtoWildcard: true, Action: 99}
+	res, err := d.InsertRule(extra)
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	s2 := d.snap.Load()
+
+	if s2.epoch != s1.epoch+1 {
+		t.Fatalf("epoch after one insert: %d, want %d", s2.epoch, s1.epoch+1)
+	}
+	if d.Epoch() != s2.epoch {
+		t.Fatalf("Epoch() = %d, want %d", d.Epoch(), s2.epoch)
+	}
+	shared, changed := 0, 0
+	for id := range s2.subs {
+		switch {
+		case s1.subs[id] == nil || s2.subs[id] == nil:
+		case s1.subs[id] == s2.subs[id]:
+			shared++
+		default:
+			changed++
+		}
+	}
+	if shared == 0 {
+		t.Error("no clean subtable views shared across epochs: COW is copying the whole device")
+	}
+	// A non-reallocating insert touches one subtable; one reallocation
+	// adds at most one more.
+	if max := 1 + res.Reallocated; changed > max {
+		t.Errorf("%d subtable views rebuilt for an insert touching %d subtables", changed, max)
+	}
+	if s1.subs[res.Subtable] != nil && s1.subs[res.Subtable] == s2.subs[res.Subtable] {
+		t.Errorf("subtable %d received the insert but kept its old view", res.Subtable)
+	}
+
+	if _, err := d.DeleteRule(extra.ID); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if got := d.Epoch(); got != s2.epoch+1 {
+		t.Fatalf("epoch after delete: %d, want %d", got, s2.epoch+1)
+	}
+}
+
+// TestEpochDifferentialVsLegacy replays a seeded ClassBench trace
+// against both classify implementations at several churn points: the
+// lock-free epoch path must answer bit-identically to the retained
+// legacy locked path (lookupLocked over the live arrays), which is the
+// PR's correctness oracle.
+func TestEpochDifferentialVsLegacy(t *testing.T) {
+	rs := classbench.Generate(classbench.Config{Family: classbench.ACL, Size: 200, Seed: 41})
+	d := NewDevice(Config{Subtables: 64, SubtableCapacity: 64, KeyWidth: 160})
+	headers := classbench.PacketTrace(rs, 128, 0.9, 42)
+
+	compare := func(phase string) {
+		t.Helper()
+		for i, h := range headers {
+			k := rules.EncodeHeader(h)
+			e1, ok1 := d.LookupKey(k)
+			e2, ok2 := d.lookupKeyLegacy(k)
+			if ok1 != ok2 || e1.Rank != e2.Rank || e1.Action != e2.Action {
+				t.Fatalf("%s key %d: epoch path %+v/%v != legacy path %+v/%v", phase, i, e1, ok1, e2, ok2)
+			}
+			e3, ok3 := d.lookupHeaderLegacy(h)
+			res := d.LookupHeaderBatch(headers[i:i+1], nil)
+			if res[0].OK != ok3 || res[0].Entry.Rank != e3.Rank || res[0].Entry.Action != e3.Action {
+				t.Fatalf("%s header %d: epoch batch %+v/%v != legacy path %+v/%v", phase, i, res[0].Entry, res[0].OK, e3, ok3)
+			}
+		}
+	}
+
+	compare("empty")
+	half := len(rs.Rules) / 2
+	for _, r := range rs.Rules[:half] {
+		if _, err := d.InsertRule(r); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	compare("half-loaded")
+	for _, r := range rs.Rules[half:] {
+		if _, err := d.InsertRule(r); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	compare("loaded")
+	for i, r := range rs.Rules {
+		if i%3 == 0 {
+			if _, err := d.DeleteRule(r.ID); err != nil {
+				t.Fatalf("delete: %v", err)
+			}
+		}
+	}
+	compare("churned")
+}
+
+// TestEpochChurnVsClassify is the readers-vs-writers stress: reader
+// goroutines classify continuously through every lock-free entry point
+// (plus the snapshot-served accessors) while the writer churns rules,
+// with the auditor and epoch-stamped shadow sampling every lookup.
+// Expectations: no invariant violations, no shadow divergence (the
+// epoch check must suppress stale-snapshot comparisons, not report
+// them), and a consistent device afterwards. Run with -race for the
+// memory-model half of the claim.
+func TestEpochChurnVsClassify(t *testing.T) {
+	rs := classbench.Generate(classbench.Config{Family: classbench.ACL, Size: 150, Seed: 91})
+	d := NewDevice(Config{Subtables: 64, SubtableCapacity: 64, KeyWidth: 160})
+	aud := flightrec.NewAuditor(nil, nil, 64, nil)
+	aud.SetLookupSampleEvery(1)
+	sh := flightrec.NewShadow(swclass.NewLinear(), aud, -1)
+	sh.SetSampleEvery(1)
+	d.AttachAuditor(aud)
+	d.AttachShadow(sh)
+
+	half := len(rs.Rules) / 2
+	for _, r := range rs.Rules[:half] {
+		if _, err := d.InsertRule(r); err != nil {
+			t.Fatalf("preload: %v", err)
+		}
+	}
+	headers := classbench.PacketTrace(rs, 64, 0.9, 92)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var results []LookupResult
+			for !stop.Load() {
+				switch g % 2 {
+				case 0:
+					results = d.LookupHeaderBatch(headers, results[:0])
+				default:
+					results = d.LookupHeaderBatchTraced(nil, headers, results[:0])
+					d.Lookup(headers[g%len(headers)])
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			_ = d.Stats()
+			_ = d.Len()
+			_ = d.ActiveSubtables()
+			_ = d.Epoch()
+		}
+	}()
+
+	for iter := 0; iter < 15; iter++ {
+		for _, r := range rs.Rules[half:] {
+			if _, err := d.InsertRule(r); err != nil {
+				t.Errorf("churn insert: %v", err)
+			}
+		}
+		for _, r := range rs.Rules[half:] {
+			if _, err := d.DeleteRule(r.ID); err != nil {
+				t.Errorf("churn delete: %v", err)
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if got, reason := sh.Desynced(); got {
+		t.Fatalf("shadow desynced during rule-level churn: %s", reason)
+	}
+	if n := aud.TotalViolations(); n != 0 {
+		t.Fatalf("%d invariant violations under churn-vs-classify", n)
+	}
+	if err := d.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -24,6 +24,7 @@ func (d *Device) AttachFlightRecorder(rec *flightrec.Recorder, table int) {
 	defer d.mu.Unlock()
 	d.rec = rec
 	d.frTable = table
+	d.publishLocked() // the snapshot carries frTable for span labels
 }
 
 // AttachAuditor starts reporting invariant check outcomes into aud:
@@ -40,6 +41,7 @@ func (d *Device) AttachAuditor(aud *flightrec.Auditor) {
 	for _, st := range d.subs {
 		st.aud = aud
 	}
+	d.publishLocked() // readers pick up the auditor with the next epoch
 }
 
 // AttachShadow starts mirroring rule-level updates into sh's reference
@@ -49,6 +51,7 @@ func (d *Device) AttachShadow(sh *flightrec.Shadow) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.shadow = sh
+	d.publishLocked() // also stamps sh with the current epoch
 }
 
 // metadataWinner derives the winning subtable from the metadata cache

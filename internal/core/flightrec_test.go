@@ -11,6 +11,22 @@ import (
 	"catcam/internal/ternary"
 )
 
+// republish forces a fresh snapshot publication covering every
+// subtable and the global matrix. The corruption tests below poke
+// fault bits straight into the live arrays — bypassing the update path
+// that normally marks state dirty and republishes — so they must
+// republish by hand before the lock-free lookup path can observe the
+// fault, exactly as a real update touching that state would.
+func republish(d *Device) {
+	d.mu.Lock()
+	for i := range d.dirty {
+		d.dirty[i] = true
+	}
+	d.globalDirty = true
+	d.publishLocked()
+	d.mu.Unlock()
+}
+
 // instrumented attaches a full flight-recorder suite (all sampling at
 // 1-in-1) to a fresh device.
 func instrumented(cfg Config) (*Device, *flightrec.Recorder, *flightrec.Auditor, *flightrec.Shadow) {
@@ -209,6 +225,7 @@ func TestAuditorDetectsCorruptedLocalMatrix(t *testing.T) {
 	row := st.prio.ReadRow(win)
 	row.Clear(lose)
 	st.prio.WriteRow(win, row)
+	republish(d)
 
 	e, ok := d.LookupKey(ternary.MustParseKey("1000"))
 	if !ok || e.Action != 200 {
@@ -241,6 +258,7 @@ func TestAuditorDetectsCorruptedGlobalMatrix(t *testing.T) {
 	row := d.global.ReadRow(top)
 	row.Clear(bottom)
 	d.global.WriteRow(top, row)
+	republish(d)
 
 	e, ok := d.LookupKey(ternary.MustParseKey("1000"))
 	if !ok || e.Action != 103 {

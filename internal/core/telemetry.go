@@ -50,6 +50,7 @@ func (d *Device) AttachTelemetry(reg *telemetry.Registry, ring *telemetry.EventR
 	defer d.mu.Unlock()
 	if reg == nil {
 		d.tel = nil
+		d.publishLocked()
 		return
 	}
 	table := -1
@@ -91,6 +92,7 @@ func (d *Device) AttachTelemetry(reg *telemetry.Registry, ring *telemetry.EventR
 	}
 	d.tel = t
 	t.syncGauges(d)
+	d.publishLocked() // readers pick up the telemetry with the next epoch
 }
 
 // event forwards an event to the ring with the device's table ID.

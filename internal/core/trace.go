@@ -9,10 +9,12 @@ import (
 // batched classify path. Unlike the flight recorder — which the device
 // holds a long-lived pointer to — the trace context arrives *with the
 // request*: LookupHeaderBatchTraced carries one sampled batch's
-// *trace.Trace down into the lookup core, which records one
-// device_lookup span per key plus, for the trace's single focus key,
-// one sram_kernel span per active subtable — the per-subtable search
-// detail /debug/blame aggregates.
+// *trace.Trace down into the lock-free lookup core as arguments, which
+// records one device_lookup span per key plus, for the trace's single
+// focus key, one sram_kernel span per active subtable — the
+// per-subtable search detail /debug/blame aggregates. The span layer
+// rides the same epoch snapshot as the answer it annotates, so a trace
+// can never mix state from two epochs.
 //
 // An untraced call (nil trace, the overwhelmingly common case) takes
 // the exact code path of LookupHeaderBatch with one extra nil test;
@@ -21,11 +23,14 @@ import (
 
 // SetTraceShard sets the cluster shard ID carried on spans this device
 // emits (-1, the default, for a standalone device). The cluster calls
-// this once per shard at construction.
+// this once per shard at construction. Republishes the snapshot so
+// in-flight readers keep their old shard ID and new readers see the
+// new one.
 func (d *Device) SetTraceShard(shard int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.trShard = shard
+	d.publishLocked()
 }
 
 // LookupHeaderBatchTraced is LookupHeaderBatch recording spans for one
@@ -33,38 +38,29 @@ func (d *Device) SetTraceShard(shard int) {
 // the winning subtable and the modeled cycle cost; for the batch's
 // focus key (tr.Focus(), default key 0) the lookup core additionally
 // emits one sram_kernel span per active subtable searched. A nil tr
-// degrades to the untraced path.
+// degrades to the untraced path. Lock-free like every classify entry
+// point.
 //
 //catcam:hotpath
 func (d *Device) LookupHeaderBatchTraced(tr *trace.Trace, hs []rules.Header, dst []LookupResult) []LookupResult {
 	if tr == nil {
 		return d.LookupHeaderBatch(hs, dst)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.trSpan = tr
+	s := d.snap.Load()
+	sc := d.getScratch()
 	focus := tr.Focus()
 	for i, h := range hs {
-		d.trFocus = i == focus
-		d.trKey = i
 		start := trace.Nanos()
-		cyc0 := d.stats.LookupCycles
-		rules.EncodeHeaderInto(&d.scratch.encKey, h)
-		e, ok := d.lookupLocked(d.padKeyScratch(d.scratch.encKey))
-		sub := -1
-		if ok {
-			if loc, found := d.locs[entryKey{ruleID: e.Rank.RuleID, seq: e.Rank.Seq}]; found {
-				sub = loc.st
-			}
-		}
+		cyc0 := sc.lookupCycles
+		rules.EncodeHeaderInto(&sc.encKey, h)
+		e, sub, ok := s.lookup(sc, s.padKey(sc, sc.encKey), tr, i, i == focus)
 		//catcam:allow alloc "sampled trace span; rate-gated off the steady-state path"
-		tr.Span(trace.StageDeviceLookup, d.frTable, d.trShard, sub, i, start, d.stats.LookupCycles-cyc0)
-		if d.shadow.Sample() {
-			d.shadow.Observe(h, e.Action, ok) //catcam:allow alloc "sampled shadow re-classification; rate-gated off the steady-state path"
+		tr.Span(trace.StageDeviceLookup, s.frTable, s.trShard, sub, i, start, sc.lookupCycles-cyc0)
+		if s.shadow.Sample() {
+			s.shadow.ObserveEpoch(h, e.Action, ok, s.epoch) //catcam:allow alloc "sampled shadow re-classification; rate-gated off the steady-state path"
 		}
 		dst = append(dst, LookupResult{Entry: e, OK: ok})
 	}
-	d.trSpan = nil
-	d.trFocus = false
+	d.putScratch(sc, s)
 	return dst
 }

@@ -31,7 +31,21 @@ type Shadow struct {
 	mu       sync.Mutex
 	desynced atomic.Bool
 	reason   string
+
+	// epoch is the device snapshot epoch the reference currently
+	// mirrors. A lock-free reader passes the epoch of the snapshot it
+	// classified against to ObserveEpoch; the comparison is skipped
+	// unless the two agree, so a reader holding an older (or, mid-
+	// update, newer) snapshot than the reference can never report a
+	// false divergence. The device brackets every update with
+	// BeginEpoch (sentinel: comparisons pause) and SetEpoch (the newly
+	// published epoch: comparisons resume).
+	epoch atomic.Uint64
 }
+
+// epochInFlight is the BeginEpoch sentinel: no published snapshot can
+// carry it (epochs count up from zero), so every comparison skips.
+const epochInFlight = ^uint64(0)
 
 // NewShadow wraps a reference classifier for table (use -1 outside a
 // flowtable), reporting mismatches into aud.
@@ -60,6 +74,50 @@ func (s *Shadow) SampleEvery() uint64 {
 // atomic load when off; never allocates. Nil-receiver safe (false).
 func (s *Shadow) Sample() bool {
 	return s != nil && !s.desynced.Load() && s.sampler.Hit()
+}
+
+// BeginEpoch marks a device update in flight: the reference is about
+// to diverge from every published snapshot, so epoch-checked
+// comparisons pause until SetEpoch publishes the new epoch. Called
+// under the device's update serialization, before any mirror call.
+// Nil-receiver safe.
+func (s *Shadow) BeginEpoch() {
+	if s == nil {
+		return
+	}
+	s.epoch.Store(epochInFlight)
+}
+
+// SetEpoch records that the reference now mirrors the device snapshot
+// published as epoch e; epoch-checked comparisons against e resume.
+// Called under the device's update serialization, after the snapshot
+// store. Nil-receiver safe.
+func (s *Shadow) SetEpoch(e uint64) {
+	if s == nil {
+		return
+	}
+	s.epoch.Store(e)
+}
+
+// ObserveEpoch is Observe for lock-free readers: it re-classifies the
+// header only when the reference still mirrors exactly the snapshot
+// epoch the device's answer came from, and silently skips otherwise
+// (the race is benign — a concurrent update retired the reader's
+// epoch, so comparing would measure staleness, not correctness). The
+// epoch test happens under the shadow mutex, which also orders it
+// against mirror calls. Nil-receiver safe.
+func (s *Shadow) ObserveEpoch(h rules.Header, action int, ok bool, epoch uint64) {
+	if s == nil || s.desynced.Load() {
+		return
+	}
+	s.mu.Lock()
+	if s.epoch.Load() != epoch {
+		s.mu.Unlock()
+		return
+	}
+	refAction, refOK, _ := s.ref.Lookup(h)
+	s.mu.Unlock()
+	s.check(h, action, ok, refAction, refOK)
 }
 
 // OnInsert mirrors a successful device insert. A mirror failure
@@ -124,6 +182,12 @@ func (s *Shadow) Observe(h rules.Header, action int, ok bool) {
 	s.mu.Lock()
 	refAction, refOK, _ := s.ref.Lookup(h)
 	s.mu.Unlock()
+	s.check(h, action, ok, refAction, refOK)
+}
+
+// check reports one device-vs-reference comparison as an
+// InvShadowMatch outcome.
+func (s *Shadow) check(_ rules.Header, action int, ok bool, refAction int, refOK bool) {
 	match := refOK == ok && (!ok || refAction == action)
 	s.aud.Check(InvShadowMatch, match, func() Violation {
 		return Violation{

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
 
 	"catcam/internal/cluster"
 	"catcam/internal/core"
@@ -92,26 +93,34 @@ type TableConfig struct {
 	Miss   MissPolicy
 	// Shards, when >= 2, backs this table with a sharded cluster of
 	// identical devices instead of a single one; Partition selects the
-	// cluster's partition scheme.
-	Shards    int
-	Partition cluster.Mode
+	// cluster's partition scheme and FanWorkers its per-shard classify
+	// worker count (see cluster.Config.FanWorkers).
+	Shards     int
+	Partition  cluster.Mode
+	FanWorkers int
 }
 
 // Pipeline is an ordered set of flow tables.
 //
-// Pipeline methods are not safe for concurrent use: the classify paths
-// share per-pipeline scratch buffers so steady-state classification
-// allocates nothing. (The backing devices individually remain safe for
-// concurrent use.)
+// The classify paths (Classify, ClassifyBatch, ClassifyBatchTraced)
+// are safe for concurrent use — each call checks its working set out
+// of a sync.Pool, the instruction map is read under a shared lock, and
+// the backing devices classify lock-free — and may also run
+// concurrently with Install/Remove. Construction-time wiring
+// (Attach*, Close) still requires a quiescent pipeline.
 type Pipeline struct {
 	tables map[int]*table
 	order  []int
+	// instrMu guards instr: classify holds the read side for the
+	// duration of one traversal, Install/Remove the write side.
+	instrMu sync.RWMutex
 	// instr maps (tableID, ruleID) to the rule's instruction.
-	instr map[[2]int]Instruction
+	instr map[[2]int]Instruction //catcam:guarded-by instrMu
 	// tel is the attached runtime telemetry; nil until AttachTelemetry.
 	tel *pipelineTelemetry
-	// scratch backs the allocation-free classify paths.
-	scratch classifyScratch
+	// scratchPool recycles classifyScratch working sets so concurrent
+	// steady-state classification allocates nothing.
+	scratchPool sync.Pool
 }
 
 // classifyScratch is the reusable working set of Classify/ClassifyBatch.
@@ -237,13 +246,17 @@ func NewPipeline(configs []TableConfig) (*Pipeline, error) {
 		tables: make(map[int]*table, len(configs)),
 		instr:  make(map[[2]int]Instruction),
 	}
+	p.scratchPool.New = func() any { return new(classifyScratch) }
 	for _, c := range configs {
 		if _, dup := p.tables[c.ID]; dup {
 			return nil, fmt.Errorf("flowtable: duplicate table %d", c.ID)
 		}
 		var dev Backend
 		if c.Shards >= 2 {
-			dev = cluster.New(cluster.Config{Shards: c.Shards, Mode: c.Partition, Device: c.Device})
+			dev = cluster.New(cluster.Config{
+				Shards: c.Shards, Mode: c.Partition, Device: c.Device,
+				FanWorkers: c.FanWorkers,
+			})
 		} else {
 			dev = core.NewDevice(c.Device)
 		}
@@ -303,7 +316,9 @@ func (p *Pipeline) Install(tableID int, fr FlowRule) (core.UpdateResult, error) 
 	if err != nil {
 		return res, err
 	}
+	p.instrMu.Lock()
 	p.instr[[2]int{tableID, fr.Rule.ID}] = fr.Instruction
+	p.instrMu.Unlock()
 	return res, nil
 }
 
@@ -317,7 +332,9 @@ func (p *Pipeline) Remove(tableID, ruleID int) (core.UpdateResult, error) {
 	if err != nil {
 		return res, err
 	}
+	p.instrMu.Lock()
 	delete(p.instr, [2]int{tableID, ruleID})
+	p.instrMu.Unlock()
 	return res, nil
 }
 
@@ -349,6 +366,10 @@ func (p *Pipeline) Classify(h rules.Header) (int, []Trace, error) {
 }
 
 func (p *Pipeline) classify(h rules.Header) (int, []Trace, error) {
+	s := p.scratchPool.Get().(*classifyScratch)
+	defer p.scratchPool.Put(s)
+	p.instrMu.RLock()
+	defer p.instrMu.RUnlock()
 	var traces []Trace
 	idx := 0 // position in p.order
 	for steps := 0; steps <= len(p.order); steps++ {
@@ -358,9 +379,9 @@ func (p *Pipeline) classify(h rules.Header) (int, []Trace, error) {
 		}
 		id := p.order[idx]
 		t := p.tables[id]
-		p.scratch.hdr1[0] = h
-		p.scratch.results = t.dev.LookupHeaderBatch(p.scratch.hdr1[:], p.scratch.results[:0])
-		ent, ok := p.scratch.results[0].Entry, p.scratch.results[0].OK
+		s.hdr1[0] = h
+		s.results = t.dev.LookupHeaderBatch(s.hdr1[:], s.results[:0])
+		ent, ok := s.results[0].Entry, s.results[0].OK
 		if !ok {
 			t.misses.Inc()
 			traces = append(traces, Trace{TableID: id, RuleID: -1, Action: t.cfg.Miss.MissAction})
@@ -392,11 +413,12 @@ func (p *Pipeline) classify(h rules.Header) (int, []Trace, error) {
 // action per header to dst (in input order), returning it. Because
 // goto-table is strictly forward, the whole batch is processed in one
 // ascending sweep over the tables: at each table, every packet
-// currently parked there is looked up in a single batched device call,
-// and survivors move strictly forward. Each table's device lock is
-// taken once per wave rather than once per packet, and with a reused
-// dst the call allocates nothing at steady state. Traces are not
-// collected; use Classify for per-packet diagnostics.
+// currently parked there is looked up in a single batched device call
+// (lock-free on the device side), and survivors move strictly
+// forward. Safe for concurrent use — each call checks its own working
+// set out of the pipeline's scratch pool — and with a reused dst the
+// call allocates nothing at steady state. Traces are not collected;
+// use Classify for per-packet diagnostics.
 func (p *Pipeline) ClassifyBatch(hs []rules.Header, dst []int) []int {
 	return p.ClassifyBatchTraced(nil, hs, dst)
 }
@@ -412,7 +434,10 @@ func (p *Pipeline) ClassifyBatch(hs []rules.Header, dst []int) []int {
 // cluster batch lookups underneath.)
 func (p *Pipeline) ClassifyBatchTraced(tr *tracepkg.Trace, hs []rules.Header, dst []int) []int {
 	base := len(dst)
-	s := &p.scratch
+	s := p.scratchPool.Get().(*classifyScratch)
+	defer p.scratchPool.Put(s)
+	p.instrMu.RLock()
+	defer p.instrMu.RUnlock()
 	s.cur, s.depth = s.cur[:0], s.depth[:0]
 	for range hs {
 		dst = append(dst, Drop) // packets that fall off the end drop

@@ -485,23 +485,24 @@ func (t *TernaryArray) SearchInto(dst *bitvec.Vector, k ternary.Key) *bitvec.Vec
 	acc := t.acc
 	copy(acc, t.valid.Words())
 	if t.rowWords == 4 {
-		t.kernel4(k.Words())
+		kernel4(k.Words(), acc, t.planeValue, t.planeCare, t.careAny)
 	} else {
-		t.kernelN(k.Words())
+		kernelN(k.Words(), acc, t.planeValue, t.planeCare, t.careAny, t.rowWords)
 	}
 	return dst.LoadWords(acc)
 }
 
 // kernel4 is the match kernel specialized for 256-entry subtables
 // (four accumulator words, the paper's geometry): the accumulator
-// stays in registers across the whole search.
+// stays in registers across the whole search. It is a free function
+// over raw plane slices so the live array and the immutable snapshot
+// views (view.go) share one kernel.
 //
 //catcam:hotpath
-func (t *TernaryArray) kernel4(kw []uint64) {
-	acc, pv, pc := t.acc, t.planeValue, t.planeCare
+func kernel4(kw, acc, pv, pc, careAny []uint64) {
 	a0, a1, a2, a3 := acc[0], acc[1], acc[2], acc[3]
-	for pw := len(t.careAny) - 1; pw >= 0; pw-- {
-		ca := t.careAny[pw]
+	for pw := len(careAny) - 1; pw >= 0; pw-- {
+		ca := careAny[pw]
 		if ca == 0 {
 			continue
 		}
@@ -530,10 +531,9 @@ func (t *TernaryArray) kernel4(kw []uint64) {
 // kernelN is the generic-width match kernel.
 //
 //catcam:hotpath
-func (t *TernaryArray) kernelN(kw []uint64) {
-	acc, pv, pc, rw := t.acc, t.planeValue, t.planeCare, t.rowWords
-	for pw := len(t.careAny) - 1; pw >= 0; pw-- {
-		ca := t.careAny[pw]
+func kernelN(kw, acc, pv, pc, careAny []uint64, rw int) {
+	for pw := len(careAny) - 1; pw >= 0; pw-- {
+		ca := careAny[pw]
 		if ca == 0 {
 			continue
 		}

@@ -1,0 +1,139 @@
+package sram
+
+import (
+	"fmt"
+	"math/bits"
+
+	"catcam/internal/bitvec"
+	"catcam/internal/ternary"
+)
+
+// This file holds the immutable read-side views of the two array
+// flavours. A view is a frozen copy of exactly the state a search
+// touches — bit-sliced match planes and the valid mask for the ternary
+// array, the row bits for a priority matrix — built under the writer's
+// lock by SnapshotView and then shared, unsynchronized, by any number
+// of concurrent readers. Every slice is copied at construction: a view
+// never aliases live array storage, so an in-place update to the array
+// can never tear a reader traversing an already-published view.
+//
+// Views carry no Stats of their own (they are shared across
+// goroutines); search and decision accounting accumulates into a
+// caller-provided *Stats, which the read path keeps in per-goroutine
+// scratch and flushes to device-level atomics per batch.
+
+// TernaryView is an immutable snapshot of a TernaryArray's search
+// state. All fields are written only at construction.
+type TernaryView struct {
+	params     Params
+	subarrays  int
+	rowWords   int
+	planeValue []uint64 //catcam:immutable
+	planeCare  []uint64 //catcam:immutable
+	careAny    []uint64 //catcam:immutable
+	validWords []uint64 //catcam:immutable
+	validCount int
+}
+
+// SnapshotView freezes the array's current search state into an
+// immutable view. Every mutable slice is copied; the returned view
+// stays valid (and constant) across later writes to the array. Not a
+// modeled hardware access: no cycle or energy accounting.
+func (t *TernaryArray) SnapshotView() *TernaryView {
+	return &TernaryView{
+		params:     t.params,
+		subarrays:  t.subarrays,
+		rowWords:   t.rowWords,
+		planeValue: append([]uint64(nil), t.planeValue...),
+		planeCare:  append([]uint64(nil), t.planeCare...),
+		careAny:    append([]uint64(nil), t.careAny...),
+		validWords: append([]uint64(nil), t.valid.Words()...),
+		validCount: t.validCount,
+	}
+}
+
+// Rows returns the entry capacity.
+func (v *TernaryView) Rows() int { return v.params.Rows }
+
+// RowWords returns the accumulator length SearchInto requires.
+func (v *TernaryView) RowWords() int { return v.rowWords }
+
+// ValidCount returns the number of valid entries at snapshot time.
+func (v *TernaryView) ValidCount() int { return v.validCount }
+
+// SearchInto runs the bit-sliced match kernel over the frozen planes,
+// depositing the match vector into dst (Rows bits). acc is the
+// caller's accumulator scratch of RowWords length — the view is shared
+// between goroutines, so unlike the live array it cannot own one.
+// Cycle and energy accounting is identical to TernaryArray.SearchInto
+// but lands in st, the caller's private accumulator.
+//
+//catcam:hotpath
+func (v *TernaryView) SearchInto(dst *bitvec.Vector, acc []uint64, k ternary.Key, st *Stats) *bitvec.Vector {
+	if k.Width() != v.params.Cols*v.subarrays {
+		panic(fmt.Sprintf("sram: key width %d != %d", k.Width(), v.params.Cols*v.subarrays))
+	}
+	acc = acc[:v.rowWords]
+	st.Cycles++
+	st.Searches++
+	st.EnergyFJ += float64(v.subarrays) * v.params.ComputeEnergyFJ(v.validCount)
+
+	copy(acc, v.validWords)
+	if v.rowWords == 4 {
+		kernel4(k.Words(), acc, v.planeValue, v.planeCare, v.careAny)
+	} else {
+		kernelN(k.Words(), acc, v.planeValue, v.planeCare, v.careAny, v.rowWords)
+	}
+	return dst.LoadWords(acc)
+}
+
+// MatrixView is an immutable snapshot of a square priority matrix:
+// row r occupies words [r*rowWords, (r+1)*rowWords) of the flat rows
+// slice. All fields are written only at construction.
+type MatrixView struct {
+	params   Params
+	rowWords int
+	rows     []uint64 //catcam:immutable
+}
+
+// SnapshotView freezes the matrix's current contents into an immutable
+// view. Rows are copied into one flat slice; later WriteRow/WriteColumn
+// calls on the array cannot reach it. Not a modeled hardware access.
+func (a *Array) SnapshotView() *MatrixView {
+	if a.params.Rows != a.params.Cols {
+		panic("sram: MatrixView requires a square array")
+	}
+	rowWords := (a.params.Cols + 63) / 64
+	v := &MatrixView{params: a.params, rowWords: rowWords, rows: make([]uint64, a.params.Rows*rowWords)}
+	for r, row := range a.rows {
+		copy(v.rows[r*rowWords:(r+1)*rowWords], row.Words())
+	}
+	return v
+}
+
+// Rows returns the matrix dimension.
+func (v *MatrixView) Rows() int { return v.params.Rows }
+
+// ColumnNORInto runs the in-memory priority decision over the frozen
+// rows: identical semantics and accounting to Array.ColumnNORInto,
+// with the statistics landing in st, the caller's private accumulator.
+//
+//catcam:hotpath
+func (v *MatrixView) ColumnNORInto(dst, active *bitvec.Vector, st *Stats) *bitvec.Vector {
+	if active.Len() != v.params.Rows {
+		panic(fmt.Sprintf("sram: active vector length %d != %d", active.Len(), v.params.Rows))
+	}
+	st.Cycles++
+	st.NOROps++
+	st.EnergyFJ += v.params.ComputeEnergyFJ(active.Count())
+
+	dst.CopyFrom(active)
+	for wi, w := range active.Words() {
+		for w != 0 {
+			r := wi*64 + bits.TrailingZeros64(w)
+			dst.AndNotWords(v.rows[r*v.rowWords : (r+1)*v.rowWords])
+			w &= w - 1
+		}
+	}
+	return dst
+}
