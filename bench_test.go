@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"catcam"
 	"catcam/internal/bench"
@@ -16,6 +17,8 @@ import (
 	"catcam/internal/cluster"
 	"catcam/internal/metrics"
 	"catcam/internal/rules"
+	"catcam/internal/stateobs"
+	"catcam/internal/telemetry"
 )
 
 // benchWorkload is shared across update-cost benchmarks.
@@ -181,7 +184,10 @@ func BenchmarkOccupancy(b *testing.B) {
 }
 
 // BenchmarkDeviceLookup measures the functional simulator's raw lookup
-// speed (host-side, not modelled hardware time).
+// speed (host-side, not modelled hardware time), with the state
+// observatory attached and sweeping concurrently: structural sampling
+// rides the published snapshot, so the classify path must stay at zero
+// allocations and the reported allocs/op must stay 0.
 func BenchmarkDeviceLookup(b *testing.B) {
 	// ACL rules range-expand ~2.5x and random-order load fragments
 	// intervals, so use the prototype's 64K-entry geometry.
@@ -192,6 +198,26 @@ func BenchmarkDeviceLookup(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	obs := stateobs.New(dev, stateobs.Config{RingFrames: 4})
+	obs.AttachTelemetry(telemetry.NewRegistry(), nil)
+	for i := 0; i < 4; i++ { // warm every ring slot's fill row
+		obs.Sweep(time.Now())
+	}
+	time.Sleep(time.Millisecond) // warm this goroutine's runtime timer
+	stop := make(chan struct{})
+	swept := make(chan struct{})
+	go func() {
+		defer close(swept)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				obs.Sweep(time.Now())
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
 	headers := classbench.PacketTrace(rs, 1024, 0.9, 6)
 	dev.Lookup(headers[0]) // warm the lookup scratch
 	b.ReportAllocs()
@@ -199,6 +225,9 @@ func BenchmarkDeviceLookup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		dev.Lookup(headers[i%len(headers)])
 	}
+	b.StopTimer()
+	close(stop)
+	<-swept
 }
 
 // BenchmarkDeviceLookupBatch is BenchmarkDeviceLookup through the

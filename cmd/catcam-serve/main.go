@@ -26,6 +26,11 @@
 //	                JSON — load directly in Perfetto (?trace=<hex id>)
 //	/debug/blame    tail-latency attribution: the slowest traces
 //	                decomposed by stage and shard/subtable self-time
+//	/debug/state    state observatory: per-subtable structural metrics
+//	                (occupancy, fragmentation index, care density,
+//	                eviction pressure, write pressure), epoch-churn
+//	                accounting, the capacity forecast, and the ring
+//	                replayed as a subtable × time heatmap
 //	/debug/audit    invariant auditor report (checks, violations, sweeps)
 //	/debug/vars     expvar (includes the telemetry snapshot)
 //	/debug/pprof/   net/http/pprof profiles
@@ -40,7 +45,8 @@
 //	             [-audit-interval 0] [-shadow-every 0] [-duration 0]
 //	             [-span-every 0] [-span-ring 256] [-slo-interval 5s]
 //	             [-slo-latency-ns 1048576] [-escalation-window 30s]
-//	             [-final-dir ""]
+//	             [-state-interval 5s] [-state-horizon 10m]
+//	             [-state-ring 360] [-final-dir ""]
 //
 // The churn loop mirrors the paper's update methodology: inserts and
 // deletes split evenly so the table stays near its provisioned
@@ -78,8 +84,18 @@
 // escalation raises every sampling knob (span traces, causal traces,
 // inline audits, shadows) to 1-in-1 and captures a CPU profile for
 // -escalation-window, then restores the configured rates. -final-dir D
-// writes metrics.json, slo.json and timeline.json there at shutdown for
-// CI artifact upload.
+// writes metrics.json, slo.json, timeline.json and state.json there at
+// shutdown for CI artifact upload.
+//
+// The state observatory sweeps the engine's published snapshot every
+// -state-interval (lock-free — never the device mutex), recording
+// per-subtable structure into a ring of -state-ring frames served at
+// /debug/state and mirrored into catcam_state_* metrics. Its linear
+// capacity forecaster projects time-to-fill and time-to-fragmentation-
+// stall; when either falls inside -state-horizon the sweep counts as a
+// bad event on the fourth SLO objective, capacity_headroom, so a
+// confirmed capacity burn pages through the same escalation path as a
+// latency burn.
 //
 // SIGINT or SIGTERM triggers a graceful shutdown in either mode: the
 // churn loop drains, background sweepers and the rebalancer stop, one
@@ -112,6 +128,7 @@ import (
 	"catcam/internal/flightrec"
 	"catcam/internal/rules"
 	"catcam/internal/slo"
+	"catcam/internal/stateobs"
 	"catcam/internal/swclass"
 	"catcam/internal/telemetry"
 	"catcam/internal/trace"
@@ -146,7 +163,12 @@ type options struct {
 	sloInterval  time.Duration
 	sloLatencyNs uint64
 	escWindow    time.Duration
-	finalDir     string
+
+	stateInterval time.Duration
+	stateHorizon  time.Duration
+	stateRing     int
+
+	finalDir string
 }
 
 func main() {
@@ -175,7 +197,10 @@ func main() {
 	flag.DurationVar(&o.sloInterval, "slo-interval", 5*time.Second, "SLO sample/evaluate period")
 	flag.Uint64Var(&o.sloLatencyNs, "slo-latency-ns", 1<<20, "classify-batch latency budget for the p999 objective (ns)")
 	flag.DurationVar(&o.escWindow, "escalation-window", 30*time.Second, "how long an SLO burn holds sampling at 100% and the CPU profile running")
-	flag.StringVar(&o.finalDir, "final-dir", "", "write metrics.json, slo.json and timeline.json here at shutdown")
+	flag.DurationVar(&o.stateInterval, "state-interval", 5*time.Second, "state observatory sweep period")
+	flag.DurationVar(&o.stateHorizon, "state-horizon", 10*time.Minute, "capacity-headroom horizon: forecast time-to-fill/time-to-stall inside it burns the capacity SLO")
+	flag.IntVar(&o.stateRing, "state-ring", 360, "state observatory frame ring capacity")
+	flag.StringVar(&o.finalDir, "final-dir", "", "write metrics.json, slo.json, timeline.json and state.json here at shutdown")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -196,6 +221,8 @@ type engine interface {
 	AttachAuditor(aud *flightrec.Auditor)
 	AuditSweep() flightrec.SweepInfo
 	ResetStats()
+	DeriveStructure(dst *core.Structure) *core.Structure
+	OnStatsReset(fn func())
 }
 
 func run(o options) error {
@@ -237,6 +264,16 @@ func run(o options) error {
 		eng = dev
 	}
 	eng.AttachTelemetry(reg, ring, nil)
+
+	// State observatory: lock-free structural sweeps over the published
+	// epoch snapshot, mirrored into catcam_state_* metrics and served at
+	// /debug/state. Its Reset rides the engine's stats-reset hook, so the
+	// post-bulk-load ResetStats below also clears the frame ring.
+	obs := stateobs.New(eng, stateobs.Config{
+		RingFrames: o.stateRing,
+		Horizon:    o.stateHorizon,
+	})
+	obs.AttachTelemetry(reg, nil)
 
 	// Flight recorder: causal traces, the invariant auditor (always
 	// attached so a corrupted decision is reported rather than fatal),
@@ -322,6 +359,11 @@ func run(o options) error {
 	if cl != nil && o.rebalance > 0 {
 		stopRebal = cl.StartRebalancer(o.rebalance, o.rebalanceBatch)
 	}
+	bgWG.Add(1)
+	go func() {
+		defer bgWG.Done()
+		obs.Run(o.stateInterval, sweepDone)
+	}()
 
 	// SLO engine: three objectives over the serving telemetry, gated on
 	// fast/slow burn windows. A confirmed burn triggers the bounded
@@ -400,6 +442,12 @@ func run(o options) error {
 		Source:      func() (uint64, uint64) { return aud.TotalViolations(), aud.TotalChecks() },
 	})
 	sloEng.Add(slo.Objective{
+		Name:        "capacity_headroom",
+		Description: fmt.Sprintf("99.9%% of capacity-forecast sweeps project headroom beyond %s", o.stateHorizon),
+		Target:      0.999,
+		Source:      obs.HeadroomSource(),
+	})
+	sloEng.Add(slo.Objective{
 		Name:        "shadow_divergence",
 		Description: "99.99% of shadow-classified lookups match the software reference",
 		Target:      0.9999,
@@ -433,21 +481,23 @@ func run(o options) error {
 	http.Handle("/slo", sloEng.Handler())
 	http.Handle("/debug/timeline", tracer.TimelineHandler())
 	http.Handle("/debug/blame", tracer.BlameHandler())
+	http.Handle("/debug/state", obs.Handler())
 	http.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		body := map[string]any{
-			"status":           "ok",
-			"uptime_seconds":   time.Since(start).Seconds(),
-			"workload":         fmt.Sprintf("%s %d", fam, o.size),
-			"events_emitted":   ring.Total(),
-			"audit_checks":     aud.TotalChecks(),
-			"audit_violations": aud.TotalViolations(),
-			"traces_recorded":  rec.Total(),
-			"span_traces":      tracer.Total(),
-			"slo_healthy":      sloEng.Healthy(),
-			"escalations":      esc.Count(),
-			"escalation_live":  esc.Active(),
-			"shards":           o.shards,
+			"status":            "ok",
+			"uptime_seconds":    time.Since(start).Seconds(),
+			"workload":          fmt.Sprintf("%s %d", fam, o.size),
+			"events_emitted":    ring.Total(),
+			"audit_checks":      aud.TotalChecks(),
+			"audit_violations":  aud.TotalViolations(),
+			"traces_recorded":   rec.Total(),
+			"span_traces":       tracer.Total(),
+			"slo_healthy":       sloEng.Healthy(),
+			"capacity_headroom": obs.Forecast().HeadroomOK,
+			"escalations":       esc.Count(),
+			"escalation_live":   esc.Active(),
+			"shards":            o.shards,
 		}
 		if cl != nil {
 			passes, moved := cl.RebalanceStats()
@@ -481,7 +531,7 @@ func run(o options) error {
 	}
 	fmt.Printf("catcam-serve: %s %d rules on %s, churn %d updates/s\n",
 		fam, o.size, engDesc, o.rate)
-	fmt.Printf("catcam-serve: listening on %s (/metrics /metrics.json /events /healthz /slo /debug/trace /debug/timeline /debug/blame /debug/audit /debug/vars /debug/pprof)\n", o.addr)
+	fmt.Printf("catcam-serve: listening on %s (/metrics /metrics.json /events /healthz /slo /debug/trace /debug/timeline /debug/blame /debug/state /debug/audit /debug/vars /debug/pprof)\n", o.addr)
 
 	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSig()
@@ -519,10 +569,12 @@ func run(o options) error {
 			passes, moved, cl.ShardEntries())
 	}
 
-	// Final flush: one last SLO evaluation over the quiescent counters,
-	// then the combined telemetry+SLO snapshot to stdout, and (for CI
-	// artifact upload) the metrics, SLO and timeline JSON to -final-dir.
+	// Final flush: one last structural sweep and SLO evaluation over the
+	// quiescent counters, then the combined telemetry+SLO snapshot to
+	// stdout, and (for CI artifact upload) the metrics, SLO, timeline
+	// and state JSON to -final-dir.
 	finalNow := time.Now()
+	obs.Sweep(finalNow)
 	sloEng.Sample(finalNow)
 	sloStatus := sloEng.Evaluate(finalNow)
 	if sloStatus.Healthy {
@@ -537,7 +589,7 @@ func run(o options) error {
 		fmt.Fprintln(os.Stderr, "catcam-serve: telemetry flush:", err)
 	}
 	if o.finalDir != "" {
-		if err := writeFinalArtifacts(o.finalDir, snap, sloStatus, tracer); err != nil {
+		if err := writeFinalArtifacts(o.finalDir, snap, sloStatus, tracer, obs.Report(finalNow)); err != nil {
 			fmt.Fprintln(os.Stderr, "catcam-serve: final artifacts:", err)
 		} else {
 			fmt.Printf("catcam-serve: final artifacts written to %s\n", o.finalDir)
@@ -552,9 +604,10 @@ func run(o options) error {
 }
 
 // writeFinalArtifacts dumps the shutdown state for CI upload: the full
-// metrics snapshot, the SLO status, and every retained span trace as a
-// Perfetto-loadable timeline.
-func writeFinalArtifacts(dir string, snap any, st slo.Status, tracer *trace.Tracer) error {
+// metrics snapshot, the SLO status, every retained span trace as a
+// Perfetto-loadable timeline, and the state observatory's report (the
+// capacity forecast plus the structural heatmap over the run).
+func writeFinalArtifacts(dir string, snap any, st slo.Status, tracer *trace.Tracer, state *stateobs.Report) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -575,6 +628,9 @@ func writeFinalArtifacts(dir string, snap any, st slo.Status, tracer *trace.Trac
 		return err
 	}
 	if err := writeJSON("slo.json", st); err != nil {
+		return err
+	}
+	if err := writeJSON("state.json", state); err != nil {
 		return err
 	}
 	f, err := os.Create(filepath.Join(dir, "timeline.json"))

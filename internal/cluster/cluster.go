@@ -153,6 +153,13 @@ type Cluster struct {
 	rebalMu     sync.Mutex
 	rebalPasses uint64 //catcam:guarded-by rebalMu
 	rebalMoved  uint64 //catcam:guarded-by rebalMu
+
+	// structMu serializes DeriveStructure's per-shard scratch buffers;
+	// hookMu guards the stats-reset observer list (see structure.go).
+	structMu     sync.Mutex
+	shardStructs []core.Structure //catcam:guarded-by structMu
+	hookMu       sync.Mutex
+	resetHooks   []func() //catcam:guarded-by hookMu
 }
 
 // shard is one device plus its fan-out worker plumbing.
@@ -630,10 +637,17 @@ func (c *Cluster) Stats() core.Stats {
 	return total
 }
 
-// ResetStats zeroes every shard's statistics and telemetry.
+// ResetStats zeroes every shard's statistics and telemetry, then runs
+// the cluster-level reset observers (see OnStatsReset).
 func (c *Cluster) ResetStats() {
 	for _, s := range c.shards {
 		s.dev.ResetStats()
+	}
+	c.hookMu.Lock()
+	hooks := append([]func(){}, c.resetHooks...)
+	c.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn()
 	}
 }
 

@@ -162,6 +162,12 @@ type Device struct {
 	// under mu, lookup counters are flushed from read scratches, and
 	// Stats() reads everything without taking the lock.
 	stats deviceStats
+	// churn accumulates epoch-publication and scratch-pool accounting
+	// for the state observatory; atomic for lock-free derivation.
+	churn epochChurn
+	// resetHooks run (under mu) after ResetStats/ResetArrayStats zero
+	// the device-side counters; see OnStatsReset.
+	resetHooks []func() //catcam:guarded-by mu
 	// tel is the attached runtime telemetry; nil until AttachTelemetry.
 	// Written under mu; the read path uses the snapshot's copy.
 	tel *deviceTelemetry //catcam:guarded-by mu
@@ -280,7 +286,11 @@ func (d *Device) ResetStats() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.stats.reset()
+	d.churn.reset()
 	d.resetTelemetry()
+	for _, fn := range d.resetHooks {
+		fn()
+	}
 }
 
 // Len returns the number of stored entries (post range expansion), as
@@ -996,7 +1006,10 @@ func (d *Device) ArrayStats() (match, prio, global sram.Stats) {
 }
 
 // ResetArrayStats zeroes every array's counters, the lock-free path's
-// accumulators, and any attached telemetry.
+// accumulators, and any attached telemetry, then republishes so the
+// write-pressure stamps riding the epoch snapshot reset with them — a
+// structural derivation after the reset sees zeroed pressure, not the
+// last epoch's stale stamps.
 func (d *Device) ResetArrayStats() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -1008,6 +1021,14 @@ func (d *Device) ResetArrayStats() {
 	d.rdPrio.reset()
 	d.rdGlobal.reset()
 	d.resetTelemetry()
+	for _, id := range d.order {
+		d.dirty[id] = true
+	}
+	d.globalDirty = true
+	d.publishLocked()
+	for _, fn := range d.resetHooks {
+		fn()
+	}
 }
 
 // Occupancy returns stored entries / total slots, as of the last

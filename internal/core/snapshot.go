@@ -53,17 +53,31 @@ type subtableView struct {
 	prio    *sram.MatrixView  //catcam:immutable
 	ranks   []Rank            //catcam:immutable
 	actions []int             //catcam:immutable
+
+	// Write-pressure stamps: the live arrays' cumulative write counters
+	// at view-construction time. Array writes happen only under d.mu and
+	// mark the subtable dirty, so a pointer-shared clean view always
+	// carries the subtable's current write totals — the state
+	// observatory reads P-matrix row/column pressure from the published
+	// epoch without ever touching the device mutex.
+	matchRowWrites uint64 //catcam:immutable
+	prioRowWrites  uint64 //catcam:immutable
+	prioColWrites  uint64 //catcam:immutable
 }
 
 // snapshotView freezes the subtable's current read state. Caller holds
 // d.mu.
 func (st *Subtable) snapshotView() *subtableView {
+	match, prio := st.Stats()
 	return &subtableView{
-		id:      st.id,
-		match:   st.match.SnapshotView(),
-		prio:    st.prio.SnapshotView(),
-		ranks:   append([]Rank(nil), st.store.ranks...),
-		actions: append([]int(nil), st.actions...),
+		id:             st.id,
+		match:          st.match.SnapshotView(),
+		prio:           st.prio.SnapshotView(),
+		ranks:          append([]Rank(nil), st.store.ranks...),
+		actions:        append([]int(nil), st.actions...),
+		matchRowWrites: match.RowWrites,
+		prioRowWrites:  prio.RowWrites,
+		prioColWrites:  prio.ColWrites,
 	}
 }
 
@@ -120,6 +134,12 @@ type snapshot struct {
 	global *sram.MatrixView //catcam:immutable
 	count  int              // stored entries (len of the locator map)
 
+	// Global-matrix write-pressure stamps at publish time (the matrix's
+	// own counters are mutated only under d.mu, so they ride the epoch
+	// for lock-free structural derivation).
+	globalRowWrites uint64 //catcam:immutable
+	globalColWrites uint64 //catcam:immutable
+
 	// Instruments ride the snapshot so readers never touch mutable
 	// device fields; all nil-safe, internally synchronized.
 	aud     *flightrec.Auditor
@@ -155,19 +175,29 @@ func (d *Device) publishLocked() {
 	for _, id := range d.order {
 		if old != nil && !d.dirty[id] && old.subs[id] != nil {
 			s.subs[id] = old.subs[id] //catcam:allow immutable "snapshot under construction; unpublished until the final Store"
+			d.churn.viewsShared.Add(1)
 			continue
 		}
 		s.subs[id] = d.subs[id].snapshotView() //catcam:allow immutable "snapshot under construction; unpublished until the final Store"
+		d.churn.viewsRebuilt.Add(1)
 	}
 	if old != nil && !d.globalDirty {
 		s.global = old.global //catcam:allow immutable "snapshot under construction; unpublished until the final Store"
 	} else {
 		s.global = d.global.SnapshotView() //catcam:allow immutable "snapshot under construction; unpublished until the final Store"
+		d.churn.globalRebuilds.Add(1)
 	}
+	gstats := d.global.Stats()
+	s.globalRowWrites = gstats.RowWrites //catcam:allow immutable "snapshot under construction; unpublished until the final Store"
+	s.globalColWrites = gstats.ColWrites //catcam:allow immutable "snapshot under construction; unpublished until the final Store"
 	for i := range d.dirty {
 		d.dirty[i] = false
 	}
 	d.globalDirty = false
+	d.churn.publishes.Add(1)
+	if t := d.tel; t != nil {
+		t.epochG.Set(int64(s.epoch))
+	}
 	d.snap.Store(s)
 	// Readers holding this epoch may now compare against the shadow
 	// reference again (BeginEpoch paused comparisons for the update).
@@ -207,6 +237,7 @@ type readScratch struct {
 }
 
 func (d *Device) newReadScratch() *readScratch {
+	d.churn.scratchAllocs.Add(1)
 	return &readScratch{
 		encKey:      ternary.NewKey(rules.TupleBits),
 		padKey:      ternary.NewKey(d.cfg.KeyWidth),
@@ -233,6 +264,7 @@ func (d *Device) getScratch() *readScratch {
 //
 //catcam:hotpath
 func (d *Device) putScratch(sc *readScratch, s *snapshot) {
+	d.churn.scratchBatches.Add(1)
 	d.stats.lookups.Add(sc.lookups)
 	d.stats.lookupCycles.Add(sc.lookupCycles)
 	if t := s.tel; t != nil {

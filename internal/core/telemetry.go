@@ -20,6 +20,7 @@ type deviceTelemetry struct {
 	chainDepth   *telemetry.Histogram
 	activeSubs   *telemetry.Gauge
 	entries      *telemetry.Gauge
+	epochG       *telemetry.Gauge
 	ring         *telemetry.EventRing
 	table        int // flowtable ID carried on events; -1 standalone
 }
@@ -68,8 +69,10 @@ func (d *Device) AttachTelemetry(reg *telemetry.Registry, ring *telemetry.EventR
 			telemetry.DefaultDepthBuckets, labels),
 		activeSubs: reg.Gauge("catcam_active_subtables", "subtables currently in use", labels),
 		entries:    reg.Gauge("catcam_entries", "stored entries post range expansion", labels),
-		ring:       ring,
-		table:      table,
+		epochG: reg.Gauge("catcam_epoch",
+			"published snapshot epoch (per shard in cluster mode)", labels),
+		ring:  ring,
+		table: table,
 	}
 	const cyclesHelp = "cycle cost per update request"
 	t.insertCycles = reg.Histogram("catcam_update_cycles", cyclesHelp,
@@ -111,6 +114,9 @@ func (t *deviceTelemetry) syncGauges(d *Device) {
 	}
 	t.activeSubs.Set(int64(len(d.order)))
 	t.entries.Set(int64(len(d.locs)))
+	if s := d.snap.Load(); s != nil {
+		t.epochG.Set(int64(s.epoch))
+	}
 }
 
 // observeOp records a completed (or rejected) top-level update.

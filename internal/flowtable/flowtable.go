@@ -46,6 +46,14 @@ type Backend interface {
 	AuditSweep() flightrec.SweepInfo
 	Stats() core.Stats
 	CheckInvariant() error
+	// DeriveStructure derives the backend's structural state for the
+	// state observatory — lock-free on both implementations (epoch
+	// snapshot traversal only; see core.Structure).
+	DeriveStructure(dst *core.Structure) *core.Structure
+	// OnStatsReset registers an observer to run whenever the backend's
+	// statistics are reset, so derived structural state (observatory
+	// rings, gauges) never survives a reset.
+	OnStatsReset(fn func())
 }
 
 var (
@@ -111,6 +119,9 @@ type TableConfig struct {
 type Pipeline struct {
 	tables map[int]*table
 	order  []int
+	// structs holds the state observatory's reusable per-table derive
+	// buffers (see structure.go).
+	structs structState
 	// instrMu guards instr: classify holds the read side for the
 	// duration of one traversal, Install/Remove the write side.
 	instrMu sync.RWMutex

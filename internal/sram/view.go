@@ -61,6 +61,43 @@ func (v *TernaryView) RowWords() int { return v.rowWords }
 // ValidCount returns the number of valid entries at snapshot time.
 func (v *TernaryView) ValidCount() int { return v.validCount }
 
+// Width returns the ternary key width (positions) the view matches.
+func (v *TernaryView) Width() int { return v.params.Cols * v.subarrays }
+
+// CareCount returns the number of cared (non-wildcard) ternary
+// positions summed over the valid entries. Paired with ValidCount and
+// Width it yields the view's care-bit density: CareCount divided by
+// ValidCount*Width; the complement is the wildcard density. Stale plane
+// bits of invalidated entries are masked out by the valid words.
+//
+//catcam:hotpath
+func (v *TernaryView) CareCount() uint64 {
+	var cared uint64
+	for pos := 0; pos < v.Width(); pos++ {
+		row := v.planeCare[pos*v.rowWords : (pos+1)*v.rowWords]
+		for wi, w := range row {
+			cared += uint64(bits.OnesCount64(w & v.validWords[wi]))
+		}
+	}
+	return cared
+}
+
+// CarePerPosition appends, for each ternary position (bit plane), the
+// number of valid entries that care at that position, and returns the
+// extended slice — the per-plane care profile the state observatory
+// exports. Passing a reused dst[:0] keeps the call allocation-free.
+func (v *TernaryView) CarePerPosition(dst []uint64) []uint64 {
+	for pos := 0; pos < v.Width(); pos++ {
+		row := v.planeCare[pos*v.rowWords : (pos+1)*v.rowWords]
+		var cared uint64
+		for wi, w := range row {
+			cared += uint64(bits.OnesCount64(w & v.validWords[wi]))
+		}
+		dst = append(dst, cared)
+	}
+	return dst
+}
+
 // SearchInto runs the bit-sliced match kernel over the frozen planes,
 // depositing the match vector into dst (Rows bits). acc is the
 // caller's accumulator scratch of RowWords length — the view is shared

@@ -1,0 +1,134 @@
+package stateobs
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"catcam/internal/core"
+)
+
+// Report is the /debug/state export: the latest derived structure, the
+// capacity forecast, and the ring replayed as a per-subtable × time
+// heatmap. Everything is deep-copied at build time, so a report stays
+// consistent while sweeps continue.
+type Report struct {
+	Now      time.Time `json:"now"`
+	Forecast Forecast  `json:"forecast"`
+	// HeadroomChecks/HeadroomBad are the capacity SLO's cumulative
+	// source counters.
+	HeadroomChecks uint64 `json:"headroom_checks"`
+	HeadroomBad    uint64 `json:"headroom_bad"`
+	// Current is the structure derived by the most recent sweep.
+	Current *core.Structure `json:"current"`
+	// CarePerPosition is the per-plane care profile (entries caring at
+	// each ternary key position), when the source supports it.
+	CarePerPosition []uint64 `json:"care_per_position,omitempty"`
+	Heatmap         Heatmap  `json:"heatmap"`
+}
+
+// Heatmap is the ring rendered for replay: index-aligned series, one
+// element per recorded frame (oldest first), plus per-interval rates
+// differenced from the cumulative churn counters (aligned with
+// TimesUnixMs[1:]).
+type Heatmap struct {
+	TimesUnixMs []int64   `json:"times_unix_ms"`
+	Epochs      []uint64  `json:"epochs"`
+	Occupancy   []float64 `json:"occupancy"`
+	FragIndex   []float64 `json:"frag_index"`
+	CareDensity []float64 `json:"care_density"`
+	FullRuns    []int     `json:"full_runs"`
+	// Subtables is the heatmap row width; Fill is frames × subtables
+	// entry counts (row index follows SubtableStructure.Index).
+	Subtables int        `json:"subtables"`
+	Fill      [][]uint16 `json:"fill"`
+	// Rates per second between consecutive frames.
+	PublishRate []float64 `json:"publish_rate"`
+	RebuildRate []float64 `json:"rebuild_rate"`
+	ShareRate   []float64 `json:"share_rate"`
+	InsertRate  []float64 `json:"insert_rate"`
+	DeleteRate  []float64 `json:"delete_rate"`
+	ReallocRate []float64 `json:"realloc_rate"`
+}
+
+// Report builds a consistent export of the observatory's state.
+func (o *Observatory) Report(now time.Time) *Report {
+	o.mu.Lock()
+	frames := o.frames()
+	r := &Report{
+		Now:            now,
+		Forecast:       o.forecast,
+		HeadroomChecks: o.hdrChecks.Load(),
+		HeadroomBad:    o.hdrBad.Load(),
+		Current:        cloneStructure(o.cur),
+	}
+	o.mu.Unlock()
+
+	if pp, ok := o.src.(positionProfiler); ok {
+		r.CarePerPosition = pp.CarePerPosition(nil)
+	}
+
+	h := &r.Heatmap
+	if r.Current != nil {
+		h.Subtables = r.Current.TotalSubtables
+	}
+	var prev *Frame
+	for i := range frames {
+		fr := &frames[i]
+		h.TimesUnixMs = append(h.TimesUnixMs, fr.At.UnixMilli())
+		h.Epochs = append(h.Epochs, fr.Epoch)
+		h.Occupancy = append(h.Occupancy, fr.Occupancy)
+		h.FragIndex = append(h.FragIndex, fr.FragIndex)
+		h.CareDensity = append(h.CareDensity, fr.CareDensity)
+		h.FullRuns = append(h.FullRuns, fr.MaxFullRun)
+		h.Fill = append(h.Fill, fr.Fill)
+		if prev != nil {
+			dt := fr.At.Sub(prev.At).Seconds()
+			h.PublishRate = append(h.PublishRate, rate(fr.Churn.Publishes, prev.Churn.Publishes, dt))
+			h.RebuildRate = append(h.RebuildRate, rate(fr.Churn.ViewsRebuilt, prev.Churn.ViewsRebuilt, dt))
+			h.ShareRate = append(h.ShareRate, rate(fr.Churn.ViewsShared, prev.Churn.ViewsShared, dt))
+			h.InsertRate = append(h.InsertRate, rate(fr.Inserts, prev.Inserts, dt))
+			h.DeleteRate = append(h.DeleteRate, rate(fr.Deletes, prev.Deletes, dt))
+			h.ReallocRate = append(h.ReallocRate, rate(fr.Reallocations, prev.Reallocations, dt))
+		}
+		prev = fr
+	}
+	return r
+}
+
+// rate differences two cumulative readings into a per-second rate,
+// clamping counter resets (cur < prev) to zero.
+func rate(cur, prev uint64, dt float64) float64 {
+	if dt <= 0 || cur < prev {
+		return 0
+	}
+	return float64(cur-prev) / dt
+}
+
+// cloneStructure deep-copies a derived structure for export.
+func cloneStructure(s *core.Structure) *core.Structure {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.ShardEpochs = append([]uint64(nil), s.ShardEpochs...)
+	c.Subtables = append([]core.SubtableStructure(nil), s.Subtables...)
+	return &c
+}
+
+// Handler serves the /debug/state JSON report. Each GET performs an
+// on-demand sweep first (recording a frame and refreshing the
+// forecast), so the report always reflects the current epoch; pass
+// ?sweep=0 to read the ring without perturbing it.
+func (o *Observatory) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		now := time.Now()
+		if req.URL.Query().Get("sweep") != "0" {
+			o.Sweep(now)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(o.Report(now))
+	})
+}
