@@ -19,13 +19,20 @@ BENCH_CLUSTER_JSON ?= BENCH_cluster.json
 BENCHES_PARALLEL ?= BenchmarkDeviceLookupParallel
 BENCH_PARALLEL_JSON ?= BENCH_parallel.json
 
+# Benchmarks tracked in BENCH_ingress.json: the wire-rate ingress front
+# end (internal/ingress). ns/op is one 64-packet burst; the custom
+# ReportMetric figures ("Mpps/core", "hit-rate", "p999-burst-ns") land
+# in the JSON under "extra".
+BENCHES_INGRESS ?= BenchmarkIngress
+BENCH_INGRESS_JSON ?= BENCH_ingress.json
+
 # Pinned versions for the networked lint extras (CI installs these;
 # they are NOT required locally — lint and lint-selftest are
 # self-contained).
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race vet fmt lint lint-selftest staticcheck govulncheck bench bench-compare bench-cluster bench-cluster-compare bench-parallel bench-parallel-compare
+.PHONY: all build test race vet fmt lint lint-selftest staticcheck govulncheck bench bench-compare bench-cluster bench-cluster-compare bench-parallel bench-parallel-compare bench-ingress bench-ingress-compare
 
 all: build lint test
 
@@ -113,3 +120,15 @@ bench-parallel:
 bench-parallel-compare:
 	$(GO) test -run '^$$' -bench '$(BENCHES_PARALLEL)' -benchmem -benchtime=1s -count 1 . \
 		| $(GO) run ./cmd/bench-json -baseline $(BENCH_PARALLEL_JSON) -require-same-cpu
+
+# bench-ingress refreshes the committed ingress wire-rate baseline.
+bench-ingress:
+	$(GO) test -run '^$$' -bench '$(BENCHES_INGRESS)' -benchmem -benchtime=1s -count 1 ./internal/ingress/ \
+		| $(GO) run ./cmd/bench-json -out $(BENCH_INGRESS_JSON)
+	@cat $(BENCH_INGRESS_JSON)
+
+# bench-ingress-compare prints deltas against the committed ingress
+# baseline. Informational only, like bench-compare.
+bench-ingress-compare:
+	$(GO) test -run '^$$' -bench '$(BENCHES_INGRESS)' -benchmem -benchtime=1s -count 1 ./internal/ingress/ \
+		| $(GO) run ./cmd/bench-json -baseline $(BENCH_INGRESS_JSON)

@@ -29,11 +29,15 @@ import (
 	"strings"
 )
 
-// Result is one benchmark's measured figures.
+// Result is one benchmark's measured figures. Extra carries custom
+// units a benchmark reported via b.ReportMetric (e.g. the ingress
+// suite's "Mpps/core", "hit-rate", "p999-burst-ns"), keyed by the unit
+// string exactly as printed.
 type Result struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Summary is the JSON document: a name→result map plus provenance.
@@ -88,13 +92,27 @@ func parse(r *bufio.Scanner) (map[string]Result, error) {
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				res.NsPerOp, seen = v, true
 			case "B/op":
 				res.BytesPerOp = v
 			case "allocs/op":
 				res.AllocsPerOp = v
+			default:
+				// A unit only follows a number it annotates; a bare number
+				// (the iteration count) is followed by another number or a
+				// known unit, so anything else is a ReportMetric unit.
+				if _, err := strconv.ParseFloat(unit, 64); err == nil {
+					continue // a second number, not a unit
+				}
+				if strings.ContainsAny(unit, "/-") && !strings.HasPrefix(unit, "Benchmark") {
+					if res.Extra == nil {
+						res.Extra = make(map[string]float64)
+					}
+					res.Extra[unit] = v
+					seen = true
+				}
 			}
 		}
 		if seen {
@@ -154,6 +172,23 @@ func compare(baselinePath string, fresh map[string]Result, requireSameCPU bool) 
 		}
 		fmt.Printf("%-34s %14.0f %14.0f %+8.1f%% %11.0f%s\n",
 			name, old.NsPerOp, cur.NsPerOp, delta, cur.AllocsPerOp, marker)
+		units := make([]string, 0, len(cur.Extra))
+		for unit := range cur.Extra {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			oldV, had := old.Extra[unit]
+			if !had {
+				fmt.Printf("  %-32s %14s %14.4g\n", unit, "(new)", cur.Extra[unit])
+				continue
+			}
+			d := 0.0
+			if oldV != 0 {
+				d = (cur.Extra[unit] - oldV) / oldV * 100
+			}
+			fmt.Printf("  %-32s %14.4g %14.4g %+8.1f%%\n", unit, oldV, cur.Extra[unit], d)
+		}
 	}
 	for name := range base.Benchmarks {
 		if _, ok := fresh[name]; !ok {

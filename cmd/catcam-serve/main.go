@@ -46,7 +46,10 @@
 //	             [-span-every 0] [-span-ring 256] [-slo-interval 5s]
 //	             [-slo-latency-ns 1048576] [-escalation-window 30s]
 //	             [-state-interval 5s] [-state-horizon 10m]
-//	             [-state-ring 360] [-final-dir ""]
+//	             [-state-ring 360] [-ingress] [-workers 4]
+//	             [-flowcache-size 65536] [-zipf-s 1.2]
+//	             [-ingress-flows 1000000] [-ingress-rate 0]
+//	             [-final-dir ""]
 //
 // The churn loop mirrors the paper's update methodology: inserts and
 // deletes split evenly so the table stays near its provisioned
@@ -87,6 +90,23 @@
 // writes metrics.json, slo.json, timeline.json and state.json there at
 // shutdown for CI artifact upload.
 //
+// -ingress runs the streaming packet front end (internal/ingress) on
+// top of the same engine: a Zipf traffic generator over the churned
+// ruleset (-ingress-flows distinct 5-tuples, -zipf-s skew,
+// -ingress-rate packets/s, 0 = unthrottled) dispatched by flow hash
+// into -workers run-to-completion workers, each draining a bounded SPSC
+// ring through a private -flowcache-size exact-match flow cache and
+// batching only the misses into the lock-free classify path. Cached
+// decisions are validated against the engine's publication epoch every
+// burst, so the concurrent churn loop continuously invalidates them —
+// the wire-rate counterpart of the update/lookup separation the rest of
+// the process exercises. Ingress exports catcam_ingress_* metrics
+// (throughput gauge, cache hit/miss counters, per-worker ring occupancy
+// and drops, burst/packet latency histograms with exemplars), reports
+// under "ingress" in /healthz, emits "ingress" span lanes into
+// /debug/timeline, and adds a fifth SLO objective, ingress_latency,
+// holding burst processing under -slo-latency-ns.
+//
 // The state observatory sweeps the engine's published snapshot every
 // -state-interval (lock-free — never the device mutex), recording
 // per-subtable structure into a ring of -state-ring frames served at
@@ -126,6 +146,7 @@ import (
 	"catcam/internal/cluster"
 	"catcam/internal/core"
 	"catcam/internal/flightrec"
+	"catcam/internal/ingress"
 	"catcam/internal/rules"
 	"catcam/internal/slo"
 	"catcam/internal/stateobs"
@@ -168,6 +189,13 @@ type options struct {
 	stateHorizon  time.Duration
 	stateRing     int
 
+	ingress       bool
+	workers       int
+	flowcacheSize int
+	zipfS         float64
+	ingressFlows  int
+	ingressRate   int
+
 	finalDir string
 }
 
@@ -200,6 +228,12 @@ func main() {
 	flag.DurationVar(&o.stateInterval, "state-interval", 5*time.Second, "state observatory sweep period")
 	flag.DurationVar(&o.stateHorizon, "state-horizon", 10*time.Minute, "capacity-headroom horizon: forecast time-to-fill/time-to-stall inside it burns the capacity SLO")
 	flag.IntVar(&o.stateRing, "state-ring", 360, "state observatory frame ring capacity")
+	flag.BoolVar(&o.ingress, "ingress", false, "run the streaming packet front end: Zipf traffic through per-worker rings and flow caches into the classify path")
+	flag.IntVar(&o.workers, "workers", 4, "ingress run-to-completion worker count (with -ingress)")
+	flag.IntVar(&o.flowcacheSize, "flowcache-size", 65536, "per-worker flow-cache capacity in decisions; 0 disables the cache (with -ingress)")
+	flag.Float64Var(&o.zipfS, "zipf-s", 1.2, "ingress traffic Zipf skew exponent; <= 1 means uniform flow popularity (with -ingress)")
+	flag.IntVar(&o.ingressFlows, "ingress-flows", 1_000_000, "ingress flow-universe size: distinct 5-tuples in the generated traffic (with -ingress)")
+	flag.IntVar(&o.ingressRate, "ingress-rate", 0, "ingress packets per second (0 = unthrottled, with -ingress)")
 	flag.StringVar(&o.finalDir, "final-dir", "", "write metrics.json, slo.json, timeline.json and state.json here at shutdown")
 	flag.Parse()
 
@@ -216,6 +250,7 @@ type engine interface {
 	DeleteRule(ruleID int) (core.UpdateResult, error)
 	LookupHeaderBatch(hs []rules.Header, dst []core.LookupResult) []core.LookupResult
 	LookupHeaderBatchTraced(tr *trace.Trace, hs []rules.Header, dst []core.LookupResult) []core.LookupResult
+	Epoch() uint64
 	AttachTelemetry(reg *telemetry.Registry, ring *telemetry.EventRing, labels telemetry.Labels)
 	AttachFlightRecorder(rec *flightrec.Recorder, table int)
 	AttachAuditor(aud *flightrec.Auditor)
@@ -337,6 +372,35 @@ func run(o options) error {
 		}(w)
 	}
 
+	// Ingress front end: a Zipf traffic source over the same ruleset the
+	// churner installed, dispatched by flow hash into per-worker rings,
+	// each worker draining bursts through its private flow cache and
+	// sending only misses into the engine's lock-free classify path. The
+	// flow caches invalidate by epoch, so the concurrent churn above is
+	// exactly the adversary they are built for.
+	var ing *ingress.Engine
+	if o.ingress {
+		rs := classbench.Generate(classbench.Config{Family: fam, Size: o.size, Seed: o.seed})
+		gen := ingress.NewGenerator(rs, ingress.GenConfig{
+			Flows: o.ingressFlows, ZipfS: o.zipfS, Seed: o.seed + 3,
+		})
+		ing = ingress.New(ingress.Config{
+			Workers:       o.workers,
+			RingSize:      4096,
+			Burst:         64,
+			FlowCacheSize: o.flowcacheSize,
+			Backend:       ingress.NewLookupBackend(eng),
+			Tracer:        tracer,
+		})
+		ing.AttachTelemetry(reg, nil)
+		ing.Start()
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			ing.RunSource(gen, o.ingressRate, churnDone)
+		}()
+	}
+
 	sweepDone := make(chan struct{})
 	var bgWG sync.WaitGroup
 	if o.auditInterval > 0 {
@@ -455,6 +519,17 @@ func run(o options) error {
 			return aud.ViolationCount(flightrec.InvShadowMatch), aud.Checks(flightrec.InvShadowMatch)
 		},
 	})
+	if ing != nil {
+		sloEng.Add(slo.Objective{
+			Name:        "ingress_latency",
+			Description: fmt.Sprintf("99.9%% of ingress bursts processed under %dns", o.sloLatencyNs),
+			Target:      0.999,
+			Source: func() (uint64, uint64) {
+				h := ing.BurstLatency()
+				return h.CountAbove(o.sloLatencyNs), h.Count()
+			},
+		})
+	}
 	bgWG.Add(1)
 	go func() {
 		defer bgWG.Done()
@@ -499,6 +574,17 @@ func run(o options) error {
 			"escalation_live":   esc.Active(),
 			"shards":            o.shards,
 		}
+		if ing != nil {
+			s := ing.Snapshot()
+			body["ingress"] = map[string]any{
+				"workers":      ing.Workers(),
+				"packets":      s.Packets,
+				"drops":        s.Drops,
+				"cache_hits":   s.CacheHits,
+				"cache_misses": s.CacheMisses,
+				"hit_rate":     s.HitRate(),
+			}
+		}
 		if cl != nil {
 			passes, moved := cl.RebalanceStats()
 			body["partition"] = cl.Mode().String()
@@ -531,6 +617,10 @@ func run(o options) error {
 	}
 	fmt.Printf("catcam-serve: %s %d rules on %s, churn %d updates/s\n",
 		fam, o.size, engDesc, o.rate)
+	if ing != nil {
+		fmt.Printf("catcam-serve: ingress: %d workers, %d-decision flow caches, %d-flow universe (zipf-s %.2f)\n",
+			o.workers, o.flowcacheSize, o.ingressFlows, o.zipfS)
+	}
 	fmt.Printf("catcam-serve: listening on %s (/metrics /metrics.json /events /healthz /slo /debug/trace /debug/timeline /debug/blame /debug/state /debug/audit /debug/vars /debug/pprof)\n", o.addr)
 
 	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -557,6 +647,13 @@ func run(o options) error {
 	// the final audit over a quiescent engine and flush telemetry.
 	close(churnDone)
 	churnWG.Wait()
+	if ing != nil {
+		// The pump is part of churnWG, so no new packets arrive; Stop
+		// waits for the workers to drain what is already ringed.
+		s := ing.Stop()
+		fmt.Printf("catcam-serve: ingress: %d packets, %.1f%% cache hits, %d drops across %d workers\n",
+			s.Packets, 100*s.HitRate(), s.Drops, ing.Workers())
+	}
 	close(sweepDone)
 	bgWG.Wait()
 	stopRebal()

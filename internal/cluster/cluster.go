@@ -609,6 +609,23 @@ func (c *Cluster) Entries() int {
 	return n
 }
 
+// Epoch returns the sum of every shard's published epoch counter — a
+// monotonic stamp that advances whenever any shard publishes a new
+// snapshot (every update, attach, and rebalance step). Consumers that
+// cache classification decisions (the ingress flow cache) compare
+// stamps for equality: any rule change anywhere in the cluster changes
+// the value, invalidating cached decisions. Lock-free — one atomic
+// snapshot load per shard.
+//
+//catcam:hotpath
+func (c *Cluster) Epoch() uint64 {
+	var e uint64
+	for _, s := range c.shards {
+		e += s.dev.Epoch()
+	}
+	return e
+}
+
 // ShardEntries returns per-shard stored entry counts, index-aligned
 // with Shard.
 func (c *Cluster) ShardEntries() []int {

@@ -46,6 +46,12 @@ type Backend interface {
 	AuditSweep() flightrec.SweepInfo
 	Stats() core.Stats
 	CheckInvariant() error
+	// Epoch returns the backend's published-snapshot epoch stamp: a
+	// monotonic counter that advances on every rule change (see
+	// core.Device.Epoch and cluster.Cluster.Epoch). The ingress flow
+	// cache compares stamps for equality to invalidate cached
+	// decisions. Lock-free on both implementations.
+	Epoch() uint64
 	// DeriveStructure derives the backend's structural state for the
 	// state observatory — lock-free on both implementations (epoch
 	// snapshot traversal only; see core.Structure).
@@ -306,6 +312,23 @@ func (p *Pipeline) Close() {
 
 // TableIDs returns the traversal order.
 func (p *Pipeline) TableIDs() []int { return append([]int(nil), p.order...) }
+
+// Epoch returns the sum of every table's backend epoch — a monotonic
+// stamp that changes whenever any rule in any table changes, so a
+// front-end flow cache keyed on it never serves a decision staler than
+// the last install/remove. Lock-free (one snapshot load per backend).
+// The instruction map rides the same stamp: Install/Remove advance the
+// backend epoch before editing the instruction, so a decision cached
+// at epoch E and validated at E predates both halves of every
+// completed update (a reader racing the two halves of an in-flight
+// update sees the same transient any concurrent ClassifyBatch sees).
+func (p *Pipeline) Epoch() uint64 {
+	var e uint64
+	for _, id := range p.order {
+		e += p.tables[id].dev.Epoch()
+	}
+	return e
+}
 
 // Install adds a flow rule to a table. Goto targets are validated
 // against the forward-only constraint at install time, as an OpenFlow

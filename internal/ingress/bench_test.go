@@ -1,0 +1,82 @@
+package ingress
+
+import (
+	"testing"
+	"time"
+
+	"catcam/internal/rules"
+	"catcam/internal/telemetry"
+)
+
+// benchBurst runs the single-worker burst path — the run-to-completion
+// unit the engine schedules — so ns/op is one 64-packet burst and the
+// derived Mpps/core is the per-core wire rate. Custom metrics ride the
+// benchmark line into BENCH_ingress.json via cmd/bench-json:
+// "Mpps/core", "hit-rate", and "p999-burst-ns".
+func benchBurst(b *testing.B, cacheSize int, zipfS float64) {
+	dev, rs := testDevice(b, 500)
+	reg := telemetry.NewRegistry()
+	e := New(Config{Workers: 1, Burst: 64, FlowCacheSize: cacheSize, Backend: NewLookupBackend(dev)})
+	e.AttachTelemetry(reg, nil)
+	gen := NewGenerator(rs, GenConfig{Flows: 1 << 16, ZipfS: zipfS, Seed: 17})
+
+	// Pre-draw the traffic so generator cost stays out of the measured
+	// loop, and warm the cache with one pass over it. The pool spans
+	// 128K packets so its distinct-flow working set is governed by the
+	// popularity distribution, not clipped to cache size by the replay.
+	bursts := make([][]rules.Header, 2048)
+	for i := range bursts {
+		bursts[i] = make([]rules.Header, 64)
+		gen.Fill(bursts[i])
+		e.ProcessSync(0, bursts[i])
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		e.ProcessSync(0, bursts[i%len(bursts)])
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	if sec := elapsed.Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)*64/sec/1e6, "Mpps/core")
+	}
+	b.ReportMetric(e.Snapshot().HitRate(), "hit-rate")
+	b.ReportMetric(e.BurstLatency().Quantile(0.999), "p999-burst-ns")
+}
+
+// BenchmarkIngressCached is the headline number: Zipf traffic over 64K
+// flows through a 16K-decision flow cache in front of the ternary
+// array.
+func BenchmarkIngressCached(b *testing.B) { benchBurst(b, 16384, 1.2) }
+
+// BenchmarkIngressCachedUniform is the cache's worst case: uniform
+// flow popularity (ZipfS <= 1), so most packets miss and take the slow
+// path anyway.
+func BenchmarkIngressCachedUniform(b *testing.B) { benchBurst(b, 16384, 1) }
+
+// BenchmarkIngressUncached is the slow-path baseline every packet
+// would pay without the cache.
+func BenchmarkIngressUncached(b *testing.B) { benchBurst(b, 0, 1.2) }
+
+// BenchmarkIngressDispatch measures the source side: flow-affinity
+// hash plus ring push/pop, no classification.
+func BenchmarkIngressDispatch(b *testing.B) {
+	dev, rs := testDevice(b, 50)
+	e := New(Config{Workers: 4, RingSize: 4096, Backend: NewLookupBackend(dev)})
+	gen := NewGenerator(rs, GenConfig{Flows: 4096, Seed: 21})
+	pkts := make([]rules.Header, 4096)
+	gen.Fill(pkts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Dispatch(pkts[i%len(pkts)])
+		if i%1024 == 1023 { // drain so pushes keep succeeding
+			for _, w := range e.workers {
+				w.burst = w.ring.PopBatch(w.burst[:0], w.ring.Cap())
+			}
+		}
+	}
+}

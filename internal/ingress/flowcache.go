@@ -1,0 +1,143 @@
+package ingress
+
+import "catcam/internal/rules"
+
+// FlowCache is the exact-match CAM that fronts the ternary array: a
+// small 2-way set-associative table keyed on the full 5-tuple, caching
+// the classification decision for flows the worker has already seen.
+// Under Zipf-distributed traffic the handful of heavy flows pin the
+// cache and the ternary slow path only sees the long tail, which is
+// exactly the fast-path/slow-path split real switch pipelines make
+// between their exact-match and TCAM stages.
+//
+// Each worker owns one private FlowCache, so no operation synchronizes:
+// run-to-completion scheduling plus flow-affinity dispatch (one flow
+// always hashes to one worker) make a per-worker cache both coherent
+// and contention-free.
+//
+// Correctness under rule churn is by epoch stamping, not by callbacks:
+// every entry records the backend epoch (see core.Device.Epoch) current
+// when it was filled, and Lookup only hits when the stored stamp equals
+// the epoch the worker loaded at the start of the burst. Any rule
+// change anywhere advances the epoch, so every cached decision that
+// could predate the change misses and refills through the ternary
+// array. Invalidation is therefore O(0) on the update path — the
+// epoch increment the snapshot publication already performs — and lazy
+// on the lookup path, mirroring the paper's separation of constant-time
+// alteration from the lookup pipeline.
+type FlowCache struct {
+	sets    uint64
+	entries []flowEntry // 2*sets entries; set i occupies [2i, 2i+1]
+	hits    uint64
+	misses  uint64
+}
+
+// flowEntry is one cached decision. ok distinguishes an empty slot from
+// a cached "no rule matched" verdict — negative results are cacheable
+// too, and invalidate the same way.
+type flowEntry struct {
+	hdr    rules.Header
+	epoch  uint64
+	action int32
+	ok     bool
+	live   bool
+}
+
+// NewFlowCache builds a cache holding capacity decisions, rounded up so
+// the set count is a power of two (minimum one set of two ways).
+// Capacity 0 returns nil; a nil *FlowCache is valid and never hits, so
+// "flow cache off" is the zero configuration rather than a branch in
+// the worker.
+func NewFlowCache(capacity int) *FlowCache {
+	if capacity <= 0 {
+		return nil
+	}
+	sets := uint64(1)
+	for sets*2 < uint64(capacity) {
+		sets <<= 1
+	}
+	return &FlowCache{sets: sets, entries: make([]flowEntry, 2*sets)}
+}
+
+// Cap returns the cache capacity in decisions (0 for nil).
+func (c *FlowCache) Cap() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.entries)
+}
+
+// Stats returns the lifetime hit and miss counts (both 0 for nil).
+// Private to the owning worker, like the cache itself.
+func (c *FlowCache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits, c.misses
+}
+
+// flowHash mixes the 5-tuple into 64 bits (a SplitMix64-style finisher
+// over the packed header words). Used both for set selection here and
+// for flow-affinity worker dispatch, so the same flow always lands on
+// the same worker's private cache.
+//
+//catcam:hotpath
+func flowHash(h rules.Header) uint64 {
+	x := uint64(h.SrcIP)<<32 | uint64(h.DstIP)
+	x ^= (uint64(h.SrcPort)<<24 | uint64(h.DstPort)<<8 | uint64(h.Proto)) * 0x9e3779b97f4a7c15
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	return x ^ x>>33
+}
+
+// Lookup returns the cached decision for h, valid only at the given
+// epoch: a hit requires an exact 5-tuple match AND a stamp equal to
+// epoch. A hit in the second way promotes the entry (in-set LRU).
+// Allocation-free; nil-safe (never hits).
+//
+//catcam:hotpath
+func (c *FlowCache) Lookup(h rules.Header, epoch uint64) (action int32, matched, hit bool) {
+	if c == nil {
+		return 0, false, false
+	}
+	i := int(flowHash(h)&(c.sets-1)) * 2
+	e0 := &c.entries[i]
+	if e0.live && e0.epoch == epoch && e0.hdr == h {
+		c.hits++
+		return e0.action, e0.ok, true
+	}
+	e1 := &c.entries[i+1]
+	if e1.live && e1.epoch == epoch && e1.hdr == h {
+		*e0, *e1 = *e1, *e0
+		c.hits++
+		return e0.action, e0.ok, true
+	}
+	c.misses++
+	return 0, false, false
+}
+
+// Insert caches the decision for h stamped with epoch. The new entry
+// takes the most-recently-used way; the previous occupant is demoted
+// and the set's LRU way is evicted. Inserting over an existing entry
+// for the same flow (the refill after an epoch miss) overwrites it in
+// place. Allocation-free; nil-safe (no-op).
+//
+//catcam:hotpath
+func (c *FlowCache) Insert(h rules.Header, epoch uint64, action int32, matched bool) {
+	if c == nil {
+		return
+	}
+	i := int(flowHash(h)&(c.sets-1)) * 2
+	e0 := &c.entries[i]
+	e1 := &c.entries[i+1]
+	if e1.live && e1.hdr == h {
+		// Refill of the way-1 resident: promote while overwriting so the
+		// set never holds two entries for one flow.
+		*e1 = *e0
+	} else if !(e0.live && e0.hdr == h) {
+		*e1 = *e0 // demote MRU, evicting the old LRU
+	}
+	*e0 = flowEntry{hdr: h, epoch: epoch, action: action, ok: matched, live: true}
+}

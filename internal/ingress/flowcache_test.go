@@ -1,0 +1,138 @@
+package ingress
+
+import "testing"
+
+func TestFlowCacheNilIsOff(t *testing.T) {
+	var c *FlowCache
+	if c := NewFlowCache(0); c != nil {
+		t.Fatal("NewFlowCache(0) should return nil")
+	}
+	if _, _, hit := c.Lookup(hdr(1), 1); hit {
+		t.Fatal("nil cache hit")
+	}
+	c.Insert(hdr(1), 1, 5, true) // must not panic
+	if c.Cap() != 0 {
+		t.Fatalf("nil Cap = %d", c.Cap())
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatalf("nil Stats = %d, %d", h, m)
+	}
+}
+
+func TestFlowCacheHitRequiresExactKeyAndEpoch(t *testing.T) {
+	c := NewFlowCache(64)
+	h := hdr(42)
+	if _, _, hit := c.Lookup(h, 7); hit {
+		t.Fatal("hit on empty cache")
+	}
+	c.Insert(h, 7, 3, true)
+	action, matched, hit := c.Lookup(h, 7)
+	if !hit || action != 3 || !matched {
+		t.Fatalf("Lookup = (%d, %v, %v), want (3, true, true)", action, matched, hit)
+	}
+	// Same flow, advanced epoch: the stamp mismatch must miss — this is
+	// the entire invalidation mechanism.
+	if _, _, hit := c.Lookup(h, 8); hit {
+		t.Fatal("stale entry served after epoch advance")
+	}
+	// Different flow, same epoch: exact-match only.
+	other := h
+	other.SrcPort++
+	if _, _, hit := c.Lookup(other, 7); hit {
+		t.Fatal("hit on a different 5-tuple")
+	}
+	// Refill at the new epoch revalidates.
+	c.Insert(h, 8, 4, false)
+	action, matched, hit = c.Lookup(h, 8)
+	if !hit || action != 4 || matched {
+		t.Fatalf("refilled Lookup = (%d, %v, %v), want (4, false, true)", action, matched, hit)
+	}
+}
+
+func TestFlowCacheNegativeResultCached(t *testing.T) {
+	c := NewFlowCache(64)
+	h := hdr(1)
+	c.Insert(h, 1, 0, false) // "no rule matched" verdict
+	action, matched, hit := c.Lookup(h, 1)
+	if !hit || matched || action != 0 {
+		t.Fatalf("negative verdict Lookup = (%d, %v, %v), want (0, false, true)", action, matched, hit)
+	}
+}
+
+// TestFlowCacheTwoWaySet proves both ways of a set are usable and that
+// the in-set LRU evicts the colder entry. Capacity 2 = one set, so any
+// two flows collide.
+func TestFlowCacheTwoWaySet(t *testing.T) {
+	c := NewFlowCache(2)
+	a, b, x := hdr(1), hdr(2), hdr(3)
+	c.Insert(a, 1, 10, true)
+	c.Insert(b, 1, 20, true)
+	if action, _, hit := c.Lookup(a, 1); !hit || action != 10 {
+		t.Fatalf("a: (%d, %v), want (10, hit)", action, hit)
+	}
+	if action, _, hit := c.Lookup(b, 1); !hit || action != 20 {
+		t.Fatalf("b: (%d, %v), want (20, hit)", action, hit)
+	}
+	// Touch a (making b the LRU), insert x: b must be the eviction.
+	c.Lookup(a, 1)
+	c.Insert(x, 1, 30, true)
+	if _, _, hit := c.Lookup(a, 1); !hit {
+		t.Fatal("MRU entry a evicted")
+	}
+	if _, _, hit := c.Lookup(b, 1); hit {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if action, _, hit := c.Lookup(x, 1); !hit || action != 30 {
+		t.Fatalf("x: (%d, %v), want (30, hit)", action, hit)
+	}
+}
+
+// TestFlowCacheRefillNoDuplicate inserts the same flow twice (the
+// epoch-refill path) and proves the set holds one entry for it, not
+// two — otherwise a set could silently halve its capacity.
+func TestFlowCacheRefillNoDuplicate(t *testing.T) {
+	c := NewFlowCache(2)
+	a, b := hdr(1), hdr(2)
+	c.Insert(a, 1, 10, true)
+	c.Insert(b, 1, 20, true)
+	// Refill b (way 0 after its insert), then a (now way 1): both must
+	// still be present afterward if refills overwrite in place.
+	c.Insert(b, 2, 21, true)
+	c.Insert(a, 2, 11, true)
+	if action, _, hit := c.Lookup(a, 2); !hit || action != 11 {
+		t.Fatalf("a after refill: (%d, %v), want (11, hit)", action, hit)
+	}
+	if action, _, hit := c.Lookup(b, 2); !hit || action != 21 {
+		t.Fatalf("b after refill: (%d, %v), want (21, hit)", action, hit)
+	}
+}
+
+func TestFlowCacheStats(t *testing.T) {
+	c := NewFlowCache(64)
+	h := hdr(9)
+	c.Lookup(h, 1) // miss
+	c.Insert(h, 1, 1, true)
+	c.Lookup(h, 1) // hit
+	c.Lookup(h, 2) // epoch miss
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("Stats = (%d, %d), want (1, 2)", hits, misses)
+	}
+}
+
+func TestFlowCacheOpsAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	c := NewFlowCache(1024)
+	if n := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			h := hdr(i)
+			if _, _, hit := c.Lookup(h, 3); !hit {
+				c.Insert(h, 3, int32(i), true)
+			}
+		}
+	}); n != 0 {
+		t.Fatalf("cache lookup/insert allocates %v per run, want 0", n)
+	}
+}

@@ -1,0 +1,94 @@
+package ingress
+
+import (
+	"math/rand"
+
+	"catcam/internal/classbench"
+	"catcam/internal/rules"
+)
+
+// GenConfig parameterizes a synthetic traffic source. The generator
+// first builds a fixed universe of Flows distinct 5-tuples against a
+// ruleset (Locality of them constructed to match a live rule, the rest
+// uniform background), then draws packets from that universe with
+// Zipf-distributed flow popularity: flow rank k is drawn with
+// probability ∝ 1/(k+1)^S. Internet traffic is famously heavy-tailed,
+// and the skew is what makes a small flow cache effective — and what a
+// flow-cache benchmark must reproduce to be honest.
+type GenConfig struct {
+	// Flows is the number of distinct flows in the universe
+	// (default 1<<20). Memory is 13 significant bytes per flow, so
+	// millions of flows are cheap.
+	Flows int
+	// ZipfS is the Zipf skew exponent S (default 1.2). Values must
+	// exceed 1 for the distribution to normalize; any value <= 1 is
+	// taken as "uniform", giving a worst-case trace for the cache.
+	ZipfS float64
+	// Locality is the fraction of flows constructed to match some rule
+	// (default 0.8, matching classbench.PacketTrace's convention).
+	Locality float64
+	// Seed makes the universe and the draw sequence deterministic.
+	Seed int64
+}
+
+func (cfg GenConfig) withDefaults() GenConfig {
+	if cfg.Flows <= 0 {
+		cfg.Flows = 1 << 20
+	}
+	if cfg.ZipfS == 0 {
+		cfg.ZipfS = 1.2
+	}
+	if cfg.Locality == 0 {
+		cfg.Locality = 0.8
+	}
+	return cfg
+}
+
+// Generator produces an endless packet stream over a fixed flow
+// universe. Not safe for concurrent use: one Generator feeds one
+// source goroutine (the engine pump), matching the single-producer
+// contract of the rings it fills.
+type Generator struct {
+	flows []rules.Header
+	zipf  *rand.Zipf // nil → uniform draw
+	rng   *rand.Rand
+}
+
+// NewGenerator builds the flow universe for rs and the Zipf sampler
+// over it. Flow rank is universe order, so the heaviest flows are a
+// deterministic function of (rs, cfg.Seed).
+func NewGenerator(rs *rules.Ruleset, cfg GenConfig) *Generator {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &Generator{
+		flows: classbench.PacketTrace(rs, cfg.Flows, cfg.Locality, cfg.Seed+1),
+		rng:   rng,
+	}
+	if cfg.ZipfS > 1 {
+		g.zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(g.flows)-1))
+	}
+	return g
+}
+
+// NumFlows returns the size of the flow universe.
+func (g *Generator) NumFlows() int { return len(g.flows) }
+
+// Flow returns the universe entry at rank k (rank 0 is the most
+// popular flow under Zipf draws).
+func (g *Generator) Flow(k int) rules.Header { return g.flows[k] }
+
+// Next draws one packet header.
+func (g *Generator) Next() rules.Header {
+	if g.zipf != nil {
+		return g.flows[g.zipf.Uint64()]
+	}
+	return g.flows[g.rng.Intn(len(g.flows))]
+}
+
+// Fill overwrites every element of dst with a fresh draw — the burst
+// form of Next, allocation-free.
+func (g *Generator) Fill(dst []rules.Header) {
+	for i := range dst {
+		dst[i] = g.Next()
+	}
+}

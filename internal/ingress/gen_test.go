@@ -1,0 +1,129 @@
+package ingress
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"catcam/internal/classbench"
+	"catcam/internal/rules"
+)
+
+func testRuleset(size int) *rules.Ruleset {
+	return classbench.Generate(classbench.Config{Family: classbench.ACL, Size: size, Seed: 11})
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	rs := testRuleset(100)
+	cfg := GenConfig{Flows: 1000, ZipfS: 1.2, Seed: 7}
+	g1 := NewGenerator(rs, cfg)
+	g2 := NewGenerator(rs, cfg)
+	if g1.NumFlows() != 1000 {
+		t.Fatalf("NumFlows = %d, want 1000", g1.NumFlows())
+	}
+	for i := 0; i < 5000; i++ {
+		if a, b := g1.Next(), g2.Next(); a != b {
+			t.Fatalf("draw %d diverges: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestGeneratorZipfSkew(t *testing.T) {
+	rs := testRuleset(100)
+	g := NewGenerator(rs, GenConfig{Flows: 10000, ZipfS: 1.2, Seed: 3})
+	counts := map[rules.Header]int{}
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		counts[g.Next()]++
+	}
+	// Rank 0 must dominate: under Zipf s=1.2 it takes a double-digit
+	// share of draws; under uniform it would get ~5.
+	top := counts[g.Flow(0)]
+	if top < draws/20 {
+		t.Fatalf("rank-0 flow drew %d/%d packets; distribution not skewed", top, draws)
+	}
+	// And the stream must still have breadth: many distinct flows.
+	if len(counts) < 100 {
+		t.Fatalf("only %d distinct flows in %d draws", len(counts), draws)
+	}
+}
+
+func TestGeneratorUniformFallback(t *testing.T) {
+	rs := testRuleset(50)
+	g := NewGenerator(rs, GenConfig{Flows: 1000, ZipfS: 1, Seed: 3}) // <=1 → uniform
+	counts := map[rules.Header]int{}
+	for i := 0; i < 20000; i++ {
+		counts[g.Next()]++
+	}
+	for h, n := range counts {
+		if n > 200 { // uniform expectation is 20; 200 means Zipf leaked in
+			t.Fatalf("flow %v drew %d packets under uniform config", h, n)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	rs := testRuleset(100)
+	g := NewGenerator(rs, GenConfig{Flows: 500, ZipfS: 1.3, Seed: 5})
+	hs := make([]rules.Header, 777)
+	g.Fill(hs)
+
+	path := filepath.Join(t.TempDir(), "trace.catp")
+	if err := WriteTraceFile(path, hs); err != nil {
+		t.Fatalf("WriteTraceFile: %v", err)
+	}
+	got, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatalf("ReadTraceFile: %v", err)
+	}
+	if len(got) != len(hs) {
+		t.Fatalf("read %d packets, wrote %d", len(got), len(hs))
+	}
+	for i := range hs {
+		if got[i] != hs[i] {
+			t.Fatalf("packet %d: %v != %v", i, got[i], hs[i])
+		}
+	}
+}
+
+func TestTraceRejectsCorruption(t *testing.T) {
+	hs := []rules.Header{hdr(1), hdr(2)}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, hs); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	bad := append([]byte(nil), good...)
+	copy(bad, "NOPE")
+	if _, err := ReadTrace(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[4] = 99 // version
+	if _, err := ReadTrace(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+
+	if _, err := ReadTrace(bytes.NewReader(good[:len(good)-3])); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+	if _, err := ReadTrace(bytes.NewReader(append(good, 0))); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty trace read %d packets", len(got))
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package ingress
+
+// raceEnabled gates allocation assertions: the race detector's
+// instrumentation allocates, so AllocsPerRun guards only hold in
+// non-race runs.
+const raceEnabled = false

@@ -1,0 +1,118 @@
+package ingress
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"catcam/internal/rules"
+)
+
+// Ring is a bounded single-producer single-consumer queue of packet
+// headers — the software stand-in for a NIC RX descriptor ring. One
+// goroutine (the traffic source) pushes, one goroutine (the worker that
+// owns the ring) pops; under that contract every operation is one
+// atomic load plus one atomic store, wait-free, and allocation-free.
+//
+// Backpressure is by rejection, as in hardware: TryPush on a full ring
+// returns false and the caller accounts a drop. Nothing ever blocks, so
+// a stalled worker can slow only its own ring, never the source or the
+// other workers.
+//
+// The cursors are free-running uint64s (slot = cursor & mask), so
+// full/empty are distinguishable without a spare slot: occupancy is
+// tail-head. Head and tail live on separate cache lines to keep the
+// producer and consumer from false-sharing.
+type Ring struct {
+	buf  []rules.Header
+	mask uint64
+	_    [64]byte
+	// head is the consumer cursor: the next slot to pop. Written only
+	// by the consumer, read by the producer for the full test.
+	head atomic.Uint64
+	_    [64]byte
+	// tail is the producer cursor: the next slot to fill. Written only
+	// by the producer, read by the consumer for the empty test.
+	tail atomic.Uint64
+}
+
+// NewRing builds a ring holding capacity headers, rounded up to the
+// next power of two (minimum 2).
+func NewRing(capacity int) *Ring {
+	if capacity < 2 {
+		capacity = 2
+	}
+	size := 2
+	for size < capacity {
+		size <<= 1
+		if size <= 0 {
+			panic(fmt.Sprintf("ingress: ring capacity %d overflows", capacity))
+		}
+	}
+	return &Ring{buf: make([]rules.Header, size), mask: uint64(size - 1)}
+}
+
+// Cap returns the ring capacity in headers.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Len returns the current occupancy. Exact from either endpoint's own
+// goroutine; a momentary snapshot from anywhere else.
+//
+//catcam:hotpath
+func (r *Ring) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// TryPush enqueues one header, or reports false when the ring is full
+// (the caller accounts the drop). Producer side only.
+//
+//catcam:hotpath
+func (r *Ring) TryPush(h rules.Header) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask] = h
+	// The atomic store publishes the slot write to the consumer.
+	r.tail.Store(t + 1)
+	return true
+}
+
+// PushBatch enqueues headers until the ring fills, returning how many
+// were accepted (the rest are the caller's drops). Producer side only.
+//
+//catcam:hotpath
+func (r *Ring) PushBatch(hs []rules.Header) int {
+	t := r.tail.Load()
+	free := uint64(len(r.buf)) - (t - r.head.Load())
+	n := uint64(len(hs))
+	if n > free {
+		n = free
+	}
+	for i := uint64(0); i < n; i++ {
+		r.buf[(t+i)&r.mask] = hs[i]
+	}
+	r.tail.Store(t + n)
+	return int(n)
+}
+
+// PopBatch dequeues up to max headers, appending them to dst and
+// returning it — the run-to-completion burst drain. With a reused
+// dst[:0] the call is allocation-free. Consumer side only.
+//
+//catcam:hotpath
+func (r *Ring) PopBatch(dst []rules.Header, max int) []rules.Header {
+	h := r.head.Load()
+	n := int(r.tail.Load() - h)
+	if n == 0 {
+		return dst
+	}
+	if n > max {
+		n = max
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, r.buf[(h+uint64(i))&r.mask])
+	}
+	// The atomic store releases the drained slots back to the producer.
+	r.head.Store(h + uint64(n))
+	return dst
+}

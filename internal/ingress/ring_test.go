@@ -1,0 +1,139 @@
+package ingress
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"catcam/internal/rules"
+)
+
+func hdr(i int) rules.Header {
+	return rules.Header{SrcIP: uint32(i), DstIP: uint32(i * 7), SrcPort: uint16(i), DstPort: uint16(i + 1), Proto: uint8(i % 3)}
+}
+
+func TestRingRoundUpAndCap(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {1000, 1024},
+	} {
+		if got := NewRing(tc.ask).Cap(); got != tc.want {
+			t.Errorf("NewRing(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestRingFIFOAndWraparound(t *testing.T) {
+	r := NewRing(8)
+	next := 0 // next value to push
+	want := 0 // next value expected out
+	// Push/pop in mismatched chunk sizes for several capacities' worth
+	// of traffic so the cursors wrap the buffer repeatedly.
+	var out []rules.Header
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 5; i++ {
+			if r.TryPush(hdr(next)) {
+				next++
+			}
+		}
+		out = r.PopBatch(out[:0], 3)
+		for _, h := range out {
+			if h != hdr(want) {
+				t.Fatalf("round %d: popped %v, want %v", round, h, hdr(want))
+			}
+			want++
+		}
+	}
+	// Drain the remainder.
+	out = r.PopBatch(out[:0], r.Cap())
+	for _, h := range out {
+		if h != hdr(want) {
+			t.Fatalf("drain: popped %v, want %v", h, hdr(want))
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("drained %d packets, pushed %d", want, next)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after drain, want 0", r.Len())
+	}
+}
+
+func TestRingFullRejects(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 4; i++ {
+		if !r.TryPush(hdr(i)) {
+			t.Fatalf("push %d rejected below capacity", i)
+		}
+	}
+	if r.TryPush(hdr(99)) {
+		t.Fatal("push accepted on a full ring")
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if n := r.PushBatch([]rules.Header{hdr(1), hdr(2)}); n != 0 {
+		t.Fatalf("PushBatch on full ring accepted %d", n)
+	}
+	out := r.PopBatch(nil, 1)
+	if len(out) != 1 || out[0] != hdr(0) {
+		t.Fatalf("PopBatch = %v, want [hdr(0)]", out)
+	}
+	if n := r.PushBatch([]rules.Header{hdr(4), hdr(5)}); n != 1 {
+		t.Fatalf("PushBatch with one free slot accepted %d, want 1", n)
+	}
+}
+
+// TestRingSPSC hammers the ring from one producer and one consumer
+// goroutine; under -race this doubles as a memory-model check on the
+// cursor publication.
+func TestRingSPSC(t *testing.T) {
+	r := NewRing(64)
+	const total = 200000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; {
+			if r.TryPush(hdr(i)) {
+				i++
+			} else {
+				runtime.Gosched() // full: let the consumer run (matters at GOMAXPROCS=1)
+			}
+		}
+	}()
+	got := 0
+	var out []rules.Header
+	for got < total {
+		out = r.PopBatch(out[:0], 16)
+		if len(out) == 0 {
+			runtime.Gosched()
+		}
+		for _, h := range out {
+			if h != hdr(got) {
+				t.Fatalf("packet %d: got %v, want %v", got, h, hdr(got))
+			}
+			got++
+		}
+	}
+	wg.Wait()
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after consuming all, want 0", r.Len())
+	}
+}
+
+func TestRingOpsAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	r := NewRing(64)
+	buf := make([]rules.Header, 0, 16)
+	if n := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 16; i++ {
+			r.TryPush(hdr(i))
+		}
+		buf = r.PopBatch(buf[:0], 16)
+	}); n != 0 {
+		t.Fatalf("ring push/pop allocates %v per run, want 0", n)
+	}
+}

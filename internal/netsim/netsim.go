@@ -34,6 +34,25 @@ func ConstantCost(ns float64) InstallCost {
 	return func(int) float64 { return ns }
 }
 
+// CachedCost layers a flow-cache front end (internal/ingress) over a
+// base install-cost model. Epoch invalidation makes every rule install
+// flush the flow caches wholesale: the install itself costs whatever
+// the base engine charges, plus the refill tax — cachedFlows cache
+// misses that each take a slow-path classification (refillNs) before
+// the fast path is warm again. Under churn this is the honest
+// data-plane cost of the cache: the divergence curves show how a
+// front end that accelerates the steady state amplifies the
+// control/data gap while rules are moving, and why the refill burden
+// (cachedFlows × refillNs) must stay small next to the base engine's
+// own install cost for a cached fast path to be a win on Fig 1(a)-style
+// workloads.
+func CachedCost(base InstallCost, cachedFlows int, refillNs float64) InstallCost {
+	refill := float64(cachedFlows) * refillNs
+	return func(installed int) float64 {
+		return base(installed) + refill
+	}
+}
+
 // Sample is one point of the divergence curve.
 type Sample struct {
 	RuleIndex    int     // rules sent by the controller so far

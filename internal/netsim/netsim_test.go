@@ -110,3 +110,33 @@ func TestWindowBoundsDivergence(t *testing.T) {
 		}
 	}
 }
+
+func TestCachedCostAddsRefillTax(t *testing.T) {
+	base := ConstantCost(100)
+	cached := CachedCost(base, 1000, 2) // 1000 flows × 2ns refill = 2000ns per install
+	for _, i := range []int{0, 10, 5000} {
+		if got, want := cached(i), 100+2000.0; got != want {
+			t.Fatalf("cached(%d) = %v, want %v", i, got, want)
+		}
+	}
+	// Zero cached flows degenerates to the base model.
+	if free := CachedCost(base, 0, 50); free(7) != base(7) {
+		t.Fatalf("CachedCost with no flows = %v, want base %v", free(7), base(7))
+	}
+}
+
+// TestCachedCostDivergence shows what the model is for: under churn, a
+// flow-cached O(1) engine pays invalidation refills on every install,
+// so its control/data divergence sits strictly above the bare engine's
+// but still far below the naive TCAM's move storm.
+func TestCachedCostDivergence(t *testing.T) {
+	cfg := func(cost InstallCost) Config {
+		return Config{Rules: 1000, ControlGapNs: 1000, Cost: cost, SamplePoints: 10, Window: 2}
+	}
+	bare := MaxDivergenceMs(Run(cfg(ConstantCost(600))))
+	cached := MaxDivergenceMs(Run(cfg(CachedCost(ConstantCost(600), 4096, 50))))
+	naive := MaxDivergenceMs(Run(cfg(NaiveTCAMCost(600_000))))
+	if !(bare < cached && cached < naive) {
+		t.Fatalf("divergence ordering wrong: bare %v, cached %v, naive %v", bare, cached, naive)
+	}
+}

@@ -19,6 +19,7 @@ import (
 // lane per shard so they nest; everything a single lookup does on one
 // shard is sequential, so containment is unambiguous.
 const (
+	laneIngress  = 0 // ingress worker bursts (above the request layer)
 	laneRequest  = 1 // request, table_classify
 	lanePipeline = 2 // queue_wait, execute (modeled cycles)
 	laneCluster  = 3 // fanout_dispatch, arbiter_merge
@@ -27,6 +28,8 @@ const (
 
 func lane(s Span) int {
 	switch s.Stage {
+	case StageIngress:
+		return laneIngress
 	case StageRequest, StageTableClassify:
 		return laneRequest
 	case StageQueueWait, StageExecute:
@@ -43,6 +46,8 @@ func lane(s Span) int {
 
 func laneName(tid int) string {
 	switch tid {
+	case laneIngress:
+		return "ingress"
 	case laneRequest:
 		return "request"
 	case lanePipeline:

@@ -81,6 +81,10 @@ const (
 	// StageSRAMKernel is one subtable's bit-sliced match-kernel search
 	// for the trace's focus key.
 	StageSRAMKernel
+	// StageIngress is one ingress worker's burst: ring drain, flow-cache
+	// scan, and (for the cache misses) the slow-path classify call whose
+	// own spans nest beneath it. Shard carries the worker ID.
+	StageIngress
 )
 
 var stageNames = [...]string{
@@ -93,10 +97,11 @@ var stageNames = [...]string{
 	StageArbiterMerge:   "arbiter_merge",
 	StageDeviceLookup:   "device_lookup",
 	StageSRAMKernel:     "sram_kernel",
+	StageIngress:        "ingress",
 }
 
 // StageCount sizes per-stage aggregation tables.
-const StageCount = int(StageSRAMKernel) + 1
+const StageCount = int(StageIngress) + 1
 
 // String names the stage.
 func (s Stage) String() string {
