@@ -29,10 +29,10 @@ BENCH_INGRESS_JSON ?= BENCH_ingress.json
 # Pinned versions for the networked lint extras (CI installs these;
 # they are NOT required locally — lint and lint-selftest are
 # self-contained).
-STATICCHECK_VERSION ?= 2024.1.1
+STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race vet fmt lint lint-selftest staticcheck govulncheck bench bench-compare bench-cluster bench-cluster-compare bench-parallel bench-parallel-compare bench-ingress bench-ingress-compare
+.PHONY: all build test race vet fmt lint lint-json lint-selftest staticcheck govulncheck bench bench-compare bench-cluster bench-cluster-compare bench-parallel bench-parallel-compare bench-ingress bench-ingress-compare
 
 all: build lint test
 
@@ -52,12 +52,20 @@ fmt:
 	gofmt -l -w .
 
 # lint runs the catcam-lint analyzer suite (hotpath, lockcheck,
-# atomiccheck, cyclecheck, directives) over the whole module through
+# atomiccheck, cyclecheck, epochcheck, ringcheck, poolcheck, lockorder,
+# directives) over the whole module — _test.go files included — through
 # the go vet driver. Zero external dependencies: the suite and its
 # analysis framework live in internal/analysis.
 lint:
 	$(GO) build -o bin/catcam-lint ./cmd/catcam-lint
 	$(GO) vet -vettool=$(CURDIR)/bin/catcam-lint ./...
+
+# lint-json runs the same suite through the standalone driver and
+# emits findings as a JSON array (file/line/column/analyzer/category/
+# message) for editor and CI integration; exit 2 when findings exist.
+lint-json:
+	$(GO) build -o bin/catcam-lint ./cmd/catcam-lint
+	./bin/catcam-lint -json -tests ./...
 
 # lint-selftest proves the suite still bites: the deliberately broken
 # canary file behind the catcamselftest build tag must trip every

@@ -10,6 +10,18 @@
 //	            are never copied
 //	cyclecheck  mutations of //catcam:cycle-state storage always
 //	            account modeled cycles
+//	epochcheck  //catcam:snapshot types published through
+//	            atomic.Pointer are transitively write-dead after the
+//	            store; constructors only store fresh or snapshot-typed
+//	            memory
+//	ringcheck   //catcam:ring-producer / //catcam:ring-consumer roles
+//	            own their SPSC cursor exclusively, callers carry the
+//	            right role, and each role has one goroutine spawn site
+//	            per package
+//	poolcheck   //catcam:scratch pool memory never escapes into
+//	            globals, non-scratch objects, or exported returns
+//	lockorder   the module-wide acquisition order of annotated
+//	            mutexes stays acyclic
 //	directives  every //catcam: annotation parses
 //
 // Two modes:
@@ -28,9 +40,13 @@ import (
 	"catcam/internal/analysis/atomiccheck"
 	"catcam/internal/analysis/cyclecheck"
 	"catcam/internal/analysis/directives"
+	"catcam/internal/analysis/epochcheck"
 	"catcam/internal/analysis/framework"
 	"catcam/internal/analysis/hotpath"
 	"catcam/internal/analysis/lockcheck"
+	"catcam/internal/analysis/lockorder"
+	"catcam/internal/analysis/poolcheck"
+	"catcam/internal/analysis/ringcheck"
 )
 
 func main() {
@@ -39,6 +55,10 @@ func main() {
 		lockcheck.Analyzer,
 		atomiccheck.Analyzer,
 		cyclecheck.Analyzer,
+		epochcheck.Analyzer,
+		ringcheck.Analyzer,
+		poolcheck.Analyzer,
+		lockorder.Analyzer,
 		directives.Analyzer,
 	})
 }

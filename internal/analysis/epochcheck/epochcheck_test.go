@@ -1,0 +1,17 @@
+package epochcheck_test
+
+import (
+	"testing"
+
+	"catcam/internal/analysis/analysistest"
+	"catcam/internal/analysis/epochcheck"
+	"catcam/internal/analysis/framework"
+)
+
+func TestEpochcheck(t *testing.T) {
+	analysistest.Run(t, []*framework.Analyzer{epochcheck.Analyzer}, "epoch")
+}
+
+func TestSnapshotFactPropagation(t *testing.T) {
+	analysistest.Run(t, []*framework.Analyzer{epochcheck.Analyzer}, "epochdep/lib", "epochdep/use")
+}

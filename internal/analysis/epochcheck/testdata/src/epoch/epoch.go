@@ -1,0 +1,76 @@
+// Package epoch is the epochcheck golden package: publish-dominance,
+// construction freshness, the atomic.Pointer publication hook and the
+// pointer-reachability obligation.
+package epoch
+
+import "sync/atomic"
+
+// live is mutable device state; nothing here is published.
+type live struct {
+	order []int
+	inner *mutable
+}
+
+// mutable is deliberately unmarked.
+type mutable struct{ n int }
+
+// view is one published epoch.
+//
+//catcam:snapshot
+type view struct {
+	order []int
+	sub   *sub
+	bad   *mutable // want `snapshot type view field bad reaches mutable through a pointer`
+	count int
+}
+
+// sub composes into view.
+//
+//catcam:snapshot
+type sub struct{ vals []int }
+
+type holder struct {
+	snap atomic.Pointer[view]
+	bad  atomic.Pointer[mutable] // want `holder.bad epoch-publishes mutable via atomic.Pointer`
+	ok   atomic.Pointer[mutable] //catcam:allow epoch "internally synchronized instrument ring"
+}
+
+// publish is the canonical construction window: fresh local, filled
+// in, published by the Store — which ends the window.
+func (h *holder) publish(l *live) {
+	v := &view{
+		order: append([]int(nil), l.order...),
+		count: len(l.order),
+	}
+	v.sub = &sub{vals: make([]int, 4)}
+	v.order = l.order // want `stores a value aliasing live memory into snapshot field view.order`
+	h.snap.Store(v)
+	v.count = 7 // want `write-dead after publication`
+}
+
+// construct aliases live memory straight in the composite literal.
+func construct(l *live) *view {
+	return &view{order: l.order} // want `initializes snapshot field view.order with a value aliasing live memory`
+}
+
+// cow shares a snapshot-typed value with the previous epoch: legal.
+func cow(old *view) *view {
+	nv := &view{order: append([]int(nil), old.order...)}
+	nv.sub = old.sub
+	return nv
+}
+
+// mutateParam writes through an already-published value.
+func mutateParam(v *view, src []int) {
+	v.count = 1        // want `mutateParam writes field count of epoch-published type view`
+	v.order[0] = 2     // want `mutateParam writes field order of epoch-published type view`
+	v.count++          // want `mutateParam writes field count of epoch-published type view`
+	copy(v.order, src) // want `mutateParam copies into field order of epoch-published type view`
+}
+
+// allowed uses the escape hatch.
+func allowed(v *view) {
+	v.count = 3 //catcam:allow epoch "golden test of the suppression path"
+}
+
+func use(l *live) int { return l.inner.n }

@@ -1,0 +1,14 @@
+// Package lib provides a snapshot-marked view type for the
+// cross-package fact-propagation test.
+package lib
+
+// View is epoch-published state.
+//
+//catcam:snapshot
+type View struct{ Vals []int }
+
+// Mutable is deliberately unmarked.
+type Mutable struct{ N int }
+
+// NewView returns a fresh view.
+func NewView(n int) *View { return &View{Vals: make([]int, n)} }

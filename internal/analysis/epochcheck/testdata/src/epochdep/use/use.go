@@ -1,0 +1,23 @@
+// Package use composes snapshots across the package boundary: lib's
+// snapshot fact must flow in, both for the reachability obligation and
+// for write-deadness of lib-typed values.
+package use
+
+import "catcam/internal/analysis/epochcheck/testdata/src/epochdep/lib"
+
+// Snap composes lib.View (proven) and lib.Mutable (not).
+//
+//catcam:snapshot
+type Snap struct {
+	V *lib.View
+	B *lib.Mutable // want `snapshot type Snap field B reaches Mutable through a pointer`
+}
+
+func mutate(v *lib.View) {
+	v.Vals[0] = 1 // want `mutate writes field Vals of epoch-published type View`
+}
+
+func build(n int) *Snap {
+	s := &Snap{V: lib.NewView(n)}
+	return s
+}

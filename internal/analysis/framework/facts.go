@@ -8,26 +8,38 @@ import (
 	"os"
 )
 
-// ObjectKey names a package-level function or method within its
-// package, stably across loads: a method is identified by its
-// receiver's named base type plus its name, a function by name alone.
-// This replaces x/tools' objectpath for the narrow case catcam-lint
-// needs (facts only ever attach to funcs/methods).
+// ObjectKey names a package-level function, method, or type within
+// its package, stably across loads: a method is identified by its
+// receiver's named base type plus its name, a function by name alone,
+// a type by its name with Kind "type". This replaces x/tools'
+// objectpath for the narrow cases catcam-lint needs.
 type ObjectKey struct {
 	Recv string // receiver base type name, "" for plain functions
 	Name string
+	Kind string // "" for funcs/methods, "type" for type names, "pkg" for the package slot
 }
 
+// pkgFactKey is the reserved slot package-level facts live under.
+var pkgFactKey = ObjectKey{Kind: "pkg"}
+
 func keyOf(obj types.Object) (ObjectKey, bool) {
-	fn, ok := obj.(*types.Func)
-	if !ok || fn.Pkg() == nil {
-		return ObjectKey{}, false
+	switch obj := obj.(type) {
+	case *types.Func:
+		if obj.Pkg() == nil {
+			return ObjectKey{}, false
+		}
+		k := ObjectKey{Name: obj.Name()}
+		if named := ReceiverNamed(obj); named != nil {
+			k.Recv = named.Obj().Name()
+		}
+		return k, true
+	case *types.TypeName:
+		if obj.Pkg() == nil {
+			return ObjectKey{}, false
+		}
+		return ObjectKey{Name: obj.Name(), Kind: "type"}, true
 	}
-	k := ObjectKey{Name: fn.Name()}
-	if named := ReceiverNamed(fn); named != nil {
-		k.Recv = named.Obj().Name()
-	}
-	return k, true
+	return ObjectKey{}, false
 }
 
 // PackageFacts holds the serialized facts of one package, keyed by
@@ -41,8 +53,48 @@ func NewPackageFacts() *PackageFacts {
 	return &PackageFacts{ByAnalyzer: map[string]map[ObjectKey][]byte{}}
 }
 
-// ExportObjectFact attaches a fact to a function or method of the
-// current package. Facts on other objects are silently dropped.
+// ExportPackageFact attaches a fact to the current package as a
+// whole, under the analyzer's reserved package slot. Each analyzer
+// holds at most one package fact per package; a second export
+// overwrites the first.
+func (p *Pass) ExportPackageFact(f Fact) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		panic(fmt.Sprintf("analysis: encoding %s package fact: %v", p.Analyzer.Name, err))
+	}
+	m := p.facts.ByAnalyzer[p.Analyzer.Name]
+	if m == nil {
+		m = map[ObjectKey][]byte{}
+		p.facts.ByAnalyzer[p.Analyzer.Name] = m
+	}
+	m[pkgFactKey] = buf.Bytes()
+}
+
+// ImportPackageFact fills f with the package fact previously exported
+// for pkg — the current package (this same run) or a dependency — and
+// reports whether one exists.
+func (p *Pass) ImportPackageFact(pkg *types.Package, f Fact) bool {
+	if pkg == nil {
+		return false
+	}
+	var store *PackageFacts
+	if pkg == p.Pkg {
+		store = p.facts
+	} else if p.depFact != nil {
+		store = p.depFact(pkg.Path())
+	}
+	if store == nil {
+		return false
+	}
+	enc, ok := store.ByAnalyzer[p.Analyzer.Name][pkgFactKey]
+	if !ok {
+		return false
+	}
+	return gob.NewDecoder(bytes.NewReader(enc)).Decode(f) == nil
+}
+
+// ExportObjectFact attaches a fact to a function, method, or type of
+// the current package. Facts on other objects are silently dropped.
 func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
 	if obj == nil || obj.Pkg() != p.Pkg {
 		return

@@ -15,6 +15,14 @@
 //	//catcam:guarded-by <mu>         — struct field is protected by mutex field <mu>
 //	//catcam:cycle-state             — struct field is modeled SRAM/priority state
 //	//catcam:mutator                 — method mutates its receiver (cyclecheck fact)
+//	//catcam:snapshot                — struct type is epoch-published read state:
+//	                                   write-dead after publication (epochcheck)
+//	//catcam:scratch                 — struct type is pooled per-goroutine scratch:
+//	                                   must never escape its owner (poolcheck)
+//	//catcam:ring-producer           — function/method is the producer side of an
+//	                                   SPSC ring (ringcheck)
+//	//catcam:ring-consumer           — function/method is the consumer side of an
+//	                                   SPSC ring (ringcheck)
 //	//catcam:allow <cat> "reason"    — suppress findings of category <cat> for the
 //	                                   statement this comment is attached to
 package framework
@@ -86,7 +94,7 @@ func (p *Pass) InModule(pkg *types.Package) bool {
 // Directive is one parsed //catcam: comment.
 type Directive struct {
 	Pos      token.Pos
-	Verb     string // "hotpath", "guarded-by", "write-guarded-by", "immutable", "cycle-state", "mutator", "allow"
+	Verb     string // "hotpath", "guarded-by", "write-guarded-by", "immutable", "cycle-state", "mutator", "snapshot", "scratch", "ring-producer", "ring-consumer", "allow"
 	Args     string // raw text after the verb
 	Category string // for allow: the suppressed category
 	Reason   string // for allow: the quoted justification
@@ -107,7 +115,8 @@ func parseDirective(c *ast.Comment) (d Directive, ok bool) {
 	}
 	verb, rest := fields[0], strings.TrimSpace(strings.TrimPrefix(text, fields[0]))
 	switch verb {
-	case "hotpath", "cycle-state", "mutator", "guarded-by", "write-guarded-by", "immutable":
+	case "hotpath", "cycle-state", "mutator", "guarded-by", "write-guarded-by", "immutable",
+		"snapshot", "scratch", "ring-producer", "ring-consumer":
 		d.Verb, d.Args = verb, rest
 	case "allow":
 		parts := strings.Fields(rest)

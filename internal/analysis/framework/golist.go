@@ -17,16 +17,19 @@ import (
 
 // listPackage is the subset of `go list -json` output the driver uses.
 type listPackage struct {
-	ImportPath string
-	Name       string
-	Dir        string
-	GoFiles    []string
-	CgoFiles   []string
-	Imports    []string
-	Export     string
-	Standard   bool
-	DepOnly    bool
-	Module     *struct {
+	ImportPath  string
+	Name        string
+	Dir         string
+	GoFiles     []string
+	TestGoFiles []string
+	TestImports []string
+	CgoFiles    []string
+	Imports     []string
+	Export      string
+	Standard    bool
+	DepOnly     bool
+	ForTest     string
+	Module      *struct {
 		Path      string
 		GoVersion string
 	}
@@ -40,6 +43,11 @@ type Config struct {
 	Dir      string   // directory to run `go list` in (any dir inside the target module)
 	Patterns []string // package patterns, e.g. ./...
 	Tags     []string // build tags, e.g. for the lint selftest package
+	// Tests merges each matched package's in-package _test.go files
+	// (TestGoFiles) into the analysis, the same view `go vet` gets.
+	// External test packages (package foo_test) are not synthesized;
+	// the vet-mode driver covers those.
+	Tests bool
 }
 
 // FlatDiag is a resolved diagnostic ready for printing or matching.
@@ -119,8 +127,14 @@ func Run(cfg Config, analyzers []*Analyzer) ([]FlatDiag, error) {
 			return nil
 		}
 		state[p.ImportPath] = 1
-		for _, ip := range p.Imports {
-			if dep, ok := byPath[ip]; ok && inModule(dep) {
+		imports := p.Imports
+		if cfg.Tests && !p.DepOnly {
+			// Test files may import in-module packages the non-test
+			// package does not; those must typecheck first.
+			imports = append(append([]string{}, imports...), p.TestImports...)
+		}
+		for _, ip := range imports {
+			if dep, ok := byPath[ip]; ok && inModule(dep) && ip != p.ImportPath {
 				if err := visit(dep); err != nil {
 					return err
 				}
@@ -151,8 +165,12 @@ func Run(cfg Config, analyzers []*Analyzer) ([]FlatDiag, error) {
 			goVersion = "go" + p.Module.GoVersion
 		}
 		// go list reports GoFiles relative to the package directory.
-		goFiles := make([]string, len(p.GoFiles))
-		for i, f := range p.GoFiles {
+		files := p.GoFiles
+		if cfg.Tests && !p.DepOnly {
+			files = append(append([]string{}, files...), p.TestGoFiles...)
+		}
+		goFiles := make([]string, len(files))
+		for i, f := range files {
 			if filepath.IsAbs(f) {
 				goFiles[i] = f
 			} else {
@@ -197,7 +215,12 @@ func Run(cfg Config, analyzers []*Analyzer) ([]FlatDiag, error) {
 
 func goList(cfg Config) ([]*listPackage, error) {
 	args := []string{"list", "-e", "-export", "-deps",
-		"-json=ImportPath,Name,Dir,GoFiles,CgoFiles,Imports,Export,Standard,DepOnly,Module,Error"}
+		"-json=ImportPath,Name,Dir,GoFiles,TestGoFiles,TestImports,CgoFiles,Imports,Export,Standard,DepOnly,ForTest,Module,Error"}
+	if cfg.Tests {
+		// -test pulls the test-only dependency closure (with export
+		// data) into the listing so the merged TestGoFiles typecheck.
+		args = append(args, "-test")
+	}
 	if len(cfg.Tags) > 0 {
 		args = append(args, "-tags", strings.Join(cfg.Tags, ","))
 	}
@@ -211,6 +234,7 @@ func goList(cfg Config) ([]*listPackage, error) {
 		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
 	}
 	var pkgs []*listPackage
+	seen := map[string]bool{}
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		p := new(listPackage)
@@ -219,9 +243,23 @@ func goList(cfg Config) ([]*listPackage, error) {
 		} else if err != nil {
 			return nil, fmt.Errorf("go list output: %v", err)
 		}
+		// Under -test, go list also emits per-test pseudo-packages:
+		// the generated main ("foo.test"), the package recompiled with
+		// its test files ("foo [foo.test]"), and external test
+		// packages ("foo_test [foo.test]"). The driver builds its own
+		// test view by merging TestGoFiles into the plain package, so
+		// the pseudo-entries are dropped; only the plain closure (which
+		// now includes test-only deps) is kept.
+		if p.ForTest != "" || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
 		if p.Error != nil {
 			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
 		}
+		if seen[p.ImportPath] {
+			continue
+		}
+		seen[p.ImportPath] = true
 		pkgs = append(pkgs, p)
 	}
 	return pkgs, nil

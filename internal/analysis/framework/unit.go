@@ -68,9 +68,10 @@ func Main(module string, analyzers []*Analyzer) {
 		os.Exit(code)
 	}
 
-	// Standalone: catcam-lint [-tags a,b] ./packages...
+	// Standalone: catcam-lint [-tags a,b] [-tests] [-json] ./packages...
 	var tags []string
 	var patterns []string
+	var jsonOut, tests bool
 	for i := 0; i < len(args); i++ {
 		switch {
 		case args[i] == "-tags" && i+1 < len(args):
@@ -78,6 +79,10 @@ func Main(module string, analyzers []*Analyzer) {
 			i++
 		case strings.HasPrefix(args[i], "-tags="):
 			tags = strings.Split(strings.TrimPrefix(args[i], "-tags="), ",")
+		case args[i] == "-json":
+			jsonOut = true
+		case args[i] == "-tests":
+			tests = true
 		case strings.HasPrefix(args[i], "-"):
 			fmt.Fprintf(os.Stderr, "unknown flag %q\n", args[i])
 			os.Exit(1)
@@ -86,7 +91,7 @@ func Main(module string, analyzers []*Analyzer) {
 		}
 	}
 	if len(patterns) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: catcam-lint [-tags taglist] packages...")
+		fmt.Fprintln(os.Stderr, "usage: catcam-lint [-tags taglist] [-tests] [-json] packages...")
 		os.Exit(1)
 	}
 	wd, err := os.Getwd()
@@ -94,18 +99,56 @@ func Main(module string, analyzers []*Analyzer) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	diags, err := Run(Config{Dir: wd, Patterns: patterns, Tags: tags}, analyzers)
+	diags, err := Run(Config{Dir: wd, Patterns: patterns, Tags: tags, Tests: tests}, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, d)
+	if jsonOut {
+		if err := writeJSONDiags(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(2)
 	}
 	os.Exit(0)
+}
+
+// jsonDiag is the machine-readable finding shape `catcam-lint -json`
+// emits, one element per finding, stable across releases so CI tooling
+// can depend on it.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Category string `json:"category"`
+	Message  string `json:"message"`
+}
+
+// writeJSONDiags emits the diagnostics as a JSON array on w. An empty
+// run writes "[]" rather than null so consumers can always range.
+func writeJSONDiags(w io.Writer, diags []FlatDiag) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     d.Position.Filename,
+			Line:     d.Position.Line,
+			Column:   d.Position.Column,
+			Analyzer: d.Analyzer,
+			Category: d.Category,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // printVersion emits the line cmd/go's toolID parser expects from

@@ -1,0 +1,17 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"catcam/internal/analysis/analysistest"
+	"catcam/internal/analysis/framework"
+	"catcam/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, []*framework.Analyzer{lockorder.Analyzer}, "order")
+}
+
+func TestCrossPackageCycle(t *testing.T) {
+	analysistest.Run(t, []*framework.Analyzer{lockorder.Analyzer}, "lockdep/lib", "lockdep/use")
+}

@@ -1,0 +1,13 @@
+package poolcheck_test
+
+import (
+	"testing"
+
+	"catcam/internal/analysis/analysistest"
+	"catcam/internal/analysis/framework"
+	"catcam/internal/analysis/poolcheck"
+)
+
+func TestPoolcheck(t *testing.T) {
+	analysistest.Run(t, []*framework.Analyzer{poolcheck.Analyzer}, "scratch")
+}

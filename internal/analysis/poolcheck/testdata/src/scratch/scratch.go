@@ -1,0 +1,85 @@
+// Package scratch is the poolcheck golden package: checkout marking,
+// and every escape class — global, non-scratch object, exported
+// return.
+package scratch
+
+import "sync"
+
+// Scratch is a pooled per-goroutine working set.
+//
+//catcam:scratch
+type Scratch struct {
+	buf     []byte
+	report  []int
+	lookups uint64
+}
+
+// Unproven is pooled but unmarked.
+type Unproven struct{ buf []byte }
+
+// Holder is a long-lived structure.
+type Holder struct {
+	stash []int
+	pool  sync.Pool
+	upool sync.Pool
+}
+
+var leaked []int
+
+// NewScratch is the constructor: fresh locals are not tainted.
+func NewScratch(n int) *Scratch {
+	s := &Scratch{buf: make([]byte, n)}
+	s.report = make([]int, n)
+	return s
+}
+
+// get checks scratch out of the pool.
+func (h *Holder) get() *Scratch {
+	return h.pool.Get().(*Scratch)
+}
+
+// getUnproven checks out a type that skipped the proof.
+func (h *Holder) getUnproven() *Unproven {
+	return h.upool.Get().(*Unproven) // want `sync.Pool checkout asserted to Unproven, which is not marked //catcam:scratch`
+}
+
+// reuse is the legal pattern: work in the scratch, flush values out,
+// put it back.
+func (h *Holder) reuse() uint64 {
+	sc := h.get()
+	sc.report[0] = 1
+	sc.lookups++
+	n := sc.lookups
+	h.pool.Put(sc)
+	return n
+}
+
+// leakGlobal parks a scratch reference in a package variable.
+func (h *Holder) leakGlobal() {
+	sc := h.get()
+	leaked = sc.report // want `stores a reference into pooled scratch in package variable leaked`
+}
+
+// leakField stores scratch memory into a long-lived object.
+func (h *Holder) leakField(sc *Scratch) {
+	h.stash = sc.report // want `stores a reference into pooled scratch inside a non-scratch object`
+}
+
+// Drain returns scratch memory from an exported function.
+func (h *Holder) Drain() []int {
+	sc := h.get()
+	defer h.pool.Put(sc)
+	return sc.report // want `exported Drain returns a reference into pooled scratch`
+}
+
+// DrainCopy is the legal exported variant: values are copied out.
+func (h *Holder) DrainCopy() []int {
+	sc := h.get()
+	defer h.pool.Put(sc)
+	return append([]int(nil), sc.report...)
+}
+
+// allowedLeak documents a deliberate ownership transfer.
+func (h *Holder) allowedLeak(sc *Scratch) {
+	h.stash = sc.report //catcam:allow scratch "documented ownership transfer for the golden test"
+}

@@ -1,0 +1,13 @@
+package ringcheck_test
+
+import (
+	"testing"
+
+	"catcam/internal/analysis/analysistest"
+	"catcam/internal/analysis/framework"
+	"catcam/internal/analysis/ringcheck"
+)
+
+func TestRingcheck(t *testing.T) {
+	analysistest.Run(t, []*framework.Analyzer{ringcheck.Analyzer}, "ring")
+}

@@ -85,6 +85,103 @@ type view struct {
 // Mutate rewrites published snapshot state in place (bad).
 func (v *view) Mutate(rs []uint64) { v.rows = rs }
 
+// epochLive is mutable state; publishing it through atomic.Pointer
+// without the snapshot mark violates epochcheck.
+type epochLive struct{ n int }
+
+// epochSnap is properly marked, so writes after publication trip the
+// write-dead rule.
+//
+//catcam:snapshot
+type epochSnap struct {
+	vals []int
+}
+
+// epochHolder publishes unproven state (bad).
+type epochHolder struct {
+	cur atomic.Pointer[epochLive]
+}
+
+// republish mutates a snapshot that has already escaped (bad).
+func republish(h *epochHolder, s *epochSnap) {
+	s.vals[0] = 1
+	_ = h
+}
+
+// ringT is an SPSC ring with role-marked endpoints.
+type ringT struct {
+	head atomic.Uint64
+	tail atomic.Uint64
+}
+
+// push is the producer end.
+//
+//catcam:ring-producer
+func (r *ringT) push() { r.tail.Add(1) }
+
+// pop is the consumer end.
+//
+//catcam:ring-consumer
+func (r *ringT) pop() { r.head.Add(1) }
+
+// crossRole violates ringcheck: a consumer driving the producer end.
+//
+//catcam:ring-consumer
+func crossRole(r *ringT) {
+	r.push()
+	r.pop()
+}
+
+// poolScratchT is pooled but unmarked: the checkout below violates
+// poolcheck's proof obligation.
+type poolScratchT struct{ buf []int }
+
+var poolHolder sync.Pool
+
+func checkoutUnproven() *poolScratchT {
+	return poolHolder.Get().(*poolScratchT)
+}
+
+// scratchT is marked; leaking its memory into a global violates the
+// escape rule.
+//
+//catcam:scratch
+type scratchT struct{ buf []int }
+
+var leakedScratch []int
+
+func leakScratch(s *scratchT) { leakedScratch = s.buf }
+
+// lockA and lockB are acquired in both orders below: the lock-order
+// cycle lockorder exists to reject.
+type lockA struct {
+	mu sync.Mutex
+	n  int //catcam:guarded-by mu
+}
+
+type lockB struct {
+	mu sync.Mutex
+	n  int //catcam:guarded-by mu
+}
+
+func abDown(a *lockA, b *lockB) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	a.n++
+}
+
+func baUp(a *lockA, b *lockB) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	b.n++
+}
+
 // The annotation below violates directives: the verb is misspelled.
 //
 //catcam:gaurded-by mu

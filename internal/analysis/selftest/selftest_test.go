@@ -7,9 +7,13 @@ import (
 	"catcam/internal/analysis/atomiccheck"
 	"catcam/internal/analysis/cyclecheck"
 	"catcam/internal/analysis/directives"
+	"catcam/internal/analysis/epochcheck"
 	"catcam/internal/analysis/framework"
 	"catcam/internal/analysis/hotpath"
 	"catcam/internal/analysis/lockcheck"
+	"catcam/internal/analysis/lockorder"
+	"catcam/internal/analysis/poolcheck"
+	"catcam/internal/analysis/ringcheck"
 )
 
 var suite = []*framework.Analyzer{
@@ -17,6 +21,10 @@ var suite = []*framework.Analyzer{
 	lockcheck.Analyzer,
 	atomiccheck.Analyzer,
 	cyclecheck.Analyzer,
+	epochcheck.Analyzer,
+	ringcheck.Analyzer,
+	poolcheck.Analyzer,
+	lockorder.Analyzer,
 	directives.Analyzer,
 }
 

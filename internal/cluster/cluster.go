@@ -179,6 +179,8 @@ type shard struct {
 // reduce. Rounds live in Cluster.roundPool; because every round owns
 // all of its mutable state, any number of rounds may be in flight
 // concurrently — the per-shard classify underneath is lock-free.
+//
+//catcam:scratch
 type fanRound struct {
 	hdrs []rules.Header
 	// tr is this round's span sink (nil on untraced rounds). Workers

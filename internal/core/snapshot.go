@@ -47,6 +47,8 @@ import (
 // subtableView is the immutable per-subtable read state: the frozen
 // match and priority arrays plus the rank/action metadata the reporter
 // reads. Fields are written only at construction.
+//
+//catcam:snapshot
 type subtableView struct {
 	id      int
 	match   *sram.TernaryView //catcam:immutable
@@ -122,6 +124,8 @@ func (sv *subtableView) bestMatched(matchVec *bitvec.Vector) int {
 // snapshot is one published epoch: everything the lock-free classify
 // path reads, frozen. Readers obtain it with d.snap.Load and must
 // treat every field as immutable.
+//
+//catcam:snapshot
 type snapshot struct {
 	epoch uint64
 	cfg   Config
@@ -142,9 +146,9 @@ type snapshot struct {
 
 	// Instruments ride the snapshot so readers never touch mutable
 	// device fields; all nil-safe, internally synchronized.
-	aud     *flightrec.Auditor
-	shadow  *flightrec.Shadow
-	tel     *deviceTelemetry
+	aud     *flightrec.Auditor //catcam:allow epoch "internally synchronized instrument, not classify-read state"
+	shadow  *flightrec.Shadow  //catcam:allow epoch "internally synchronized instrument, not classify-read state"
+	tel     *deviceTelemetry   //catcam:allow epoch "internally synchronized instrument, not classify-read state"
 	frTable int
 	trShard int
 }
@@ -216,6 +220,8 @@ func (d *Device) Epoch() uint64 {
 // path, plus the kernel accumulator the shared views cannot own and
 // the batch-local accounting that is flushed to device atomics when
 // the scratch is returned.
+//
+//catcam:scratch
 type readScratch struct {
 	encKey      ternary.Key
 	padKey      ternary.Key

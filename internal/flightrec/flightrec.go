@@ -188,8 +188,8 @@ func (t *Trace) StepCycles() uint64 {
 // one atomic pointer store to publish.
 type Recorder struct {
 	sampler Sampler
-	slots   []atomic.Pointer[Trace]
-	seq     atomic.Uint64 // traces ever published
+	slots   []atomic.Pointer[Trace] //catcam:allow epoch "flight-recorder ring of retained traces; slots are replaced, never republished as classify state"
+	seq     atomic.Uint64           // traces ever published
 }
 
 // NewRecorder builds a recorder retaining up to capacity traces.

@@ -141,6 +141,8 @@ type Pipeline struct {
 }
 
 // classifyScratch is the reusable working set of Classify/ClassifyBatch.
+//
+//catcam:scratch
 type classifyScratch struct {
 	hdr1    [1]rules.Header
 	cur     []int // per-packet position in order; -1 = terminated

@@ -63,6 +63,8 @@ func BenchmarkIngressUncached(b *testing.B) { benchBurst(b, 0, 1.2) }
 
 // BenchmarkIngressDispatch measures the source side: flow-affinity
 // hash plus ring push/pop, no classification.
+//
+//catcam:allow ring "single-goroutine benchmark drives both ring ends"
 func BenchmarkIngressDispatch(b *testing.B) {
 	dev, rs := testDevice(b, 50)
 	e := New(Config{Workers: 4, RingSize: 4096, Backend: NewLookupBackend(dev)})

@@ -25,6 +25,8 @@ import "catcam/internal/rules"
 // epoch increment the snapshot publication already performs — and lazy
 // on the lookup path, mirroring the paper's separation of constant-time
 // alteration from the lookup pipeline.
+//
+//catcam:scratch
 type FlowCache struct {
 	sets    uint64
 	entries []flowEntry // 2*sets entries; set i occupies [2i, 2i+1]

@@ -386,6 +386,7 @@ func (e *Engine) workerFor(h rules.Header) int {
 // Single source goroutine only.
 //
 //catcam:hotpath
+//catcam:ring-producer
 func (e *Engine) Dispatch(h rules.Header) bool {
 	w := e.workers[e.workerFor(h)]
 	if !w.ring.TryPush(h) {
@@ -397,6 +398,8 @@ func (e *Engine) Dispatch(h rules.Header) bool {
 }
 
 // DispatchBatch routes each header, returning how many were accepted.
+//
+//catcam:ring-producer
 func (e *Engine) DispatchBatch(hs []rules.Header) int {
 	accepted := 0
 	for _, h := range hs {
@@ -411,6 +414,8 @@ func (e *Engine) DispatchBatch(hs []rules.Header) int {
 // source side of the engine. rate limits dispatch to roughly that many
 // packets per second (0 = unthrottled); limiting is per 10ms tick, the
 // same granularity catcam-serve's churner uses.
+//
+//catcam:ring-producer
 func (e *Engine) RunSource(gen *Generator, rate int, done <-chan struct{}) {
 	const tick = 10 * time.Millisecond
 	burst := make([]rules.Header, e.cfg.Burst)
@@ -480,6 +485,8 @@ func (e *Engine) rateLoop() {
 
 // run is the worker loop: drain a burst, process it, spin-yield when
 // idle, exit once the engine is stopping and the ring is empty.
+//
+//catcam:ring-consumer
 func (w *worker) run() {
 	for {
 		w.burst = w.ring.PopBatch(w.burst[:0], w.eng.cfg.Burst)
@@ -504,6 +511,8 @@ func (w *worker) run() {
 // burst: any rule change after the load has a strictly greater epoch,
 // so nothing this burst caches can be served once that change is
 // visible.
+//
+//catcam:ring-consumer
 func (w *worker) process(hs []rules.Header) {
 	eng := w.eng
 	tr := eng.cfg.Tracer.Start("ingress")
@@ -570,6 +579,7 @@ func (e *Engine) ProcessSync(workerID int, hs []rules.Header) []Result {
 		panic("ingress: ProcessSync on a running engine")
 	}
 	w := e.workers[workerID]
+	//catcam:allow ring "synchronous test path; the panic above proves no worker goroutine is running"
 	w.process(hs)
 	return w.results
 }

@@ -26,6 +26,8 @@ func testDevice(t testing.TB, nRules int) (*core.Device, *rules.Ruleset) {
 // TestEngineEndToEnd runs the full pipeline — generator, dispatch,
 // rings, workers, cache, slow path — and checks every decision against
 // a direct device lookup on the quiesced ruleset.
+//
+//catcam:allow ring "test goroutine is the single producer; workers consume"
 func TestEngineEndToEnd(t *testing.T) {
 	dev, rs := testDevice(t, 200)
 	reg := telemetry.NewRegistry()
@@ -133,6 +135,8 @@ func TestEngineFlowAffinity(t *testing.T) {
 
 // TestEngineDropAccounting overflows an unstarted engine's rings and
 // checks rejection is counted, not blocking.
+//
+//catcam:allow ring "test goroutine is the single producer; the engine is never started"
 func TestEngineDropAccounting(t *testing.T) {
 	dev, rs := testDevice(t, 50)
 	e := New(Config{Workers: 2, RingSize: 16, Backend: NewLookupBackend(dev)})

@@ -66,6 +66,7 @@ func (r *Ring) Len() int {
 // (the caller accounts the drop). Producer side only.
 //
 //catcam:hotpath
+//catcam:ring-producer
 func (r *Ring) TryPush(h rules.Header) bool {
 	t := r.tail.Load()
 	if t-r.head.Load() == uint64(len(r.buf)) {
@@ -81,6 +82,7 @@ func (r *Ring) TryPush(h rules.Header) bool {
 // were accepted (the rest are the caller's drops). Producer side only.
 //
 //catcam:hotpath
+//catcam:ring-producer
 func (r *Ring) PushBatch(hs []rules.Header) int {
 	t := r.tail.Load()
 	free := uint64(len(r.buf)) - (t - r.head.Load())
@@ -100,6 +102,7 @@ func (r *Ring) PushBatch(hs []rules.Header) int {
 // dst[:0] the call is allocation-free. Consumer side only.
 //
 //catcam:hotpath
+//catcam:ring-consumer
 func (r *Ring) PopBatch(dst []rules.Header, max int) []rules.Header {
 	h := r.head.Load()
 	n := int(r.tail.Load() - h)

@@ -24,6 +24,8 @@ import (
 
 // TernaryView is an immutable snapshot of a TernaryArray's search
 // state. All fields are written only at construction.
+//
+//catcam:snapshot
 type TernaryView struct {
 	params     Params
 	subarrays  int
@@ -127,6 +129,8 @@ func (v *TernaryView) SearchInto(dst *bitvec.Vector, acc []uint64, k ternary.Key
 // MatrixView is an immutable snapshot of a square priority matrix:
 // row r occupies words [r*rowWords, (r+1)*rowWords) of the flat rows
 // slice. All fields are written only at construction.
+//
+//catcam:snapshot
 type MatrixView struct {
 	params   Params
 	rowWords int

@@ -35,7 +35,7 @@ var DefaultLatencyBuckets = []uint64{
 type Histogram struct {
 	bounds    []uint64                   // strictly increasing upper bounds
 	counts    []atomic.Uint64            // len(bounds)+1; last is +Inf
-	exemplars []atomic.Pointer[Exemplar] // per-bucket most recent sampled observation
+	exemplars []atomic.Pointer[Exemplar] //catcam:allow epoch "per-bucket latest-exemplar slot; each store publishes a freshly built value"
 	sum       atomic.Uint64
 	count     atomic.Uint64
 	max       atomic.Uint64

@@ -99,8 +99,8 @@ type Event struct {
 // the oldest events are overwritten; Total() minus Cap() tells a
 // reader how many it can no longer see.
 type EventRing struct {
-	slots []atomic.Pointer[Event]
-	seq   atomic.Uint64 // total events ever emitted
+	slots []atomic.Pointer[Event] //catcam:allow epoch "observability ring; slots are replaced, never republished as classify state"
+	seq   atomic.Uint64           // total events ever emitted
 }
 
 // NewEventRing builds a ring holding up to capacity events.
